@@ -1,0 +1,65 @@
+// Figure 6 (reconstruction): frequency dispersion of the passive elements
+// — the Q(f)/ESR(f) of the matching components and the dispersive
+// eps_eff(f)/Z0(f)/loss of the 50-ohm microstrip (part 3 of the paper's
+// abstract).
+//
+// Expected shape: capacitor Q falls toward its series resonance; inductor
+// Q peaks then collapses at parallel resonance; eps_eff rises and Z0 sags
+// slightly with frequency; line loss grows ~sqrt(f) + f.
+#include <cstdio>
+
+#include "amplifier/topology.h"
+#include "bench_util.h"
+#include "microstrip/discontinuity.h"
+#include "microstrip/line.h"
+#include "passives/catalog.h"
+#include "rf/sweep.h"
+
+int main() {
+  using namespace gnsslna;
+  bench::heading(
+      "FIG 6 -- frequency dispersion of the passive elements (Q, ESR, eps_eff)");
+
+  const passives::Capacitor cin = passives::make_capacitor(22e-12);
+  const passives::Inductor lshunt = passives::make_inductor(8.2e-9);
+  const passives::Capacitor cout = passives::make_capacitor(1e-12);
+
+  std::printf("\ncomponents: %s | %s | %s (0402, C0G)\n",
+              cin.name().c_str(), lshunt.name().c_str(),
+              cout.name().c_str());
+  std::printf("SRF: Cin %.2f GHz | Lshunt %.2f GHz | Cout %.2f GHz\n",
+              cin.self_resonance_hz() / 1e9, lshunt.self_resonance_hz() / 1e9,
+              cout.self_resonance_hz() / 1e9);
+
+  std::printf("\n%10s | %9s %9s | %9s %9s | %9s %9s\n", "f [GHz]",
+              "Q(Cin)", "ESR(Cin)", "Q(Lsh)", "ESR(Lsh)", "Q(Cout)",
+              "ESR(Cout)");
+  for (const double f : rf::linear_grid(0.5e9, 3.0e9, 11)) {
+    std::printf("%10.2f | %9.1f %9.3f | %9.1f %9.3f | %9.1f %9.3f\n",
+                f / 1e9, cin.q_factor(f), cin.esr(f), lshunt.q_factor(f),
+                lshunt.esr(f), cout.q_factor(f), cout.esr(f));
+  }
+
+  const microstrip::Substrate sub = microstrip::Substrate::fr4();
+  const double w50 = microstrip::synthesize_width(sub, 50.0, 1.4e9);
+  const microstrip::Line line(sub, w50, 10e-3);
+  std::printf("\n50-ohm microstrip on FR4: w = %.3f mm (h = %.1f mm, "
+              "eps_r = %.1f)\n",
+              w50 * 1e3, sub.height_m * 1e3, sub.epsilon_r);
+  std::printf("%10s %12s %10s %14s %14s\n", "f [GHz]", "eps_eff", "Z0 [ohm]",
+              "a_cond [dB/m]", "a_diel [dB/m]");
+  for (const double f : rf::linear_grid(0.5e9, 6.0e9, 12)) {
+    std::printf("%10.2f %12.4f %10.3f %14.2f %14.2f\n", f / 1e9,
+                line.epsilon_eff(f), line.z0(f),
+                line.alpha_conductor(f) * 8.686,
+                line.alpha_dielectric(f) * 8.686);
+  }
+
+  const microstrip::TeeJunction tee(sub, w50, 0.2e-3);
+  std::printf("\nbias T-splitter parasitics: Cj = %.1f fF, "
+              "L_main = %.3f nH/arm, L_branch = %.3f nH\n",
+              tee.junction_capacitance() * 1e15,
+              tee.arm_inductance_main() * 1e9,
+              tee.arm_inductance_branch() * 1e9);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Micro-benchmarks (google-benchmark) of the kernels every experiment
+// leans on: the analytic FET S-parameter evaluation, the MNA assembly +
+// LU solve of the full LNA netlist, the spot noise analysis, and one
+// optimizer objective evaluation.  These bound the cost model used to
+// budget the optimization runs.
+#include <benchmark/benchmark.h>
+
+#include "amplifier/objectives.h"
+#include "circuit/analysis.h"
+#include "device/phemt.h"
+
+namespace {
+
+using namespace gnsslna;
+
+void BM_FetSParams(benchmark::State& state) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const device::Bias bias{-0.3, 2.0};
+  double f = 1.1e9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev.s_params(bias, f));
+    f = f < 1.7e9 ? f + 1e6 : 1.1e9;
+  }
+}
+BENCHMARK(BM_FetSParams);
+
+void BM_LnaNetlistSParams(benchmark::State& state) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  const amplifier::LnaDesign lna(dev, config, amplifier::DesignVector{});
+  const circuit::Netlist nl = lna.build_netlist();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::s_params(nl, 1.575e9));
+  }
+}
+BENCHMARK(BM_LnaNetlistSParams);
+
+void BM_LnaNoiseAnalysis(benchmark::State& state) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  const amplifier::LnaDesign lna(dev, config, amplifier::DesignVector{});
+  const circuit::Netlist nl = lna.build_netlist();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::noise_analysis(nl, 0, 1, 1.575e9));
+  }
+}
+BENCHMARK(BM_LnaNoiseAnalysis);
+
+void BM_DesignObjectiveEvaluation(benchmark::State& state) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  const optimize::GoalProblem problem =
+      amplifier::make_goal_problem(dev, config, amplifier::DesignGoals{});
+  std::vector<double> x = amplifier::DesignVector{}.to_vector();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.objectives(x));
+    x[2] += 1e-5;  // defeat the report cache
+    if (x[2] > 0.039) x[2] = 0.001;
+  }
+}
+BENCHMARK(BM_DesignObjectiveEvaluation);
+
+void BM_BandEvaluation(benchmark::State& state) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  const amplifier::LnaDesign lna(dev, config, amplifier::DesignVector{});
+  const std::vector<double> band = amplifier::LnaDesign::default_band();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lna.evaluate(band));
+  }
+}
+BENCHMARK(BM_BandEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Table II (reconstruction): the three-step robust identification vs.
+// single-method baselines, on measurement sets corrupted with 5% gross
+// outliers.
+//
+// Expected shape: the combined meta-heuristic + direct procedure wins on
+// both success rate and median error; LM alone depends entirely on its
+// start; DE alone is robust but imprecise.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "extract/three_step.h"
+#include "numeric/stats.h"
+
+namespace {
+
+/// A random device *specimen*: the reference device with every I-V and
+/// capacitance parameter jittered inside its physical range.  Real
+/// extraction campaigns face part-to-part spread — a baseline that starts
+/// from datasheet typicals must not be handed a typical part every time.
+gnsslna::device::Phemt random_specimen(gnsslna::numeric::Rng& rng) {
+  using namespace gnsslna;
+  device::Phemt dev = device::Phemt::reference_device();
+  std::vector<double> p = dev.iv_model().parameters();
+  const std::vector<device::ParamSpec> specs = dev.iv_model().param_specs();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double jitter = 1.0 + 0.35 * (2.0 * rng.uniform() - 1.0);
+    p[i] = std::clamp(p[i] * jitter, specs[i].lower, specs[i].upper);
+  }
+  dev.iv_model().set_parameters(p);
+  return dev;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gnsslna;
+  bench::heading(
+      "TABLE II -- extraction robustness: three-step vs single methods\n"
+      "(random Angelov specimens, 8 seeded trials each, 5% gross outliers)");
+
+  extract::MeasurementPlan plan = extract::MeasurementPlan::standard_plan(24);
+  extract::MeasurementNoise noise;
+  noise.outlier_fraction = 0.05;
+  noise.outlier_scale = 20.0;
+
+  extract::ThreeStepOptions options;
+  options.de_generations = 120;
+  options.de_population = 80;
+
+  constexpr int kTrials = 8;
+  // Success is scored against a CLEAN (noiseless) measurement of the same
+  // specimen — the true model error, independent of the injected outliers.
+  constexpr double kSuccessRms = 0.01;
+
+  std::printf("%-28s %10s %16s %16s %12s\n", "method", "success",
+              "med clean RMS|dS|", "p90 clean RMS|dS|", "med evals");
+
+  using extract::ExtractionStrategy;
+  for (const ExtractionStrategy strat :
+       {ExtractionStrategy::kThreeStep, ExtractionStrategy::kDeOnly,
+        ExtractionStrategy::kLmOnly, ExtractionStrategy::kLmRandomStart,
+        ExtractionStrategy::kNelderMeadMultistart,
+        ExtractionStrategy::kSaThenLm}) {
+    std::vector<double> errors, evals;
+    int successes = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      numeric::Rng specimen_rng(500 + trial);
+      const device::Phemt truth = random_specimen(specimen_rng);
+      numeric::Rng meas_rng(1000 + trial);
+      const extract::MeasurementSet data =
+          extract::synthesize_measurements(truth, plan, noise, meas_rng);
+      // Noiseless reference measurement for scoring.
+      extract::MeasurementNoise no_noise;
+      no_noise.dc_relative_sigma = 0.0;
+      no_noise.dc_floor_a = 0.0;
+      no_noise.s_sigma = 0.0;
+      numeric::Rng clean_rng(1);
+      const extract::MeasurementSet clean =
+          extract::synthesize_measurements(truth, plan, no_noise, clean_rng);
+
+      numeric::Rng opt_rng(9000 + trial);
+      const extract::ExtractionResult r = extract::extract_with_strategy(
+          strat, truth.iv_model(), data, truth.extrinsics(), opt_rng,
+          options);
+      const extract::FitError clean_err = extract::evaluate_fit(
+          truth.iv_model(), r.params, clean, truth.extrinsics());
+      errors.push_back(clean_err.rms_s);
+      evals.push_back(static_cast<double>(r.evaluations));
+      if (clean_err.rms_s < kSuccessRms) ++successes;
+    }
+    std::printf("%-28s %6d/%-3d %16.4e %16.4e %12.0f\n",
+                extract::strategy_name(strat).c_str(), successes, kTrials,
+                numeric::median(errors), numeric::percentile(errors, 90.0),
+                numeric::median(evals));
+  }
+  std::printf(
+      "\nexpected shape: the three-step procedure wins on success rate and\n"
+      "tail error; DE alone is robust but imprecise; LM alone lives or\n"
+      "dies by its start; the IRLS step strips the outlier bias that a\n"
+      "plain L2 polish keeps.\n");
+  return 0;
+}

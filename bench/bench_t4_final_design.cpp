@@ -1,0 +1,69 @@
+// Table IV (reconstruction): the optimal operating point and essential
+// passive elements selected by the improved goal-attainment method —
+// continuous optimum vs. the E24-snapped realizable design.
+//
+// Expected shape: snapping costs only a small fraction of the attained
+// margins; the final design meets all four goals with margin and stays
+// unconditionally stable.
+#include <cstdio>
+
+#include "amplifier/design_flow.h"
+#include "amplifier/yield.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace gnsslna;
+  bench::heading(
+      "TABLE IV -- optimal operating point and passive elements\n"
+      "(improved goal attainment; continuous vs E24-snapped design)");
+
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  amplifier::DesignFlowOptions options;
+  numeric::Rng rng(54143);
+  const amplifier::DesignOutcome out =
+      amplifier::run_design_flow(dev, config, rng, options);
+
+  const auto& names = amplifier::DesignVector::names();
+  const std::vector<double> xc = out.continuous.to_vector();
+  const std::vector<double> xs = out.snapped.to_vector();
+  std::printf("\n%-16s %16s %16s\n", "element", "continuous", "E24-snapped");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::printf("%-16s %16.6g %16.6g\n", names[i].c_str(), xc[i], xs[i]);
+  }
+
+  const auto print_report = [](const char* tag,
+                               const amplifier::BandReport& r) {
+    std::printf("%-12s NF_avg=%6.3f dB  GT_min=%6.2f dB  S11<=%6.2f dB  "
+                "S22<=%6.2f dB  mu_min=%5.3f  Id=%5.1f mA\n",
+                tag, r.nf_avg_db, r.gt_min_db, r.s11_worst_db,
+                r.s22_worst_db, r.mu_min, r.id_a * 1e3);
+  };
+  bench::subheading("attained band performance (1.1-1.7 GHz)");
+  print_report("continuous:", out.continuous_report);
+  print_report("snapped:", out.snapped_report);
+  std::printf("goals:       NF<=%.2f dB, GT>=%.1f dB, S11<=%.0f dB, "
+              "S22<=%.0f dB, mu>=%.2f\n",
+              options.goals.nf_goal_db, options.goals.gain_goal_db,
+              options.goals.s11_goal_db, options.goals.s22_goal_db,
+              options.goals.mu_margin);
+  std::printf("attainment factor gamma = %.4f (negative = all goals "
+              "exceeded), %zu evaluations\n",
+              out.optimization.attainment, out.optimization.evaluations);
+
+  bench::subheading("derived DC bias network");
+  std::printf("Vdd = %.1f V, R_drain = %.1f ohm, Id = %.2f mA, "
+              "Vg_bias = %.3f V\n",
+              config.vdd, out.bias.r_drain,
+              out.bias.id_a * 1e3, out.bias.vg_bias);
+
+  bench::subheading("production yield of the snapped design (Monte Carlo)");
+  numeric::Rng yield_rng(99);
+  const amplifier::YieldReport yield = amplifier::monte_carlo_yield(
+      dev, config, out.snapped, options.goals, 60, yield_rng);
+  std::printf("pass rate %zu/%zu = %.0f%% | NF_avg p95 = %.3f dB | "
+              "GT_min p5 = %.2f dB\n",
+              yield.passes, yield.samples, 100.0 * yield.pass_rate,
+              yield.nf_avg_p95_db, yield.gt_min_p5_db);
+  return 0;
+}

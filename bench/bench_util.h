@@ -1,0 +1,19 @@
+// Shared console-table helpers for the experiment benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace gnsslna::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+}  // namespace gnsslna::bench

@@ -1,0 +1,65 @@
+// Quickstart: build the reference GNSS pHEMT preamplifier and read off its
+// gain, match, and noise figure at the principal GNSS carriers.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "amplifier/lna.h"
+#include "rf/smith.h"
+#include "rf/sweep.h"
+#include "rf/units.h"
+
+int main() {
+  using namespace gnsslna;
+
+  // A complete device model: Angelov I-V core, bias-dependent
+  // capacitances, package parasitics, Pospieszalski noise temperatures.
+  const device::Phemt device = device::Phemt::reference_device();
+
+  // Board + bias context (0.8 mm FR4, 5 V rail, dispersive passives) and a
+  // reasonable starting design (the optimizer in design_gnss_lna.cpp finds
+  // a much better one).
+  amplifier::AmplifierConfig config;
+  amplifier::DesignVector design;  // defaults
+  const amplifier::LnaDesign lna(device, config, design);
+
+  std::printf("GNSS antenna preamplifier (single ATF-54143-class pHEMT)\n");
+  std::printf("bias: Vgs=%.2f V, Vds=%.1f V, Id=%.1f mA, Rdrain=%.0f ohm\n\n",
+              design.vgs, design.vds, lna.bias().id_a * 1e3,
+              lna.bias().r_drain);
+
+  struct Carrier {
+    const char* name;
+    double f_hz;
+  };
+  const Carrier carriers[] = {
+      {"GPS L5", rf::kGpsL5Hz},   {"GPS L2", rf::kGpsL2Hz},
+      {"BeiDou B1", rf::kBeidouB1Hz}, {"GPS L1/Galileo E1", rf::kGpsL1Hz},
+      {"GLONASS G1", rf::kGlonassG1Hz}};
+
+  std::printf("%-20s %9s %9s %9s %8s\n", "carrier", "gain[dB]", "S11[dB]",
+              "S22[dB]", "NF[dB]");
+  for (const Carrier& c : carriers) {
+    const rf::SParams s = lna.s_params(c.f_hz);
+    std::printf("%-20s %9.2f %9.2f %9.2f %8.3f\n", c.name, rf::db20(s.s21),
+                rf::db20(s.s11), rf::db20(s.s22),
+                lna.noise_figure_db(c.f_hz));
+  }
+
+  const amplifier::BandReport rep =
+      lna.evaluate(amplifier::LnaDesign::default_band());
+  std::printf("\nband summary (1.1-1.7 GHz): NF_avg=%.3f dB, GT_min=%.2f dB, "
+              "mu_min=%.3f\n",
+              rep.nf_avg_db, rep.gt_min_db, rep.mu_min);
+
+  // Where the ports sit on the Smith chart across 1.0-1.8 GHz.
+  const rf::SweepData sweep = lna.s_sweep(rf::linear_grid(1.0e9, 1.8e9, 33));
+  rf::SmithTrace s11{"S11 (1.0-1.8 GHz)", '1', {}};
+  rf::SmithTrace s22{"S22 (1.0-1.8 GHz)", '2', {}};
+  for (const rf::SParams& s : sweep) {
+    s11.points.push_back(s.s11);
+    s22.points.push_back(s.s22);
+  }
+  std::printf("\n%s", rf::render_smith_chart({s11, s22}).c_str());
+  return 0;
+}

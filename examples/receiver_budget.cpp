@@ -1,0 +1,71 @@
+// System-level payoff of the antenna preamplifier: cascade the designed
+// LNA with realistic mast coax and a GNSS receiver front end, and compare
+// against the same chain without the masthead amplifier.
+//
+//   ./build/examples/receiver_budget [coax_loss_db]
+#include <cstdio>
+#include <cstdlib>
+
+#include "amplifier/lna.h"
+#include "nonlinear/two_tone.h"
+#include "rf/budget.h"
+
+int main(int argc, char** argv) {
+  using namespace gnsslna;
+
+  const double coax_loss_db = argc > 1 ? std::atof(argv[1]) : 8.0;
+
+  // Characterize the preamplifier design at band centre.
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  const amplifier::LnaDesign lna(dev, config, amplifier::DesignVector{});
+  const amplifier::BandReport rep =
+      lna.evaluate(amplifier::LnaDesign::default_band());
+  const nonlinear::TwoToneSweep im3 =
+      nonlinear::two_tone_sweep(lna, -40.0, -25.0, 4);
+
+  rf::BudgetStage preamp;
+  preamp.name = "antenna preamp (this design)";
+  preamp.gain_db = rep.gt_avg_db;
+  preamp.nf_db = rep.nf_avg_db;
+  preamp.oip3_dbm = im3.oip3_dbm;
+
+  const rf::BudgetStage coax =
+      rf::BudgetStage::attenuator("mast coax", coax_loss_db);
+  const rf::BudgetStage receiver{"GNSS receiver front end", 25.0, 8.0, 10.0};
+
+  const auto print_budget = [](const char* title,
+                               const rf::BudgetResult& b) {
+    std::printf("\n%s\n", title);
+    std::printf("  %-28s %10s %9s %12s\n", "after stage", "gain [dB]",
+                "NF [dB]", "IIP3 [dBm]");
+    for (const rf::BudgetRow& row : b.rows) {
+      std::printf("  %-28s %10.2f %9.2f ", row.name.c_str(),
+                  row.cumulative_gain_db, row.cumulative_nf_db);
+      if (row.cumulative_iip3_dbm >= 1e8) {
+        std::printf("%12s\n", "--");
+      } else {
+        std::printf("%12.1f\n", row.cumulative_iip3_dbm);
+      }
+    }
+    std::printf("  SNR degradation vs ideal RX (Ta = 130 K): %.2f dB\n",
+                b.snr_degradation_db());
+  };
+
+  std::printf("preamp characterization: G = %.2f dB, NF = %.3f dB, "
+              "OIP3 = %+.1f dBm; coax loss = %.1f dB\n",
+              preamp.gain_db, preamp.nf_db, preamp.oip3_dbm, coax_loss_db);
+
+  const rf::BudgetResult with_preamp =
+      rf::cascade_budget({preamp, coax, receiver});
+  const rf::BudgetResult without_preamp =
+      rf::cascade_budget({coax, receiver});
+  print_budget("WITH masthead preamp:", with_preamp);
+  print_budget("WITHOUT preamp (coax straight into the receiver):",
+               without_preamp);
+
+  std::printf("\nnet sensitivity gain from the preamp: %.2f dB\n",
+              without_preamp.snr_degradation_db() -
+                  with_preamp.snr_degradation_db());
+  return 0;
+}

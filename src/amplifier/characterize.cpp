@@ -1,0 +1,85 @@
+#include "amplifier/characterize.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "circuit/analysis.h"
+#include "rf/units.h"
+
+namespace gnsslna::amplifier {
+
+rf::NoiseParams amplifier_noise_parameters(const LnaDesign& lna,
+                                           double frequency_hz,
+                                           std::size_t n_states,
+                                           double ring_radius) {
+  if (n_states < 4) {
+    throw std::invalid_argument(
+        "amplifier_noise_parameters: need >= 4 source states");
+  }
+  if (ring_radius <= 0.0 || ring_radius >= 1.0) {
+    throw std::invalid_argument(
+        "amplifier_noise_parameters: ring_radius must be in (0, 1)");
+  }
+  const circuit::Netlist nl = lna.build_netlist();
+  std::vector<rf::SourcePullPoint> points;
+  points.reserve(n_states);
+
+  // Matched state first, then a ring of reflective states.
+  points.push_back(
+      {rf::Complex{0.0, 0.0},
+       circuit::noise_analysis(nl, 0, 1, frequency_hz).noise_factor});
+  for (std::size_t k = 0; k + 1 < n_states; ++k) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n_states - 1);
+    const rf::Complex gamma{ring_radius * std::cos(ang),
+                            ring_radius * std::sin(ang)};
+    const rf::Complex zs = rf::z_from_gamma(gamma, rf::kZ0);
+    points.push_back(
+        {gamma, circuit::noise_analysis_source_pull(nl, 0, 1, zs,
+                                                    frequency_hz)
+                    .noise_factor});
+  }
+  return rf::fit_noise_parameters(points, frequency_hz, rf::kZ0);
+}
+
+std::vector<SensitivityRow> sensitivity_analysis(
+    const device::Phemt& device, const AmplifierConfig& config,
+    const DesignVector& design) {
+  AmplifierConfig cfg = config;
+  cfg.resolve();
+  const std::vector<double> band = LnaDesign::default_band();
+  const std::vector<double> x0 = design.to_vector();
+  const auto& names = DesignVector::names();
+
+  std::vector<SensitivityRow> rows;
+  rows.reserve(x0.size());
+  for (std::size_t j = 0; j < x0.size(); ++j) {
+    // +1% relative for element values; 10 mV absolute for the bias pair.
+    const double h = (j < 2) ? 0.01 : 0.01 * std::abs(x0[j]);
+    std::vector<double> xp = x0, xm = x0;
+    xp[j] += h;
+    xm[j] -= h;
+
+    SensitivityRow row;
+    row.element = names[j];
+    try {
+      const BandReport rp =
+          LnaDesign(device, cfg, DesignVector::from_vector(xp))
+              .evaluate(band);
+      const BandReport rm =
+          LnaDesign(device, cfg, DesignVector::from_vector(xm))
+              .evaluate(band);
+      row.d_nf_db = 0.5 * (rp.nf_avg_db - rm.nf_avg_db);
+      row.d_gt_db = 0.5 * (rp.gt_min_db - rm.gt_min_db);
+      row.d_s11_db = 0.5 * (rp.s11_worst_db - rm.s11_worst_db);
+    } catch (const std::exception&) {
+      // A perturbation that breaks the bias is itself maximal sensitivity.
+      row.d_nf_db = std::numeric_limits<double>::quiet_NaN();
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace gnsslna::amplifier

@@ -1,0 +1,37 @@
+// Lab-style characterization of a finished amplifier design: source-pull
+// noise-parameter extraction and per-element sensitivity analysis.
+#pragma once
+
+#include "amplifier/lna.h"
+#include "rf/noise.h"
+
+namespace gnsslna::amplifier {
+
+/// Extracts the four IEEE noise parameters of the ASSEMBLED amplifier at
+/// one frequency via simulated source-pull: the input termination is swept
+/// over a ring of source states (|gamma| = ring_radius plus the matched
+/// point) and Lane's linearized fit recovers (Fmin, Rn, Gamma_opt).
+/// This mirrors exactly what a noise-parameter test set does to the
+/// physical prototype.
+rf::NoiseParams amplifier_noise_parameters(const LnaDesign& lna,
+                                           double frequency_hz,
+                                           std::size_t n_states = 9,
+                                           double ring_radius = 0.4);
+
+/// Relative sensitivity of the band figures to each design element:
+/// d(metric) for a +1% change of element i (bias voltages: +10 mV).
+struct SensitivityRow {
+  std::string element;
+  double d_nf_db = 0.0;    ///< change in band-average NF [dB]
+  double d_gt_db = 0.0;    ///< change in min gain [dB]
+  double d_s11_db = 0.0;   ///< change in worst S11 [dB]
+};
+
+/// Central-difference sensitivities around a design point.  The rows come
+/// back in DesignVector order; use them to decide which elements need
+/// tight-tolerance parts.
+std::vector<SensitivityRow> sensitivity_analysis(
+    const device::Phemt& device, const AmplifierConfig& config,
+    const DesignVector& design);
+
+}  // namespace gnsslna::amplifier

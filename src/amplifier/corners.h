@@ -1,0 +1,42 @@
+// Environmental corner analysis of a finished design.
+//
+// An antenna-mounted preamplifier lives outdoors: -40C winter mast to
+// +85C summer roof, with a supply that sags along the cable.  This module
+// re-evaluates a design across (temperature, Vdd) corners — the check a
+// design review demands before the paper's prototype ships.
+//
+// Thermal model (first order, documented): passive thermal noise and the
+// Pospieszalski noise temperatures scale linearly with the ambient; the
+// device I-V itself is kept at its extraction temperature (I-V
+// temperature coefficients are not part of the published models we
+// reproduce — the dominant NF/gain shifts at L-band come from the noise
+// temperatures and the bias point, which we do capture).
+#pragma once
+
+#include "amplifier/objectives.h"
+
+namespace gnsslna::amplifier {
+
+struct Corner {
+  std::string name;
+  double t_ambient_k = 290.0;
+  double vdd = 5.0;
+};
+
+/// The standard industrial corner set at the given nominal rail.
+std::vector<Corner> standard_corners(double vdd_nominal = 5.0);
+
+struct CornerRow {
+  Corner corner;
+  BandReport report;
+  bool meets_goals = false;
+};
+
+/// Evaluates a design at every corner and checks the goals.
+std::vector<CornerRow> corner_analysis(const device::Phemt& device,
+                                       const AmplifierConfig& config,
+                                       const DesignVector& design,
+                                       const DesignGoals& goals,
+                                       const std::vector<Corner>& corners);
+
+}  // namespace gnsslna::amplifier

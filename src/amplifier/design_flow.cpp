@@ -1,0 +1,59 @@
+#include "amplifier/design_flow.h"
+
+#include <cmath>
+
+namespace gnsslna::amplifier {
+
+namespace {
+double round_to(double v, double quantum) {
+  return std::round(v / quantum) * quantum;
+}
+}  // namespace
+
+DesignVector snap_design(const DesignVector& d, passives::ESeries series) {
+  DesignVector s = d;
+  s.vgs = round_to(d.vgs, 0.01);
+  s.vds = round_to(d.vds, 0.01);
+  s.l_in_m = round_to(d.l_in_m, 0.1e-3);
+  s.l_in2_m = round_to(d.l_in2_m, 0.1e-3);
+  s.l_out_m = round_to(d.l_out_m, 0.1e-3);
+  s.l_out2_m = round_to(d.l_out2_m, 0.1e-3);
+  s.l_shunt_h = passives::snap(d.l_shunt_h, series);
+  s.c_mid_f = passives::snap(d.c_mid_f, series);
+  s.c_out_sh_f = passives::snap(d.c_out_sh_f, series);
+  s.l_sdeg_h = passives::snap(d.l_sdeg_h, series);
+  s.c_in_f = passives::snap(d.c_in_f, series);
+  s.r_fb_ohm = passives::snap(d.r_fb_ohm, series);
+
+  // Keep the snapped point inside the optimizer's box so it remains a
+  // valid DesignVector.
+  const optimize::Bounds box = DesignVector::bounds();
+  return DesignVector::from_vector(box.clamp(s.to_vector()));
+}
+
+DesignOutcome run_design_flow(const device::Phemt& device,
+                              AmplifierConfig config, numeric::Rng& rng,
+                              DesignFlowOptions options) {
+  config.resolve();
+  const std::vector<double> band = options.band_hz.empty()
+                                       ? LnaDesign::default_band()
+                                       : options.band_hz;
+
+  optimize::GoalProblem problem =
+      make_goal_problem(device, config, options.goals, band);
+
+  DesignOutcome out;
+  out.optimization =
+      optimize::improved_goal_attainment(problem, rng, options.optimizer);
+  out.continuous = DesignVector::from_vector(out.optimization.x);
+  out.continuous_report =
+      LnaDesign(device, config, out.continuous).evaluate(band);
+
+  out.snapped = snap_design(out.continuous, options.series);
+  const LnaDesign snapped_lna(device, config, out.snapped);
+  out.snapped_report = snapped_lna.evaluate(band);
+  out.bias = snapped_lna.bias();
+  return out;
+}
+
+}  // namespace gnsslna::amplifier

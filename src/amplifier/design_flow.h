@@ -1,0 +1,39 @@
+// The end-to-end design flow (part 4 of the paper's abstract): optimal
+// selection of the operating point and essential passive elements with the
+// improved goal-attainment method, followed by snapping to purchasable
+// E-series values and re-verification.
+#pragma once
+
+#include "amplifier/objectives.h"
+#include "passives/eseries.h"
+
+namespace gnsslna::amplifier {
+
+/// Snaps the discrete-component entries of a design to the E-series
+/// (inductors, capacitors); trims line lengths to 0.1 mm and bias voltages
+/// to 10 mV — fab- and trimmer-realistic granularity.
+DesignVector snap_design(const DesignVector& d,
+                         passives::ESeries series = passives::ESeries::kE24);
+
+struct DesignOutcome {
+  optimize::GoalResult optimization;  ///< raw optimizer result
+  DesignVector continuous;            ///< optimum before snapping
+  BandReport continuous_report;
+  DesignVector snapped;               ///< E-series realizable design
+  BandReport snapped_report;
+  BiasNetwork bias;                   ///< DC network for the snapped design
+};
+
+struct DesignFlowOptions {
+  DesignGoals goals = {};
+  optimize::ImprovedGoalOptions optimizer = {};
+  passives::ESeries series = passives::ESeries::kE24;
+  std::vector<double> band_hz = {};  ///< empty -> LnaDesign::default_band()
+};
+
+/// Runs the full flow.  Deterministic per rng seed.
+DesignOutcome run_design_flow(const device::Phemt& device,
+                              AmplifierConfig config, numeric::Rng& rng,
+                              DesignFlowOptions options = {});
+
+}  // namespace gnsslna::amplifier

@@ -1,0 +1,277 @@
+#include "amplifier/lna.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/noisy_twoport.h"
+#include "microstrip/discontinuity.h"
+#include "rf/metrics.h"
+#include "rf/sweep.h"
+#include "rf/units.h"
+
+namespace gnsslna::amplifier {
+
+namespace {
+
+/// Fixed output DC block [F]; its L-band impedance is negligible, so it is
+/// not part of the design vector.
+constexpr double kOutputBlockF = 33e-12;
+
+/// Fixed DC block in series with the feedback resistor [F].
+constexpr double kFeedbackBlockF = 10e-12;
+
+/// Adapter: a dispersive catalog part as a series impedance function.
+template <typename Part>
+std::function<circuit::Complex(double)> z_of(Part part) {
+  return [part = std::move(part)](double f) { return part.impedance(f); };
+}
+
+/// Y-block of a microstrip line (copyable by value).
+circuit::YBlockFn line_y(microstrip::Line line) {
+  return [line = std::move(line)](double f) {
+    return rf::y_from_abcd(line.abcd(f));
+  };
+}
+
+}  // namespace
+
+LnaDesign::LnaDesign(const device::Phemt& device, AmplifierConfig config,
+                     DesignVector design)
+    : device_(device), config_(std::move(config)), design_(design) {
+  config_.resolve();
+  bias_ = design_bias(device_, design_, config_);
+}
+
+circuit::Netlist LnaDesign::build_netlist() const {
+  using circuit::NodeId;
+  circuit::Netlist nl;
+
+  const NodeId n_in = nl.add_node("in");
+  const NodeId n1 = nl.add_node("after_cin");
+  const NodeId n_mid = nl.add_node("in_mid");
+  const NodeId n2 = nl.add_node("gate");
+  const NodeId n_g2 = nl.add_node("gate_bias");
+  const NodeId n_s = nl.add_node("source");
+  const NodeId n3 = nl.add_node("drain");
+  const NodeId n5 = nl.add_node("out_match");
+  const NodeId n6 = nl.add_node("out_match2");
+  const NodeId n_out = nl.add_node("out");
+
+  // --- Input DC block.
+  if (config_.dispersive_passives) {
+    nl.add_lossy_impedance(
+        n_in, n1, z_of(passives::make_capacitor(design_.c_in_f,
+                                                config_.package)),
+        config_.t_ambient_k, "Cin");
+  } else {
+    nl.add_capacitor(n_in, n1, design_.c_in_f, "Cin");
+  }
+
+  // --- Input shunt inductor (single-stub element + gate DC return) at the
+  // port side of the input line, through its RF-decoupled bias node.  The
+  // stub must sit a line-length away from the gate — a shunt element AT
+  // the load can never complete a single-stub match.
+  if (config_.dispersive_passives) {
+    nl.add_lossy_impedance(
+        n1, n_g2, z_of(passives::make_inductor(design_.l_shunt_h,
+                                               config_.package)),
+        config_.t_ambient_k, "Lshunt");
+    nl.add_lossy_impedance(
+        n_g2, circuit::kGround,
+        z_of(passives::make_capacitor(config_.c_gate_dec_f, config_.package)),
+        config_.t_ambient_k, "Cgdec");
+  } else {
+    nl.add_inductor(n1, n_g2, design_.l_shunt_h, "Lshunt");
+    nl.add_capacitor(n_g2, circuit::kGround, config_.c_gate_dec_f, "Cgdec");
+  }
+  nl.add_resistor(n_g2, circuit::kGround, config_.r_gate_bias,
+                  config_.t_ambient_k, "Rgbias");
+
+  // --- Input double-stub match: line 1, shunt C_mid, line 2 to the gate.
+  circuit::add_passive_twoport(
+      nl, n1, n_mid, circuit::kGround,
+      line_y(microstrip::Line(config_.substrate, config_.w50_m,
+                              design_.l_in_m)),
+      config_.t_ambient_k, "TLin1");
+  if (config_.dispersive_passives) {
+    nl.add_lossy_impedance(
+        n_mid, circuit::kGround,
+        z_of(passives::make_capacitor(design_.c_mid_f, config_.package)),
+        config_.t_ambient_k, "Cmid");
+  } else {
+    nl.add_capacitor(n_mid, circuit::kGround, design_.c_mid_f, "Cmid");
+  }
+  circuit::add_passive_twoport(
+      nl, n_mid, n2, circuit::kGround,
+      line_y(microstrip::Line(config_.substrate, config_.w50_m,
+                              design_.l_in2_m)),
+      config_.t_ambient_k, "TLin2");
+
+  // --- The pHEMT with source degeneration.  The Pospieszalski noise
+  // temperatures scale with the ambient (first-order thermal model).
+  const device::Bias bias{design_.vgs, design_.vds};
+  device::Phemt dev = device_;  // value copy captured by the closures
+  if (config_.t_ambient_k != 290.0) {
+    const double scale = config_.t_ambient_k / 290.0;
+    device::NoiseTemperatures t = dev.temperatures();
+    t.tg_k *= scale;
+    t.td_k *= scale;
+    dev = device::Phemt(dev.iv_model().clone(), dev.caps(), dev.extrinsics(),
+                        t);
+  }
+  circuit::add_noisy_three_terminal(
+      nl, n2, n3, n_s,
+      [dev, bias](double f) {
+        return rf::y_from_s(dev.s_params(bias, f));
+      },
+      [dev, bias](double f) { return dev.noise(bias, f); }, "Q1");
+  if (config_.dispersive_passives) {
+    nl.add_lossy_impedance(
+        n_s, circuit::kGround,
+        z_of(passives::make_inductor(design_.l_sdeg_h, config_.package)),
+        config_.t_ambient_k, "Lsdeg");
+  } else {
+    nl.add_inductor(n_s, circuit::kGround, design_.l_sdeg_h, "Lsdeg");
+  }
+
+  // --- Resistive shunt feedback drain -> gate (with its DC block).
+  {
+    const NodeId n_fb = nl.add_node("fb");
+    nl.add_resistor(n3, n_fb, design_.r_fb_ohm, config_.t_ambient_k,
+                    "Rfb");
+    if (config_.dispersive_passives) {
+      nl.add_lossy_impedance(
+          n_fb, n2,
+          z_of(passives::make_capacitor(kFeedbackBlockF, config_.package)),
+          config_.t_ambient_k, "Cfb");
+    } else {
+      nl.add_capacitor(n_fb, n2, kFeedbackBlockF, "Cfb");
+    }
+  }
+
+  // --- Drain bias tap: T-splitter, high-impedance line, decoupling, Rd.
+  NodeId n4;  // drain-side node the output network continues from
+  NodeId n_b; // branch node the bias line starts from
+  if (config_.model_tee) {
+    const microstrip::TeeJunction tee(config_.substrate, config_.w50_m,
+                                      config_.w_bias_m);
+    const NodeId nj = nl.add_node("tee");
+    n4 = nl.add_node("after_tee");
+    n_b = nl.add_node("bias_tap");
+    nl.add_inductor(n3, nj, tee.arm_inductance_main(), "Ltee1");
+    nl.add_inductor(nj, n4, tee.arm_inductance_main(), "Ltee2");
+    nl.add_inductor(nj, n_b, tee.arm_inductance_branch(), "Ltee3");
+    nl.add_capacitor(nj, circuit::kGround, tee.junction_capacitance(),
+                     "Ctee");
+  } else {
+    n4 = n3;
+    n_b = n3;
+  }
+  const NodeId n_b2 = nl.add_node("bias_dec");
+  circuit::add_passive_twoport(
+      nl, n_b, n_b2, circuit::kGround,
+      line_y(microstrip::Line(config_.substrate, config_.w_bias_m,
+                              config_.l_bias_m)),
+      config_.t_ambient_k, "TLbias");
+  if (config_.dispersive_passives) {
+    nl.add_lossy_impedance(
+        n_b2, circuit::kGround,
+        z_of(passives::make_capacitor(config_.c_dec_f, config_.package,
+                                      passives::CapDielectric::kX7R)),
+        config_.t_ambient_k, "Cdec");
+  } else {
+    nl.add_capacitor(n_b2, circuit::kGround, config_.c_dec_f, "Cdec");
+  }
+  // Vdd is RF ground: the drain resistor appears from the decoupled node
+  // to ground and contributes its full thermal noise.
+  nl.add_resistor(n_b2, circuit::kGround, bias_.r_drain,
+                  config_.t_ambient_k, "Rdrain");
+
+  // --- Output match: line 1, shunt C, line 2, DC block.
+  circuit::add_passive_twoport(
+      nl, n4, n5, circuit::kGround,
+      line_y(microstrip::Line(config_.substrate, config_.w50_m,
+                              design_.l_out_m)),
+      config_.t_ambient_k, "TLout1");
+  if (config_.dispersive_passives) {
+    nl.add_lossy_impedance(
+        n5, circuit::kGround,
+        z_of(passives::make_capacitor(design_.c_out_sh_f, config_.package)),
+        config_.t_ambient_k, "Coutsh");
+  } else {
+    nl.add_capacitor(n5, circuit::kGround, design_.c_out_sh_f, "Coutsh");
+  }
+  circuit::add_passive_twoport(
+      nl, n5, n6, circuit::kGround,
+      line_y(microstrip::Line(config_.substrate, config_.w50_m,
+                              design_.l_out2_m)),
+      config_.t_ambient_k, "TLout2");
+  if (config_.dispersive_passives) {
+    nl.add_lossy_impedance(
+        n6, n_out, z_of(passives::make_capacitor(kOutputBlockF,
+                                                 config_.package)),
+        config_.t_ambient_k, "Cblk");
+  } else {
+    nl.add_capacitor(n6, n_out, kOutputBlockF, "Cblk");
+  }
+
+  nl.add_port(n_in, rf::kZ0, "RFin");
+  nl.add_port(n_out, rf::kZ0, "RFout");
+  return nl;
+}
+
+rf::SParams LnaDesign::s_params(double frequency_hz) const {
+  return circuit::s_params(build_netlist(), frequency_hz);
+}
+
+rf::SweepData LnaDesign::s_sweep(
+    const std::vector<double>& frequencies_hz) const {
+  return circuit::s_sweep(build_netlist(), frequencies_hz);
+}
+
+double LnaDesign::noise_figure_db(double frequency_hz) const {
+  return circuit::noise_analysis(build_netlist(), 0, 1, frequency_hz)
+      .noise_figure_db;
+}
+
+std::vector<double> LnaDesign::default_band() {
+  return rf::linear_grid(rf::kGnssBandLowHz, rf::kGnssBandHighHz, 7);
+}
+
+BandReport LnaDesign::evaluate(const std::vector<double>& band_hz) const {
+  const circuit::Netlist nl = build_netlist();
+  BandReport rep;
+  rep.id_a = bias_.id_a;
+
+  double nf_sum = 0.0, gt_sum = 0.0;
+  rep.nf_max_db = -1e9;
+  rep.gt_min_db = 1e9;
+  rep.s11_worst_db = -1e9;
+  rep.s22_worst_db = -1e9;
+  for (const double f : band_hz) {
+    const rf::SParams s = circuit::s_params(nl, f);
+    const double gt = rf::db20(s.s21);
+    const double s11 = rf::db20(s.s11);
+    const double s22 = rf::db20(s.s22);
+    const double nf = circuit::noise_analysis(nl, 0, 1, f).noise_figure_db;
+    nf_sum += nf;
+    gt_sum += gt;
+    rep.nf_max_db = std::max(rep.nf_max_db, nf);
+    rep.gt_min_db = std::min(rep.gt_min_db, gt);
+    rep.s11_worst_db = std::max(rep.s11_worst_db, s11);
+    rep.s22_worst_db = std::max(rep.s22_worst_db, s22);
+  }
+  rep.nf_avg_db = nf_sum / static_cast<double>(band_hz.size());
+  rep.gt_avg_db = gt_sum / static_cast<double>(band_hz.size());
+
+  // Stability on an extended grid.
+  rep.mu_min = 1e9;
+  for (const double f : rf::linear_grid(0.5e9, 3.5e9, 9)) {
+    const rf::SParams s = circuit::s_params(nl, f);
+    rep.mu_min = std::min(rep.mu_min,
+                          std::min(rf::mu_source(s), rf::mu_load(s)));
+  }
+  return rep;
+}
+
+}  // namespace gnsslna::amplifier

@@ -1,0 +1,66 @@
+// LNA circuit assembly and band evaluation.
+//
+// LnaDesign turns (device, config, design vector) into a circuit::Netlist
+// with every physical effect the paper insists on: dispersive chip
+// passives (Q/ESR/SRF), lossy dispersive microstrip lines, the bias-tee
+// T-splitter parasitics, the drain/gate bias resistors with their thermal
+// noise, and the Pospieszalski device noise — then evaluates S-parameters,
+// noise figure, stability, and DC current over the GNSS band.
+#pragma once
+
+#include "amplifier/topology.h"
+#include "circuit/analysis.h"
+
+namespace gnsslna::amplifier {
+
+/// Aggregate band figures the optimizer and the benches consume.
+struct BandReport {
+  double nf_avg_db = 0.0;    ///< band-average noise figure
+  double nf_max_db = 0.0;    ///< worst in-band noise figure
+  double gt_min_db = 0.0;    ///< worst in-band transducer gain (50-ohm)
+  double gt_avg_db = 0.0;
+  double s11_worst_db = 0.0; ///< worst (largest) in-band |S11|
+  double s22_worst_db = 0.0;
+  double mu_min = 0.0;       ///< minimum Edwards-Sinsky mu over the
+                             ///< stability grid (in-band + out-of-band)
+  double id_a = 0.0;         ///< DC drain current
+};
+
+class LnaDesign {
+ public:
+  /// The config is resolved (w50 synthesized) on construction.
+  LnaDesign(const device::Phemt& device, AmplifierConfig config,
+            DesignVector design);
+
+  /// Builds a fresh netlist (cheap; closures only).
+  circuit::Netlist build_netlist() const;
+
+  /// Two-port S-parameters at a frequency.
+  rf::SParams s_params(double frequency_hz) const;
+
+  /// Swept S-parameters.
+  rf::SweepData s_sweep(const std::vector<double>& frequencies_hz) const;
+
+  /// Spot noise figure [dB].
+  double noise_figure_db(double frequency_hz) const;
+
+  /// Band evaluation over the given in-band grid; stability is also
+  /// checked on an extended grid (0.5-3.5 GHz).
+  BandReport evaluate(const std::vector<double>& band_hz) const;
+
+  /// Default 7-point evaluation grid across 1.1-1.7 GHz.
+  static std::vector<double> default_band();
+
+  const DesignVector& design() const { return design_; }
+  const AmplifierConfig& config() const { return config_; }
+  const device::Phemt& device() const { return device_; }
+  const BiasNetwork& bias() const { return bias_; }
+
+ private:
+  device::Phemt device_;
+  AmplifierConfig config_;
+  DesignVector design_;
+  BiasNetwork bias_;
+};
+
+}  // namespace gnsslna::amplifier

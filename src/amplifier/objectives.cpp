@@ -1,0 +1,148 @@
+#include "amplifier/objectives.h"
+
+#include <cmath>
+
+namespace gnsslna::amplifier {
+
+namespace {
+
+/// Sentinel report for design points that cannot be built (bias
+/// unreachable etc.): terrible but finite, so optimizers move away
+/// smoothly instead of crashing.
+BandReport infeasible_report() {
+  BandReport r;
+  r.nf_avg_db = 50.0;
+  r.nf_max_db = 50.0;
+  r.gt_min_db = -50.0;
+  r.gt_avg_db = -50.0;
+  r.s11_worst_db = 0.0;
+  r.s22_worst_db = 0.0;
+  r.mu_min = 0.0;
+  r.id_a = 1.0;
+  return r;
+}
+
+/// Memoizes the BandReport of the most recent design point so the
+/// objective and every constraint share one evaluation.
+class ReportCache {
+ public:
+  ReportCache(device::Phemt device, AmplifierConfig config,
+              std::vector<double> band)
+      : device_(std::move(device)),
+        config_(std::move(config)),
+        band_(std::move(band)) {
+    config_.resolve();
+  }
+
+  const BandReport& at(const std::vector<double>& x) {
+    if (x != last_x_) {
+      last_x_ = x;
+      try {
+        const LnaDesign lna(device_, config_,
+                            DesignVector::from_vector(x));
+        last_report_ = lna.evaluate(band_);
+      } catch (const std::exception&) {
+        last_report_ = infeasible_report();
+      }
+    }
+    return last_report_;
+  }
+
+ private:
+  device::Phemt device_;
+  AmplifierConfig config_;
+  std::vector<double> band_;
+  std::vector<double> last_x_;
+  BandReport last_report_;
+};
+
+std::vector<double> band_or_default(std::vector<double> band_hz) {
+  return band_hz.empty() ? LnaDesign::default_band() : std::move(band_hz);
+}
+
+}  // namespace
+
+const std::vector<std::string>& objective_names() {
+  static const std::vector<std::string> kNames = {
+      "NF_avg [dB]", "-GT_min [dB]", "S11_worst [dB]", "S22_worst [dB]"};
+  return kNames;
+}
+
+std::vector<double> evaluate_objectives(const device::Phemt& device,
+                                        const AmplifierConfig& config,
+                                        const DesignVector& d,
+                                        const std::vector<double>& band_hz) {
+  AmplifierConfig cfg = config;
+  cfg.resolve();
+  BandReport rep;
+  try {
+    rep = LnaDesign(device, cfg, d).evaluate(band_or_default(band_hz));
+  } catch (const std::exception&) {
+    rep = infeasible_report();
+  }
+  return {rep.nf_avg_db, -rep.gt_min_db, rep.s11_worst_db, rep.s22_worst_db};
+}
+
+optimize::GoalProblem make_goal_problem(const device::Phemt& device,
+                                        AmplifierConfig config,
+                                        DesignGoals goals,
+                                        std::vector<double> band_hz) {
+  auto cache = std::make_shared<ReportCache>(device, std::move(config),
+                                             band_or_default(std::move(band_hz)));
+
+  optimize::GoalProblem problem;
+  problem.objectives = [cache](const std::vector<double>& x) {
+    const BandReport& r = cache->at(x);
+    return std::vector<double>{r.nf_avg_db, -r.gt_min_db, r.s11_worst_db,
+                               r.s22_worst_db};
+  };
+  problem.goals = {goals.nf_goal_db, -goals.gain_goal_db, goals.s11_goal_db,
+                   goals.s22_goal_db};
+  problem.weights = {goals.nf_weight, goals.gain_weight, goals.s11_weight,
+                     goals.s22_weight};
+  problem.bounds = DesignVector::bounds();
+  problem.constraints = {
+      [cache, goals](const std::vector<double>& x) {
+        return goals.mu_margin - cache->at(x).mu_min;
+      },
+      [cache, goals](const std::vector<double>& x) {
+        // Scaled to O(1) per 10 mA of overrun.
+        return (cache->at(x).id_a - goals.id_max_a) * 100.0;
+      },
+  };
+  return problem;
+}
+
+optimize::GoalProblem make_nf_gain_problem(const device::Phemt& device,
+                                           AmplifierConfig config,
+                                           DesignGoals goals,
+                                           std::vector<double> band_hz) {
+  auto cache = std::make_shared<ReportCache>(device, std::move(config),
+                                             band_or_default(std::move(band_hz)));
+
+  optimize::GoalProblem problem;
+  problem.objectives = [cache](const std::vector<double>& x) {
+    const BandReport& r = cache->at(x);
+    return std::vector<double>{r.nf_avg_db, -r.gt_min_db};
+  };
+  problem.goals = {goals.nf_goal_db, -goals.gain_goal_db};
+  problem.weights = {goals.nf_weight, goals.gain_weight};
+  problem.bounds = DesignVector::bounds();
+  problem.constraints = {
+      [cache, goals](const std::vector<double>& x) {
+        return goals.mu_margin - cache->at(x).mu_min;
+      },
+      [cache, goals](const std::vector<double>& x) {
+        return cache->at(x).s11_worst_db - goals.s11_goal_db;
+      },
+      [cache, goals](const std::vector<double>& x) {
+        return cache->at(x).s22_worst_db - goals.s22_goal_db;
+      },
+      [cache, goals](const std::vector<double>& x) {
+        return (cache->at(x).id_a - goals.id_max_a) * 100.0;
+      },
+  };
+  return problem;
+}
+
+}  // namespace gnsslna::amplifier

@@ -1,0 +1,62 @@
+// The LNA design problem as a goal-attainment problem.
+//
+// Objectives (all minimized, all in dB):
+//   f1 = band-average noise figure
+//   f2 = -min transducer gain      (so "gain >= G" becomes f2 <= -G)
+//   f3 = worst in-band |S11|
+//   f4 = worst in-band |S22|
+// Hard constraints:
+//   mu_min >= mu_margin  (unconditional stability, extended grid)
+//   Id <= id_max         (supply budget of an antenna-mounted preamp)
+//
+// Objective and constraint closures share one memoized BandReport per
+// design point, so the expensive netlist analyses run once per point.
+#pragma once
+
+#include <memory>
+
+#include "amplifier/lna.h"
+#include "optimize/goal_attainment.h"
+
+namespace gnsslna::amplifier {
+
+struct DesignGoals {
+  double nf_goal_db = 0.8;
+  double gain_goal_db = 14.0;   ///< minimum in-band GT
+  double s11_goal_db = -10.0;
+  double s22_goal_db = -10.0;
+  // Relative over-attainment weights (bigger = softer goal).
+  double nf_weight = 1.0;
+  double gain_weight = 1.0;
+  double s11_weight = 2.0;
+  double s22_weight = 2.0;
+
+  double mu_margin = 1.02;      ///< required stability margin
+  double id_max_a = 0.040;      ///< current budget [A]
+};
+
+/// Objective-vector sizes and order for reports.
+inline constexpr std::size_t kObjectiveCount = 4;
+const std::vector<std::string>& objective_names();
+
+/// Evaluates the four objectives of a design point (throws nothing; an
+/// unbuildable point returns large sentinel values).
+std::vector<double> evaluate_objectives(const device::Phemt& device,
+                                        const AmplifierConfig& config,
+                                        const DesignVector& d,
+                                        const std::vector<double>& band_hz);
+
+/// Builds the full goal-attainment problem over DesignVector::bounds().
+optimize::GoalProblem make_goal_problem(const device::Phemt& device,
+                                        AmplifierConfig config,
+                                        DesignGoals goals,
+                                        std::vector<double> band_hz = {});
+
+/// Reduced bi-objective (NF, -GT) problem for the Pareto sweep (Fig. 2);
+/// match goals become hard constraints.
+optimize::GoalProblem make_nf_gain_problem(const device::Phemt& device,
+                                           AmplifierConfig config,
+                                           DesignGoals goals,
+                                           std::vector<double> band_hz = {});
+
+}  // namespace gnsslna::amplifier

@@ -1,0 +1,87 @@
+#include "amplifier/yield.h"
+
+#include <algorithm>
+
+#include "numeric/stats.h"
+
+namespace gnsslna::amplifier {
+
+YieldReport monte_carlo_yield(const device::Phemt& device,
+                              const AmplifierConfig& config,
+                              const DesignVector& design,
+                              const DesignGoals& goals, std::size_t n,
+                              numeric::Rng& rng, ToleranceModel tolerances) {
+  if (n == 0) {
+    throw std::invalid_argument("monte_carlo_yield: n must be >= 1");
+  }
+  AmplifierConfig base = config;
+  base.resolve();
+  const std::vector<double> band = LnaDesign::default_band();
+
+  std::vector<double> nf_samples, gt_samples;
+  nf_samples.reserve(n);
+  gt_samples.reserve(n);
+  std::size_t passes = 0;
+
+  // Uniform within +-tol models a binned-and-sorted component population;
+  // Gaussian models the etch/bias errors.
+  const auto uniform_tol = [&](double nominal, double rel) {
+    return nominal * (1.0 + rel * (2.0 * rng.uniform() - 1.0));
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    DesignVector d = design;
+    d.l_shunt_h = uniform_tol(d.l_shunt_h, tolerances.lc_relative);
+    d.c_mid_f = uniform_tol(d.c_mid_f, tolerances.lc_relative);
+    d.c_out_sh_f = uniform_tol(d.c_out_sh_f, tolerances.lc_relative);
+    d.l_sdeg_h = uniform_tol(d.l_sdeg_h, tolerances.lc_relative);
+    d.c_in_f = uniform_tol(d.c_in_f, tolerances.lc_relative);
+    d.r_fb_ohm = uniform_tol(d.r_fb_ohm, 0.01);  // 1% thick film
+    d.l_in_m += rng.normal(0.0, tolerances.length_sigma_m);
+    d.l_in2_m += rng.normal(0.0, tolerances.length_sigma_m);
+    d.l_out_m += rng.normal(0.0, tolerances.length_sigma_m);
+    d.l_out2_m += rng.normal(0.0, tolerances.length_sigma_m);
+    d.vgs += rng.normal(0.0, tolerances.vbias_sigma);
+    d.vds += rng.normal(0.0, tolerances.vbias_sigma);
+
+    AmplifierConfig cfg = base;
+    cfg.substrate.epsilon_r =
+        uniform_tol(cfg.substrate.epsilon_r, tolerances.er_relative);
+    cfg.substrate.height_m =
+        uniform_tol(cfg.substrate.height_m, tolerances.height_relative);
+    cfg.w50_m = base.w50_m;  // the board is etched once: width is fixed
+
+    BandReport rep;
+    try {
+      rep = LnaDesign(device, cfg,
+                      DesignVector::from_vector(
+                          DesignVector::bounds().clamp(d.to_vector())))
+                .evaluate(band);
+    } catch (const std::exception&) {
+      nf_samples.push_back(50.0);
+      gt_samples.push_back(-50.0);
+      continue;
+    }
+    nf_samples.push_back(rep.nf_avg_db);
+    gt_samples.push_back(rep.gt_min_db);
+
+    const bool pass = rep.nf_avg_db <= goals.nf_goal_db &&
+                      rep.gt_min_db >= goals.gain_goal_db &&
+                      rep.s11_worst_db <= goals.s11_goal_db &&
+                      rep.s22_worst_db <= goals.s22_goal_db &&
+                      rep.mu_min >= goals.mu_margin;
+    if (pass) ++passes;
+  }
+
+  YieldReport rep;
+  rep.samples = n;
+  rep.passes = passes;
+  rep.pass_rate = static_cast<double>(passes) / static_cast<double>(n);
+  rep.nf_avg_p95_db = numeric::percentile(nf_samples, 95.0);
+  rep.gt_min_p5_db = numeric::percentile(gt_samples, 5.0);
+  rep.nf_avg_mean_db = numeric::mean(nf_samples);
+  rep.gt_min_mean_db = numeric::mean(gt_samples);
+  return rep;
+}
+
+}  // namespace gnsslna::amplifier

@@ -1,0 +1,40 @@
+// Monte-Carlo tolerance (yield) analysis of a finished design.
+//
+// Components drawn from their tolerance distributions (E24 parts: +-5%
+// L/C; board: +-2% eps_r, +-5% height), the design re-evaluated per
+// sample, and the pass rate against the design goals reported — the
+// "will it survive production" question a paper prototype never answers.
+#pragma once
+
+#include "amplifier/design_flow.h"
+
+namespace gnsslna::amplifier {
+
+struct ToleranceModel {
+  double lc_relative = 0.05;        ///< chip L/C value tolerance
+  double er_relative = 0.02;        ///< substrate permittivity tolerance
+  double height_relative = 0.05;    ///< substrate thickness tolerance
+  double length_sigma_m = 0.05e-3;  ///< etch length error (1 sigma)
+  double vbias_sigma = 0.02;        ///< bias voltage error (1 sigma) [V]
+};
+
+struct YieldReport {
+  std::size_t samples = 0;
+  std::size_t passes = 0;
+  double pass_rate = 0.0;
+  double nf_avg_p95_db = 0.0;   ///< 95th percentile of band-average NF
+  double gt_min_p5_db = 0.0;    ///< 5th percentile of min gain
+  double nf_avg_mean_db = 0.0;
+  double gt_min_mean_db = 0.0;
+};
+
+/// Runs n Monte-Carlo samples; "pass" means all four goals and the
+/// stability margin hold.
+YieldReport monte_carlo_yield(const device::Phemt& device,
+                              const AmplifierConfig& config,
+                              const DesignVector& design,
+                              const DesignGoals& goals, std::size_t n,
+                              numeric::Rng& rng,
+                              ToleranceModel tolerances = {});
+
+}  // namespace gnsslna::amplifier

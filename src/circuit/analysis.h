@@ -1,0 +1,78 @@
+// AC analyses on a Netlist: S-parameters and noise figure.
+//
+// S-parameters use the Norton-equivalent port excitation: with every port
+// terminated in its z0, driving port k with a shunt current 2/sqrt(z0_k)
+// injects exactly a_k = 1; then S_ik = V_i / sqrt(z0_i) - delta_ik.
+//
+// Noise analysis is the direct transfer-function method over the netlist's
+// registered noise-current groups (Hillbrand-Russer correlation-matrix
+// formulation specialized to current sources): one LU factorization per
+// frequency, one solve per injection, then
+//   S_out = sum_groups  H^dagger CSD H
+// and F = S_out,total / S_out,source-termination-only.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "rf/sweep.h"
+
+namespace gnsslna::circuit {
+
+/// Full N-port S-parameter matrix at one frequency (row i, col j =
+/// S_ij, response at port i to excitation at port j).
+numeric::ComplexMatrix s_matrix(const Netlist& netlist, double frequency_hz);
+
+/// Two-port convenience (requires exactly 2 ports, equal z0).
+rf::SParams s_params(const Netlist& netlist, double frequency_hz);
+
+/// Swept two-port S-parameters.
+rf::SweepData s_sweep(const Netlist& netlist,
+                      const std::vector<double>& frequencies_hz);
+
+/// Result of a spot noise analysis.
+struct NoiseResult {
+  double noise_factor = 1.0;       ///< linear F
+  double noise_figure_db = 0.0;    ///< 10 log10 F
+  double output_noise_psd = 0.0;   ///< total at output port [V^2/Hz]
+  double source_noise_psd = 0.0;   ///< contribution of the source termination
+};
+
+/// Noise factor from input port to output port at one frequency.  The
+/// source termination's own thermal noise (at t_source_k) defines the
+/// reference; all netlist noise groups plus the output termination are
+/// summed into the total.
+NoiseResult noise_analysis(const Netlist& netlist, std::size_t input_port,
+                           std::size_t output_port, double frequency_hz,
+                           double t_source_k = rf::kT0);
+
+/// Source-pull noise analysis: like noise_analysis(), but the input port's
+/// z0 termination is REPLACED by the complex source impedance z_source
+/// (Re z_source > 0 required — the source must be able to deliver noise
+/// power).  This is what a lab source-pull tuner does; sweeping z_source
+/// and fitting the four noise parameters of the assembled amplifier is the
+/// standard extraction (see rf::fit_noise_parameters).
+NoiseResult noise_analysis_source_pull(const Netlist& netlist,
+                                       std::size_t input_port,
+                                       std::size_t output_port,
+                                       Complex z_source, double frequency_hz,
+                                       double t_source_k = rf::kT0);
+
+/// Swept noise figure [dB].
+std::vector<double> noise_figure_sweep(
+    const Netlist& netlist, std::size_t input_port, std::size_t output_port,
+    const std::vector<double>& frequencies_hz);
+
+/// Voltage transfer from a Thevenin source (V_s behind z0 at `input_port`,
+/// all other ports terminated) to the differential node voltage
+/// v(plus) - v(minus):  H(f) = (v_plus - v_minus) / V_s.
+Complex voltage_transfer(const Netlist& netlist, std::size_t input_port,
+                         NodeId plus, NodeId minus, double frequency_hz);
+
+/// Transimpedance from a current injected between (from, to) — with every
+/// port terminated — to the voltage at `output_port`'s node:
+/// Z_t(f) = v(out) / I_inj.
+Complex transimpedance(const Netlist& netlist, NodeId from, NodeId to,
+                       std::size_t output_port, double frequency_hz);
+
+}  // namespace gnsslna::circuit

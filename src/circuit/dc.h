@@ -1,0 +1,81 @@
+// Nonlinear DC operating-point solver.
+//
+// A small MNA formulation (node voltages + one branch current per ideal
+// voltage source) with FETs stamped through their Newton companion model
+// (current source + gm/gds linearization).  Plain Newton with step damping,
+// falling back to source stepping when cold-start Newton diverges — the
+// textbook recipe, and entirely adequate for bias networks of a few nodes.
+//
+// The amplifier design flow uses this to turn a candidate (Vdd, divider,
+// drain resistor) bias network into the actual (Vgs, Vds, Id) operating
+// point the optimizer is selecting.
+#pragma once
+
+#include <vector>
+
+#include "device/fet_model.h"
+
+namespace gnsslna::circuit {
+
+using DcNodeId = std::size_t;
+inline constexpr DcNodeId kDcGround = 0;
+
+struct DcSolution {
+  std::vector<double> node_voltages;   ///< index = node id (ground = 0 V)
+  std::vector<double> source_currents; ///< per voltage source [A]
+  int newton_iterations = 0;
+  bool used_source_stepping = false;
+
+  double voltage(DcNodeId n) const { return node_voltages.at(n); }
+};
+
+class DcCircuit {
+ public:
+  DcCircuit() = default;
+
+  DcNodeId add_node();
+  std::size_t node_count() const { return node_count_; }
+
+  void add_resistor(DcNodeId a, DcNodeId b, double ohms);
+
+  /// Ideal voltage source forcing v(p) - v(n) = volts.  Returns its index.
+  std::size_t add_vsource(DcNodeId p, DcNodeId n, double volts);
+
+  /// Three-terminal FET; the gate is assumed current-free (pHEMT gate
+  /// leakage is negligible at LNA bias).  The model reference must outlive
+  /// the circuit.
+  void add_fet(DcNodeId gate, DcNodeId drain, DcNodeId source,
+               const device::FetModel& model);
+
+  /// Solves for the DC operating point.  Throws std::runtime_error when
+  /// neither damped Newton nor source stepping converges.
+  DcSolution solve(double tolerance_a = 1e-12, int max_iterations = 200) const;
+
+  /// Drain current of FET `index` at a previously obtained solution.
+  double fet_drain_current(std::size_t index, const DcSolution& sol) const;
+
+ private:
+  struct ResistorElem {
+    DcNodeId a, b;
+    double conductance;
+  };
+  struct SourceElem {
+    DcNodeId p, n;
+    double volts;
+  };
+  struct FetElem {
+    DcNodeId gate, drain, source;
+    const device::FetModel* model;
+  };
+
+  void check_node(DcNodeId n, const char* who) const;
+  bool newton(double vscale, std::vector<double>& x, int max_iterations,
+              double tolerance_a, int& iterations_out) const;
+
+  std::size_t node_count_ = 1;  // ground
+  std::vector<ResistorElem> resistors_;
+  std::vector<SourceElem> sources_;
+  std::vector<FetElem> fets_;
+};
+
+}  // namespace gnsslna::circuit

@@ -1,0 +1,143 @@
+// Frequency-domain netlist for AC nodal analysis.
+//
+// All RF elements in this library are admittance-representable (lumped
+// passives, dispersive components, transmission lines via their Y-block,
+// FETs via their linearized Y-block), so plain nodal analysis — a complex
+// admittance matrix per frequency — is sufficient and robust: no MNA branch
+// rows, no DC pathologies (DC bias is solved separately in dc.h).
+//
+// Each element may register thermal noise (resistive elements) or a
+// correlated noise-current group (active devices); the noise analysis in
+// noise_analysis.h consumes those registrations.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "rf/twoport.h"
+
+namespace gnsslna::circuit {
+
+using Complex = std::complex<double>;
+
+/// Node handle; node 0 is ground.
+using NodeId = std::size_t;
+inline constexpr NodeId kGround = 0;
+
+/// Admittance as a function of frequency [Hz] -> [S].
+using AdmittanceFn = std::function<Complex(double)>;
+
+/// 2x2 Y-block as a function of frequency (for two-port elements).
+using YBlockFn = std::function<rf::YParams(double)>;
+
+/// A correlated group of noise current sources.  Each injection drives a
+/// current between two nodes; `csd(f)` returns the k x k cross-spectral
+/// density matrix [A^2/Hz] of the k injection currents at frequency f.
+struct NoiseGroup {
+  std::vector<std::pair<NodeId, NodeId>> injections;  ///< (from, to) node pairs
+  std::function<numeric::ComplexMatrix(double)> csd;
+  std::string label;
+};
+
+/// External port definition.
+struct Port {
+  NodeId node = kGround;
+  double z0 = rf::kZ0;
+  std::string label;
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  /// Creates a new circuit node.
+  NodeId add_node(std::string label = {});
+
+  std::size_t node_count() const { return node_labels_.size(); }
+  const std::string& node_label(NodeId n) const;
+
+  /// Finds a node by label.  Throws std::invalid_argument if absent.
+  NodeId find_node(const std::string& label) const;
+
+  /// Adds a noiseless two-terminal admittance between nodes a and b.
+  void add_admittance(NodeId a, NodeId b, AdmittanceFn y,
+                      std::string label = {});
+
+  /// Adds an ideal resistor; registers its thermal noise at temperature_k.
+  void add_resistor(NodeId a, NodeId b, double ohms,
+                    double temperature_k = rf::kT0, std::string label = {});
+
+  /// Adds a dispersive one-port (passives::Component adapter): admittance
+  /// 1/z(f); its ESR's thermal noise is registered at temperature_k.
+  void add_lossy_impedance(NodeId a, NodeId b,
+                           std::function<Complex(double)> impedance,
+                           double temperature_k = rf::kT0,
+                           std::string label = {});
+
+  /// Adds an ideal capacitor (noiseless).
+  void add_capacitor(NodeId a, NodeId b, double farads,
+                     std::string label = {});
+
+  /// Adds an ideal inductor (noiseless).
+  void add_inductor(NodeId a, NodeId b, double henries,
+                    std::string label = {});
+
+  /// Voltage-controlled current source: current gm * (v(cp) - v(cn))
+  /// flows from np to nn (into np out of nn inside the source).
+  void add_vccs(NodeId np, NodeId nn, NodeId cp, NodeId cn,
+                std::function<Complex(double)> gm, std::string label = {});
+
+  /// Stamps a grounded two-port (port1 node, port2 node, common ground).
+  void add_twoport(NodeId p1, NodeId p2, YBlockFn y, std::string label = {});
+
+  /// Stamps a three-terminal element whose grounded-common-terminal
+  /// behaviour is the given 2x2 Y-block (e.g. a common-source FET placed
+  /// with an arbitrary source node): the 2x2 block is expanded to the
+  /// indefinite 3x3 admittance matrix.
+  void add_three_terminal(NodeId t1, NodeId t2, NodeId common, YBlockFn y,
+                          std::string label = {});
+
+  /// Registers a correlated noise-current group.
+  void add_noise_group(NoiseGroup group);
+
+  /// Declares an external port at a node.  Returns the port index.
+  std::size_t add_port(NodeId node, double z0 = rf::kZ0,
+                       std::string label = {});
+
+  const std::vector<Port>& ports() const { return ports_; }
+  const std::vector<NoiseGroup>& noise_groups() const { return noise_groups_; }
+
+  /// Assembles the (node_count-1)^2 complex admittance matrix at frequency
+  /// f, ground eliminated, WITHOUT port terminations.
+  numeric::ComplexMatrix assemble(double frequency_hz) const;
+
+  /// Like assemble(), plus 1/z0 termination stamped at every port node.
+  numeric::ComplexMatrix assemble_terminated(double frequency_hz) const;
+
+ private:
+  struct Stamp {
+    // Generic 4-node stamp: adds value(f) at (rows x cols) combinations
+    // with the standard +/- sign pattern.  Two-terminal elements use
+    // (a, b, a, b); a VCCS uses (np, nn, cp, cn).
+    NodeId out_p, out_n, in_p, in_n;
+    AdmittanceFn value;
+    std::string label;
+  };
+  struct TwoPortStamp {
+    NodeId t1, t2, common;
+    YBlockFn y;
+    std::string label;
+  };
+
+  void check_node(NodeId n, const char* who) const;
+
+  std::vector<std::string> node_labels_;
+  std::vector<Stamp> stamps_;
+  std::vector<TwoPortStamp> twoports_;
+  std::vector<NoiseGroup> noise_groups_;
+  std::vector<Port> ports_;
+};
+
+}  // namespace gnsslna::circuit

@@ -1,0 +1,81 @@
+#include "circuit/noisy_twoport.h"
+
+#include <stdexcept>
+
+#include "rf/units.h"
+
+namespace gnsslna::circuit {
+
+numeric::ComplexMatrix noise_correlation_y(const rf::YParams& y,
+                                           const rf::NoiseParams& np) {
+  if (np.f_min < 1.0 || np.r_n <= 0.0) {
+    throw std::invalid_argument("noise_correlation_y: invalid noise params");
+  }
+  const Complex y_opt =
+      1.0 / rf::z_from_gamma(np.gamma_opt, np.z0);
+  const double scale = 4.0 * rf::kBoltzmann * rf::kT0;
+  const double rn = np.r_n;
+  const Complex off{(np.f_min - 1.0) / 2.0, 0.0};
+
+  numeric::ComplexMatrix ca(2, 2);
+  ca(0, 0) = scale * rn;
+  ca(0, 1) = scale * (off - rn * std::conj(y_opt));
+  ca(1, 0) = scale * (off - rn * y_opt);
+  ca(1, 1) = scale * rn * std::norm(y_opt);
+
+  // CY = T CA T^H with T = [[-y11, 1], [-y21, 0]].
+  numeric::ComplexMatrix t(2, 2);
+  t(0, 0) = -y.y11;
+  t(0, 1) = Complex{1.0, 0.0};
+  t(1, 0) = -y.y21;
+  t(1, 1) = Complex{0.0, 0.0};
+  return t * ca * t.adjoint();
+}
+
+void add_noisy_three_terminal(Netlist& netlist, NodeId t1, NodeId t2,
+                              NodeId common, YBlockFn y, NoiseParamsFn np,
+                              std::string label) {
+  if (!y || !np) {
+    throw std::invalid_argument(
+        "add_noisy_three_terminal: null parameter function");
+  }
+  netlist.add_three_terminal(t1, t2, common, y, label);
+
+  NoiseGroup ng;
+  ng.injections = {{t1, common}, {t2, common}};
+  ng.csd = [y, np](double f) { return noise_correlation_y(y(f), np(f)); };
+  ng.label = label.empty() ? "device-noise" : label + "-noise";
+  netlist.add_noise_group(std::move(ng));
+}
+
+void add_passive_twoport(Netlist& netlist, NodeId t1, NodeId t2,
+                         NodeId common, YBlockFn y, double temperature_k,
+                         std::string label) {
+  if (!y) {
+    throw std::invalid_argument("add_passive_twoport: null Y function");
+  }
+  netlist.add_three_terminal(t1, t2, common, y, label);
+  if (temperature_k <= 0.0) return;
+
+  NoiseGroup ng;
+  ng.injections = {{t1, common}, {t2, common}};
+  ng.csd = [y, temperature_k](double f) {
+    const rf::YParams yp = y(f);
+    numeric::ComplexMatrix m(2, 2);
+    m(0, 0) = yp.y11;
+    m(0, 1) = yp.y12;
+    m(1, 0) = yp.y21;
+    m(1, 1) = yp.y22;
+    // Twiss: CY = 2kT (Y + Y^H); clamp tiny negative diagonal round-off.
+    numeric::ComplexMatrix cy = m + m.adjoint();
+    cy *= Complex{2.0 * rf::kBoltzmann * temperature_k, 0.0};
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (cy(i, i).real() < 0.0) cy(i, i) = Complex{0.0, cy(i, i).imag()};
+    }
+    return cy;
+  };
+  ng.label = label.empty() ? "passive-noise" : label + "-noise";
+  netlist.add_noise_group(std::move(ng));
+}
+
+}  // namespace gnsslna::circuit

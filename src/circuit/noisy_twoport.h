@@ -1,0 +1,48 @@
+// Stamping a noisy active two-port (e.g. a linearized FET) into a Netlist.
+//
+// The four IEEE noise parameters are converted to the admittance-
+// representation noise correlation matrix via the chain representation
+// (Hillbrand-Russer 1976):
+//
+//   CA = 4 k T0 [ Rn                      (Fmin-1)/2 - Rn conj(Yopt) ]
+//               [ (Fmin-1)/2 - Rn Yopt    Rn |Yopt|^2               ]
+//
+//   CY = T CA T^H,   T = [ -y11  1 ]
+//                        [ -y21  0 ]
+//
+// (one-sided PSDs throughout, matching the 4kTG resistor convention used
+// by Netlist::add_resistor).  The resulting correlated current pair is
+// injected from the two live terminals to the common terminal.
+#pragma once
+
+#include <functional>
+
+#include "circuit/netlist.h"
+#include "rf/noise.h"
+
+namespace gnsslna::circuit {
+
+using NoiseParamsFn = std::function<rf::NoiseParams(double)>;
+
+/// Admittance-representation noise correlation matrix (2x2, one-sided,
+/// [A^2/Hz]) of a two-port with the given Y-parameters and noise
+/// parameters.
+numeric::ComplexMatrix noise_correlation_y(const rf::YParams& y,
+                                           const rf::NoiseParams& np);
+
+/// Stamps a three-terminal noisy two-port: the Y-block (common-terminal
+/// grounded convention) plus its correlated noise current pair.
+void add_noisy_three_terminal(Netlist& netlist, NodeId t1, NodeId t2,
+                              NodeId common, YBlockFn y, NoiseParamsFn np,
+                              std::string label = {});
+
+/// Stamps a PASSIVE two-port at uniform physical temperature: the Y-block
+/// plus its thermal noise per Twiss' theorem, CY = 2 k T (Y + Y^H)
+/// (one-sided; reduces to 4kTG for a plain resistor).  Used for lossy
+/// transmission lines and matching sections.
+void add_passive_twoport(Netlist& netlist, NodeId t1, NodeId t2,
+                         NodeId common, YBlockFn y,
+                         double temperature_k = rf::kT0,
+                         std::string label = {});
+
+}  // namespace gnsslna::circuit

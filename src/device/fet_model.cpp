@@ -1,0 +1,58 @@
+#include "device/fet_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnsslna::device {
+
+Conductances finite_difference_conductances(const FetModel& model, double vgs,
+                                            double vds, double step) {
+  if (step <= 0.0) {
+    throw std::invalid_argument("finite_difference_conductances: step <= 0");
+  }
+  const auto id = [&](double g, double d) {
+    return model.drain_current(g, d);
+  };
+  const double h = step;
+
+  Conductances c;
+  c.ids = id(vgs, vds);
+
+  // 5-point central stencils in vgs for first..third derivatives.
+  const double gm2h = id(vgs - 2 * h, vds);
+  const double gm1h = id(vgs - h, vds);
+  const double gp1h = id(vgs + h, vds);
+  const double gp2h = id(vgs + 2 * h, vds);
+  c.gm = (gm2h - 8.0 * gm1h + 8.0 * gp1h - gp2h) / (12.0 * h);
+  c.gm2 = (-gm2h + 16.0 * gm1h - 30.0 * c.ids + 16.0 * gp1h - gp2h) /
+          (12.0 * h * h);
+  c.gm3 = (gp2h - 2.0 * gp1h + 2.0 * gm1h - gm2h) / (2.0 * h * h * h);
+
+  // vds first derivative (guard the vds >= 0 boundary with a forward
+  // stencil when needed).
+  if (vds >= 2 * h) {
+    c.gds = (id(vgs, vds - 2 * h) - 8.0 * id(vgs, vds - h) +
+             8.0 * id(vgs, vds + h) - id(vgs, vds + 2 * h)) /
+            (12.0 * h);
+  } else {
+    c.gds = (id(vgs, vds + h) - c.ids) / h;
+  }
+
+  // Cross derivative d2/dVgs dVds.
+  if (vds >= h) {
+    c.gmd = (id(vgs + h, vds + h) - id(vgs + h, vds - h) -
+             id(vgs - h, vds + h) + id(vgs - h, vds - h)) /
+            (4.0 * h * h);
+  } else {
+    c.gmd = ((id(vgs + h, vds + h) - id(vgs + h, vds)) -
+             (id(vgs - h, vds + h) - id(vgs - h, vds))) /
+            (2.0 * h * h);
+  }
+  return c;
+}
+
+Conductances FetModel::conductances(double vgs, double vds) const {
+  return finite_difference_conductances(*this, vgs, vds);
+}
+
+}  // namespace gnsslna::device

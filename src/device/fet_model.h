@@ -1,0 +1,71 @@
+// Large-signal FET drain-current model interface.
+//
+// The paper extracts parameters for several pHEMT models and compares them;
+// this interface is what the extraction machinery and the amplifier design
+// flow program against.  A model is a smooth map (vgs, vds) -> Ids with a
+// named, bounded parameter vector, plus analytic-or-numeric derivatives up
+// to third order (the third-order terms feed the intermodulation analysis).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gnsslna::device {
+
+/// Description of one extractable model parameter.
+struct ParamSpec {
+  std::string name;
+  double lower = 0.0;     ///< extraction lower bound
+  double upper = 0.0;     ///< extraction upper bound
+  double typical = 0.0;   ///< datasheet-style starting value
+};
+
+/// Small-signal conductances and their higher-order derivatives at a bias
+/// point; the inputs to both the linear S-parameter model and the
+/// power-series IM3 analysis.
+struct Conductances {
+  double ids = 0.0;   ///< drain current [A]
+  double gm = 0.0;    ///< dIds/dVgs [S]
+  double gds = 0.0;   ///< dIds/dVds [S]
+  double gm2 = 0.0;   ///< d2Ids/dVgs2 [S/V]
+  double gm3 = 0.0;   ///< d3Ids/dVgs3 [S/V^2]
+  double gmd = 0.0;   ///< d2Ids/dVgs dVds (cross term) [S/V]
+};
+
+/// Interface implemented by each drain-current model.
+class FetModel {
+ public:
+  virtual ~FetModel() = default;
+
+  /// Drain current [A] at the bias point; must be >= 0 and smooth in the
+  /// normal operating region vds >= 0.
+  virtual double drain_current(double vgs, double vds) const = 0;
+
+  /// Model name for reports ("Curtice quadratic", ...).
+  virtual std::string name() const = 0;
+
+  /// Parameter metadata, fixed order matching parameters().
+  virtual std::vector<ParamSpec> param_specs() const = 0;
+
+  /// Current parameter values (same order as param_specs()).
+  virtual std::vector<double> parameters() const = 0;
+
+  /// Replaces the parameter vector.  Throws std::invalid_argument on a size
+  /// mismatch.
+  virtual void set_parameters(const std::vector<double>& p) = 0;
+
+  /// Deep copy (extraction runs mutate per-candidate copies).
+  virtual std::unique_ptr<FetModel> clone() const = 0;
+
+  /// Conductances and higher-order derivatives via central finite
+  /// differences (models may override with analytic forms).
+  virtual Conductances conductances(double vgs, double vds) const;
+};
+
+/// Numeric derivative helper shared by the default conductances()
+/// implementation and tests.  5-point central stencils on drain_current.
+Conductances finite_difference_conductances(const FetModel& model, double vgs,
+                                            double vds, double step = 1e-3);
+
+}  // namespace gnsslna::device

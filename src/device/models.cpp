@@ -1,0 +1,281 @@
+#include "device/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gnsslna::device {
+
+namespace {
+void check_size(const std::vector<double>& p, std::size_t n, const char* who) {
+  if (p.size() != n) {
+    throw std::invalid_argument(std::string(who) +
+                                ": parameter vector size mismatch");
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Curtice quadratic
+
+double CurticeQuadratic::drain_current(double vgs, double vds) const {
+  const double v = vgs - p_.vto;
+  if (v <= 0.0 || vds < 0.0) return 0.0;
+  return p_.beta * v * v * (1.0 + p_.lambda * vds) * std::tanh(p_.alpha * vds);
+}
+
+Conductances CurticeQuadratic::conductances(double vgs, double vds) const {
+  const double v = vgs - p_.vto;
+  Conductances c;
+  if (v <= 0.0 || vds < 0.0) return c;
+  const double th = std::tanh(p_.alpha * vds);
+  const double sech2 = 1.0 - th * th;
+  const double lam = 1.0 + p_.lambda * vds;
+  c.ids = p_.beta * v * v * lam * th;
+  c.gm = 2.0 * p_.beta * v * lam * th;
+  c.gm2 = 2.0 * p_.beta * lam * th;
+  c.gm3 = 0.0;
+  c.gds = p_.beta * v * v * (p_.lambda * th + lam * p_.alpha * sech2);
+  c.gmd = 2.0 * p_.beta * v * (p_.lambda * th + lam * p_.alpha * sech2);
+  return c;
+}
+
+std::vector<ParamSpec> CurticeQuadratic::param_specs() const {
+  return {{"beta", 1e-3, 0.5, 0.08},
+          {"vto", -2.0, -0.05, -0.6},
+          {"lambda", 0.0, 0.5, 0.05},
+          {"alpha", 0.2, 10.0, 2.5}};
+}
+
+std::vector<double> CurticeQuadratic::parameters() const {
+  return {p_.beta, p_.vto, p_.lambda, p_.alpha};
+}
+
+void CurticeQuadratic::set_parameters(const std::vector<double>& p) {
+  check_size(p, 4, "CurticeQuadratic");
+  p_ = {p[0], p[1], p[2], p[3]};
+}
+
+// ---------------------------------------------------------------------------
+// Curtice cubic
+
+double CurticeCubic::drain_current(double vgs, double vds) const {
+  if (vds < 0.0) return 0.0;
+  double v1 = vgs * (1.0 + p_.beta * (p_.vds0 - vds));
+  // The cubic channel polynomial is only monotone between the roots of its
+  // derivative; outside that interval the raw polynomial turns back up
+  // (deep pinch-off) or rolls over (strong forward drive).  Clamp v1 to
+  // the monotone interval so the model stays physical over the whole
+  // extraction sweep — the standard guard in production implementations.
+  const double qa = 3.0 * p_.a3;
+  const double qb = 2.0 * p_.a2;
+  const double qc = p_.a1;
+  const double disc = qb * qb - 4.0 * qa * qc;
+  if (qa < -1e-12 && disc > 0.0) {  // downward parabola: monotone between roots
+    const double r1 = (-qb - std::sqrt(disc)) / (2.0 * qa);
+    const double r2 = (-qb + std::sqrt(disc)) / (2.0 * qa);
+    v1 = std::clamp(v1, std::min(r1, r2), std::max(r1, r2));
+  }
+  const double poly =
+      p_.a0 + v1 * (p_.a1 + v1 * (p_.a2 + v1 * p_.a3));
+  if (poly <= 0.0) return 0.0;  // clamp below pinch-off
+  return poly * std::tanh(p_.gamma * vds);
+}
+
+std::vector<ParamSpec> CurticeCubic::param_specs() const {
+  return {{"a0", -0.1, 0.3, 0.03},   {"a1", 0.0, 0.6, 0.12},
+          {"a2", -0.5, 0.5, 0.05},   {"a3", -0.5, 0.5, -0.03},
+          {"gamma", 0.2, 10.0, 2.0}, {"beta", -0.2, 0.2, 0.02},
+          {"vds0", 0.5, 6.0, 2.0}};
+}
+
+std::vector<double> CurticeCubic::parameters() const {
+  return {p_.a0, p_.a1, p_.a2, p_.a3, p_.gamma, p_.beta, p_.vds0};
+}
+
+void CurticeCubic::set_parameters(const std::vector<double>& p) {
+  check_size(p, 7, "CurticeCubic");
+  p_ = {p[0], p[1], p[2], p[3], p[4], p[5], p[6]};
+}
+
+// ---------------------------------------------------------------------------
+// Statz
+
+double Statz::drain_current(double vgs, double vds) const {
+  const double v = vgs - p_.vto;
+  if (v <= 0.0 || vds < 0.0) return 0.0;
+  const double denom = 1.0 + p_.b * v;
+  double kd;
+  if (p_.alpha * vds < 3.0) {
+    const double t = 1.0 - p_.alpha * vds / 3.0;
+    kd = 1.0 - t * t * t;
+  } else {
+    kd = 1.0;
+  }
+  return p_.beta * v * v / denom * kd * (1.0 + p_.lambda * vds);
+}
+
+std::vector<ParamSpec> Statz::param_specs() const {
+  return {{"beta", 1e-3, 0.5, 0.09},
+          {"vto", -2.0, -0.05, -0.6},
+          {"b", 0.0, 5.0, 0.6},
+          {"alpha", 0.2, 10.0, 2.0},
+          {"lambda", 0.0, 0.5, 0.05}};
+}
+
+std::vector<double> Statz::parameters() const {
+  return {p_.beta, p_.vto, p_.b, p_.alpha, p_.lambda};
+}
+
+void Statz::set_parameters(const std::vector<double>& p) {
+  check_size(p, 5, "Statz");
+  p_ = {p[0], p[1], p[2], p[3], p[4]};
+}
+
+// ---------------------------------------------------------------------------
+// TOM
+
+double Tom::drain_current(double vgs, double vds) const {
+  if (vds < 0.0) return 0.0;
+  const double vt = p_.vto - p_.gamma * vds;
+  const double v = vgs - vt;
+  if (v <= 0.0) return 0.0;
+  double kd;
+  if (p_.alpha * vds < 3.0) {
+    const double t = 1.0 - p_.alpha * vds / 3.0;
+    kd = 1.0 - t * t * t;
+  } else {
+    kd = 1.0;
+  }
+  const double ids0 = p_.beta * std::pow(v, p_.q) * kd;
+  return ids0 / (1.0 + p_.delta * vds * ids0);
+}
+
+std::vector<ParamSpec> Tom::param_specs() const {
+  return {{"beta", 1e-3, 0.5, 0.07},  {"vto", -2.0, -0.05, -0.7},
+          {"q", 1.2, 3.0, 2.0},       {"gamma", 0.0, 0.3, 0.05},
+          {"delta", 0.0, 2.0, 0.2},   {"alpha", 0.2, 10.0, 2.0}};
+}
+
+std::vector<double> Tom::parameters() const {
+  return {p_.beta, p_.vto, p_.q, p_.gamma, p_.delta, p_.alpha};
+}
+
+void Tom::set_parameters(const std::vector<double>& p) {
+  check_size(p, 6, "Tom");
+  p_ = {p[0], p[1], p[2], p[3], p[4], p[5]};
+}
+
+// ---------------------------------------------------------------------------
+// Angelov
+
+double Angelov::drain_current(double vgs, double vds) const {
+  if (vds < 0.0) return 0.0;
+  const double dv = vgs - p_.vpk;
+  const double psi = dv * (p_.p1 + dv * (p_.p2 + dv * p_.p3));
+  return p_.ipk * (1.0 + std::tanh(psi)) * (1.0 + p_.lambda * vds) *
+         std::tanh(p_.alpha * vds);
+}
+
+Conductances Angelov::conductances(double vgs, double vds) const {
+  Conductances c;
+  if (vds < 0.0) return c;
+  const double dv = vgs - p_.vpk;
+  const double psi = dv * (p_.p1 + dv * (p_.p2 + dv * p_.p3));
+  const double dpsi = p_.p1 + dv * (2.0 * p_.p2 + dv * 3.0 * p_.p3);
+  const double d2psi = 2.0 * p_.p2 + 6.0 * p_.p3 * dv;
+  const double d3psi = 6.0 * p_.p3;
+  const double th_psi = std::tanh(psi);
+  const double sech2_psi = 1.0 - th_psi * th_psi;
+
+  const double th_d = std::tanh(p_.alpha * vds);
+  const double sech2_d = 1.0 - th_d * th_d;
+  const double lam = 1.0 + p_.lambda * vds;
+  const double dfactor = lam * th_d;
+
+  c.ids = p_.ipk * (1.0 + th_psi) * dfactor;
+  // d/dVgs chain: d(tanh psi) = sech^2(psi) dpsi, etc.
+  const double t1 = sech2_psi * dpsi;
+  const double t2 = sech2_psi * d2psi - 2.0 * th_psi * sech2_psi * dpsi * dpsi;
+  const double t3 = sech2_psi * d3psi -
+                    6.0 * th_psi * sech2_psi * dpsi * d2psi +
+                    (6.0 * th_psi * th_psi - 2.0) * sech2_psi * dpsi * dpsi *
+                        dpsi;
+  c.gm = p_.ipk * t1 * dfactor;
+  c.gm2 = p_.ipk * t2 * dfactor;
+  c.gm3 = p_.ipk * t3 * dfactor;
+  const double ddfactor = p_.lambda * th_d + lam * p_.alpha * sech2_d;
+  c.gds = p_.ipk * (1.0 + th_psi) * ddfactor;
+  c.gmd = p_.ipk * t1 * ddfactor;
+  return c;
+}
+
+std::vector<ParamSpec> Angelov::param_specs() const {
+  return {{"ipk", 5e-3, 0.3, 0.06},  {"vpk", -1.5, 0.5, -0.15},
+          {"p1", 0.2, 8.0, 1.8},     {"p2", -3.0, 3.0, 0.1},
+          {"p3", -3.0, 3.0, 0.4},    {"lambda", 0.0, 0.5, 0.04},
+          {"alpha", 0.2, 10.0, 2.2}};
+}
+
+std::vector<double> Angelov::parameters() const {
+  return {p_.ipk, p_.vpk, p_.p1, p_.p2, p_.p3, p_.lambda, p_.alpha};
+}
+
+void Angelov::set_parameters(const std::vector<double>& p) {
+  check_size(p, 7, "Angelov");
+  p_ = {p[0], p[1], p[2], p[3], p[4], p[5], p[6]};
+}
+
+// ---------------------------------------------------------------------------
+// Materka
+
+double Materka::drain_current(double vgs, double vds) const {
+  if (vds < 0.0) return 0.0;
+  const double vp = p_.vp0 + p_.gamma * vds;
+  if (vp >= -1e-6) return 0.0;  // degenerate pinch-off: treat as off
+  if (vgs <= vp) return 0.0;
+  const double u = 1.0 - vgs / vp;  // > 0 in the conducting region
+  return p_.idss * u * u * std::tanh(p_.alpha * vds / (vgs - vp));
+}
+
+std::vector<ParamSpec> Materka::param_specs() const {
+  return {{"idss", 5e-3, 0.5, 0.10},
+          {"vp0", -2.5, -0.2, -0.9},
+          {"gamma", -0.4, 0.2, -0.1},
+          {"alpha", 0.3, 8.0, 2.0}};
+}
+
+std::vector<double> Materka::parameters() const {
+  return {p_.idss, p_.vp0, p_.gamma, p_.alpha};
+}
+
+void Materka::set_parameters(const std::vector<double>& p) {
+  check_size(p, 4, "Materka");
+  p_ = {p[0], p[1], p[2], p[3]};
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+
+std::vector<std::unique_ptr<FetModel>> all_models() {
+  std::vector<std::unique_ptr<FetModel>> v;
+  v.push_back(std::make_unique<CurticeQuadratic>());
+  v.push_back(std::make_unique<CurticeCubic>());
+  v.push_back(std::make_unique<Statz>());
+  v.push_back(std::make_unique<Tom>());
+  v.push_back(std::make_unique<Materka>());
+  v.push_back(std::make_unique<Angelov>());
+  return v;
+}
+
+std::unique_ptr<FetModel> make_model(const std::string& key) {
+  if (key == "curtice2") return std::make_unique<CurticeQuadratic>();
+  if (key == "curtice3") return std::make_unique<CurticeCubic>();
+  if (key == "statz") return std::make_unique<Statz>();
+  if (key == "tom") return std::make_unique<Tom>();
+  if (key == "materka") return std::make_unique<Materka>();
+  if (key == "angelov") return std::make_unique<Angelov>();
+  throw std::invalid_argument("make_model: unknown model key '" + key + "'");
+}
+
+}  // namespace gnsslna::device

@@ -1,0 +1,212 @@
+// The pHEMT drain-current models the paper compares.
+//
+// Five classic GaAs FET / pHEMT large-signal I-V models spanning two
+// decades of MESFET modelling practice.  All share the FetModel interface;
+// the extraction experiment (Table I) fits each of them to the same
+// synthetic measurement set and compares residuals.
+//
+//   Curtice quadratic (1980):  Ids = beta (Vgs-Vto)^2 (1+lambda Vds)
+//                                    tanh(alpha Vds)
+//   Curtice cubic (1985):      Ids = (A0+A1 V1+A2 V1^2+A3 V1^3)
+//                                    tanh(gamma Vds),
+//                              V1 = Vgs (1 + beta (Vds0 - Vds))
+//   Statz / Raytheon (1987):   Ids = beta (Vgs-Vto)^2 / (1 + b (Vgs-Vto))
+//                                    Kd(Vds) (1+lambda Vds),
+//                              Kd = 1-(1-alpha Vds/3)^3 below knee, else 1
+//   TOM-1 (1990):              Ids = Ids0 / (1 + delta Vds Ids0),
+//                              Ids0 = beta (Vgs-Vt)^Q Kd(Vds),
+//                              Vt = Vto - gamma Vds
+//   Angelov / Chalmers (1992): Ids = Ipk (1 + tanh(psi)) (1+lambda Vds)
+//                                    tanh(alpha Vds),
+//                              psi = P1 dV + P2 dV^2 + P3 dV^3,
+//                              dV = Vgs - Vpk
+//
+// The polynomial-channel models (Curtice cubic) clamp negative channel
+// current to zero below pinch-off to stay physical over the whole
+// extraction sweep.
+#pragma once
+
+#include "device/fet_model.h"
+
+namespace gnsslna::device {
+
+class CurticeQuadratic final : public FetModel {
+ public:
+  struct Params {
+    double beta = 0.08;   ///< transconductance coefficient [A/V^2]
+    double vto = -0.6;    ///< threshold voltage [V]
+    double lambda = 0.05; ///< channel-length modulation [1/V]
+    double alpha = 2.5;   ///< knee sharpness [1/V]
+  };
+  CurticeQuadratic() = default;
+  explicit CurticeQuadratic(Params p) : p_(p) {}
+
+  double drain_current(double vgs, double vds) const override;
+  std::string name() const override { return "Curtice quadratic"; }
+  std::vector<ParamSpec> param_specs() const override;
+  std::vector<double> parameters() const override;
+  void set_parameters(const std::vector<double>& p) override;
+  std::unique_ptr<FetModel> clone() const override {
+    return std::make_unique<CurticeQuadratic>(*this);
+  }
+  Conductances conductances(double vgs, double vds) const override;
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+class CurticeCubic final : public FetModel {
+ public:
+  struct Params {
+    double a0 = 0.03;   ///< [A]
+    double a1 = 0.12;   ///< [A/V]
+    double a2 = 0.05;   ///< [A/V^2]
+    double a3 = -0.03;  ///< [A/V^3]
+    double gamma = 2.0; ///< knee sharpness [1/V]
+    double beta = 0.02; ///< V1 feedback coefficient [1/V]
+    double vds0 = 2.0;  ///< reference drain voltage [V]
+  };
+  CurticeCubic() = default;
+  explicit CurticeCubic(Params p) : p_(p) {}
+
+  double drain_current(double vgs, double vds) const override;
+  std::string name() const override { return "Curtice cubic"; }
+  std::vector<ParamSpec> param_specs() const override;
+  std::vector<double> parameters() const override;
+  void set_parameters(const std::vector<double>& p) override;
+  std::unique_ptr<FetModel> clone() const override {
+    return std::make_unique<CurticeCubic>(*this);
+  }
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+class Statz final : public FetModel {
+ public:
+  struct Params {
+    double beta = 0.09;   ///< [A/V^2]
+    double vto = -0.6;    ///< [V]
+    double b = 0.6;       ///< transconductance compression [1/V]
+    double alpha = 2.0;   ///< knee parameter [1/V]
+    double lambda = 0.05; ///< [1/V]
+  };
+  Statz() = default;
+  explicit Statz(Params p) : p_(p) {}
+
+  double drain_current(double vgs, double vds) const override;
+  std::string name() const override { return "Statz"; }
+  std::vector<ParamSpec> param_specs() const override;
+  std::vector<double> parameters() const override;
+  void set_parameters(const std::vector<double>& p) override;
+  std::unique_ptr<FetModel> clone() const override {
+    return std::make_unique<Statz>(*this);
+  }
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+class Tom final : public FetModel {
+ public:
+  struct Params {
+    double beta = 0.07;  ///< [A/V^Q]
+    double vto = -0.7;   ///< [V]
+    double q = 2.0;      ///< power-law exponent
+    double gamma = 0.05; ///< Vt drain feedback [1/V]
+    double delta = 0.2;  ///< output feedback [1/(A V)]
+    double alpha = 2.0;  ///< knee parameter [1/V]
+  };
+  Tom() = default;
+  explicit Tom(Params p) : p_(p) {}
+
+  double drain_current(double vgs, double vds) const override;
+  std::string name() const override { return "TOM"; }
+  std::vector<ParamSpec> param_specs() const override;
+  std::vector<double> parameters() const override;
+  void set_parameters(const std::vector<double>& p) override;
+  std::unique_ptr<FetModel> clone() const override {
+    return std::make_unique<Tom>(*this);
+  }
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+class Angelov final : public FetModel {
+ public:
+  struct Params {
+    double ipk = 0.06;    ///< current at peak gm [A]
+    double vpk = -0.15;   ///< gate voltage of peak gm [V]
+    double p1 = 1.8;      ///< psi polynomial coefficients [1/V], [1/V^2], [1/V^3]
+    double p2 = 0.1;
+    double p3 = 0.4;
+    double lambda = 0.04; ///< [1/V]
+    double alpha = 2.2;   ///< knee parameter [1/V]
+  };
+  Angelov() = default;
+  explicit Angelov(Params p) : p_(p) {}
+
+  double drain_current(double vgs, double vds) const override;
+  std::string name() const override { return "Angelov"; }
+  std::vector<ParamSpec> param_specs() const override;
+  std::vector<double> parameters() const override;
+  void set_parameters(const std::vector<double>& p) override;
+  std::unique_ptr<FetModel> clone() const override {
+    return std::make_unique<Angelov>(*this);
+  }
+  Conductances conductances(double vgs, double vds) const override;
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// Materka-Kacprzak (1985):
+///   Ids = Idss (1 - Vgs/Vp)^2 tanh(alpha Vds / (Vgs - Vp)),
+///   Vp  = Vp0 + gamma Vds
+/// The drain-voltage-dependent pinch-off gives it a distinctive knee; a
+/// common choice in European MESFET work of the paper's era.
+class Materka final : public FetModel {
+ public:
+  struct Params {
+    double idss = 0.10;   ///< saturation current at Vgs = 0 [A]
+    double vp0 = -0.9;    ///< pinch-off voltage at Vds = 0 [V]
+    double gamma = -0.1;  ///< pinch-off drain feedback [1]
+    double alpha = 2.0;   ///< knee parameter [V]
+  };
+  Materka() = default;
+  explicit Materka(Params p) : p_(p) {}
+
+  double drain_current(double vgs, double vds) const override;
+  std::string name() const override { return "Materka"; }
+  std::vector<ParamSpec> param_specs() const override;
+  std::vector<double> parameters() const override;
+  void set_parameters(const std::vector<double>& p) override;
+  std::unique_ptr<FetModel> clone() const override {
+    return std::make_unique<Materka>(*this);
+  }
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// Factory over all comparison models with datasheet-style defaults.
+std::vector<std::unique_ptr<FetModel>> all_models();
+
+/// Factory by name ("curtice2", "curtice3", "statz", "tom", "angelov",
+/// "materka").
+std::unique_ptr<FetModel> make_model(const std::string& key);
+
+}  // namespace gnsslna::device

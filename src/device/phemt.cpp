@@ -1,0 +1,123 @@
+#include "device/phemt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/models.h"
+
+namespace gnsslna::device {
+
+double CapacitanceParams::junction_cap(double c0, double v) const {
+  const double knee = fc * vbi;
+  if (v < knee) {
+    return c0 / std::sqrt(1.0 - v / vbi);
+  }
+  // Linearize beyond the knee (SPICE convention) to stay finite.
+  const double ck = c0 / std::sqrt(1.0 - fc);
+  const double slope = ck / (2.0 * vbi * (1.0 - fc));
+  return ck + slope * (v - knee);
+}
+
+Phemt::Phemt(std::unique_ptr<FetModel> iv_model, CapacitanceParams caps,
+             ExtrinsicParams extrinsics, NoiseTemperatures temperatures)
+    : iv_model_(std::move(iv_model)),
+      caps_(caps),
+      extrinsics_(extrinsics),
+      temperatures_(temperatures) {
+  if (!iv_model_) {
+    throw std::invalid_argument("Phemt: iv_model must not be null");
+  }
+  if (caps_.vbi <= 0.0 || caps_.fc <= 0.0 || caps_.fc >= 1.0) {
+    throw std::invalid_argument("Phemt: invalid capacitance parameters");
+  }
+}
+
+Phemt::Phemt(const Phemt& other)
+    : iv_model_(other.iv_model_->clone()),
+      caps_(other.caps_),
+      extrinsics_(other.extrinsics_),
+      temperatures_(other.temperatures_) {}
+
+Phemt& Phemt::operator=(const Phemt& other) {
+  if (this != &other) {
+    iv_model_ = other.iv_model_->clone();
+    caps_ = other.caps_;
+    extrinsics_ = other.extrinsics_;
+    temperatures_ = other.temperatures_;
+  }
+  return *this;
+}
+
+double Phemt::drain_current(const Bias& bias) const {
+  return iv_model_->drain_current(bias.vgs, bias.vds);
+}
+
+Conductances Phemt::conductances(const Bias& bias) const {
+  return iv_model_->conductances(bias.vgs, bias.vds);
+}
+
+IntrinsicParams Phemt::small_signal(const Bias& bias) const {
+  const Conductances c = conductances(bias);
+  IntrinsicParams in;
+  in.gm = std::max(c.gm, 1e-6);
+  in.gds = std::max(c.gds, 1e-6);
+  in.cgs = caps_.junction_cap(caps_.cgs0, bias.vgs);
+  in.cgd = caps_.junction_cap(caps_.cgd0, bias.vgs - bias.vds);
+  in.cds = caps_.cds;
+  in.ri = caps_.ri;
+  in.tau_s = caps_.tau_s;
+  return in;
+}
+
+rf::SParams Phemt::s_params(const Bias& bias, double frequency_hz,
+                            double z0) const {
+  return fet_s_params(small_signal(bias), extrinsics_, frequency_hz, z0);
+}
+
+rf::NoiseParams Phemt::noise(const Bias& bias, double frequency_hz,
+                             double z0) const {
+  return pospieszalski_noise(small_signal(bias), extrinsics_, temperatures_,
+                             frequency_hz, z0);
+}
+
+Phemt Phemt::reference_device() {
+  // Angelov I-V tuned to an ATF-54143-class enhancement... strictly, the
+  // ATF-54143 is enhancement mode; classic GNSS depletion pHEMTs sit near
+  // Vgs ~ -0.3 V.  We model a depletion-mode part: Idss ~ 120 mA,
+  // peak gm ~ 90 mS near Vgs = -0.15 V, pinch-off ~ -0.9 V.
+  Angelov::Params iv;
+  iv.ipk = 0.055;
+  iv.vpk = -0.18;
+  iv.p1 = 2.1;
+  iv.p2 = 0.25;
+  iv.p3 = 0.45;
+  iv.lambda = 0.045;
+  iv.alpha = 2.4;
+
+  CapacitanceParams caps;
+  caps.cgs0 = 0.62e-12;
+  caps.cgd0 = 0.055e-12;
+  caps.cds = 0.13e-12;
+  caps.vbi = 0.75;
+  caps.fc = 0.5;
+  caps.ri = 1.8;
+  caps.tau_s = 2.6e-12;
+
+  ExtrinsicParams ext;
+  ext.lg = 0.45e-9;
+  ext.ld = 0.38e-9;
+  ext.ls = 0.12e-9;
+  ext.rg = 1.1;
+  ext.rd = 1.3;
+  ext.rs = 0.65;
+  ext.cpg = 0.075e-12;
+  ext.cpd = 0.09e-12;
+
+  NoiseTemperatures temps;
+  temps.tg_k = 300.0;
+  temps.td_k = 2200.0;
+
+  return Phemt(std::make_unique<Angelov>(iv), caps, ext, temps);
+}
+
+}  // namespace gnsslna::device

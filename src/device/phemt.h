@@ -1,0 +1,84 @@
+// Complete pHEMT device: large-signal I-V model + bias-dependent
+// capacitances + extrinsic shell + noise temperatures.
+//
+// This is the object the amplifier design flow holds: given an operating
+// point it produces the linearized S-parameters, the four noise parameters,
+// and the higher-order conductances that drive the intermodulation
+// analysis.  It is also the "ground truth" device the synthetic
+// measurement generator wraps (see extract::SyntheticDevice).
+#pragma once
+
+#include <memory>
+
+#include "device/fet_model.h"
+#include "device/small_signal.h"
+
+namespace gnsslna::device {
+
+/// Depletion-capacitance parameters (SPICE-style junction law with the
+/// usual forward-bias linearization at fc * vbi).
+struct CapacitanceParams {
+  double cgs0 = 0.55e-12;  ///< zero-bias gate-source capacitance [F]
+  double cgd0 = 0.06e-12;  ///< zero-bias gate-drain capacitance [F]
+  double cds = 0.12e-12;   ///< (constant) drain-source capacitance [F]
+  double vbi = 0.8;        ///< built-in potential [V]
+  double fc = 0.5;         ///< forward-bias linearization knee
+  double ri = 2.0;         ///< channel charging resistance [ohm]
+  double tau_s = 3e-12;    ///< transconductance delay [s]
+
+  /// Junction capacitance c0 / sqrt(1 - v/vbi), linearized above fc*vbi.
+  double junction_cap(double c0, double v) const;
+};
+
+/// Gate-source / drain-source operating point.
+struct Bias {
+  double vgs = -0.4;  ///< [V]
+  double vds = 2.0;   ///< [V]
+};
+
+class Phemt {
+ public:
+  Phemt(std::unique_ptr<FetModel> iv_model, CapacitanceParams caps,
+        ExtrinsicParams extrinsics, NoiseTemperatures temperatures);
+
+  /// Deep copy.
+  Phemt(const Phemt& other);
+  Phemt& operator=(const Phemt& other);
+  Phemt(Phemt&&) noexcept = default;
+  Phemt& operator=(Phemt&&) noexcept = default;
+
+  /// DC drain current at the bias [A].
+  double drain_current(const Bias& bias) const;
+
+  /// Conductances and higher-order derivatives at the bias.
+  Conductances conductances(const Bias& bias) const;
+
+  /// Linearized intrinsic elements at the bias.
+  IntrinsicParams small_signal(const Bias& bias) const;
+
+  /// Two-port S-parameters (common source) at the bias and frequency.
+  rf::SParams s_params(const Bias& bias, double frequency_hz,
+                       double z0 = rf::kZ0) const;
+
+  /// Four noise parameters at the bias and frequency (Pospieszalski).
+  rf::NoiseParams noise(const Bias& bias, double frequency_hz,
+                        double z0 = rf::kZ0) const;
+
+  const FetModel& iv_model() const { return *iv_model_; }
+  FetModel& iv_model() { return *iv_model_; }
+  const CapacitanceParams& caps() const { return caps_; }
+  const ExtrinsicParams& extrinsics() const { return extrinsics_; }
+  const NoiseTemperatures& temperatures() const { return temperatures_; }
+
+  /// A realistic low-noise GNSS pHEMT (ATF-54143-class): Angelov I-V with
+  /// datasheet-anchored capacitances, parasitics, and noise temperatures.
+  static Phemt reference_device();
+
+ private:
+  std::unique_ptr<FetModel> iv_model_;
+  CapacitanceParams caps_;
+  ExtrinsicParams extrinsics_;
+  NoiseTemperatures temperatures_;
+};
+
+}  // namespace gnsslna::device

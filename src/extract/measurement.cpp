@@ -1,0 +1,73 @@
+#include "extract/measurement.h"
+
+#include <stdexcept>
+
+#include "rf/sweep.h"
+
+namespace gnsslna::extract {
+
+MeasurementPlan MeasurementPlan::standard_plan(std::size_t n_freq) {
+  MeasurementPlan plan;
+  plan.dc_vgs = rf::linear_grid(-1.0, 0.2, 13);
+  plan.dc_vds = rf::linear_grid(0.0, 4.0, 9);
+  plan.rf_biases = {
+      {-0.45, 2.0},  // low-current low-noise bias
+      {-0.30, 2.0},  // mid bias
+      {-0.15, 3.0},  // high-gm bias
+  };
+  plan.rf_frequencies_hz = rf::linear_grid(0.5e9, 6.0e9, n_freq);
+  return plan;
+}
+
+MeasurementSet synthesize_measurements(const device::Phemt& truth,
+                                       const MeasurementPlan& plan,
+                                       const MeasurementNoise& noise,
+                                       numeric::Rng& rng) {
+  if (plan.dc_vgs.empty() || plan.dc_vds.empty() || plan.rf_biases.empty() ||
+      plan.rf_frequencies_hz.empty()) {
+    throw std::invalid_argument("synthesize_measurements: empty plan");
+  }
+
+  MeasurementSet set;
+  set.dc.reserve(plan.dc_vgs.size() * plan.dc_vds.size());
+  for (const double vgs : plan.dc_vgs) {
+    for (const double vds : plan.dc_vds) {
+      DcPoint p;
+      p.vgs = vgs;
+      p.vds = vds;
+      const double clean = truth.drain_current({vgs, vds});
+      double sigma = noise.dc_relative_sigma * clean + noise.dc_floor_a;
+      if (noise.outlier_fraction > 0.0 &&
+          rng.bernoulli(noise.outlier_fraction)) {
+        sigma *= noise.outlier_scale;
+      }
+      p.ids = clean + rng.normal(0.0, sigma);
+      set.dc.push_back(p);
+    }
+  }
+
+  set.rf.reserve(plan.rf_biases.size() * plan.rf_frequencies_hz.size());
+  for (const device::Bias& bias : plan.rf_biases) {
+    for (const double f : plan.rf_frequencies_hz) {
+      RfPoint p;
+      p.bias = bias;
+      p.s = truth.s_params(bias, f);
+      double sigma = noise.s_sigma;
+      if (noise.outlier_fraction > 0.0 &&
+          rng.bernoulli(noise.outlier_fraction)) {
+        sigma *= noise.outlier_scale;
+      }
+      const auto corrupt = [&](rf::Complex& s) {
+        s += rf::Complex{rng.normal(0.0, sigma), rng.normal(0.0, sigma)};
+      };
+      corrupt(p.s.s11);
+      corrupt(p.s.s12);
+      corrupt(p.s.s21);
+      corrupt(p.s.s22);
+      set.rf.push_back(p);
+    }
+  }
+  return set;
+}
+
+}  // namespace gnsslna::extract

@@ -1,0 +1,69 @@
+// Synthetic measurement generation for pHEMT model extraction.
+//
+// Substitution for the paper's lab bench (see DESIGN.md): a "ground truth"
+// device — a Phemt with the Angelov I-V core — is measured through exactly
+// the data interfaces a real bench produces:
+//   * a DC I-V grid  (vgs x vds -> Ids), as from a curve tracer;
+//   * bias-dependent S-parameter sweeps, as from a VNA.
+// Complex Gaussian measurement noise and optional gross outliers (probe
+// lift-off, connector glitches) are injected so the robustness claims of
+// the three-step procedure are actually exercised.
+#pragma once
+
+#include <vector>
+
+#include "device/phemt.h"
+#include "numeric/rng.h"
+#include "rf/twoport.h"
+
+namespace gnsslna::extract {
+
+/// One DC sample.
+struct DcPoint {
+  double vgs = 0.0;
+  double vds = 0.0;
+  double ids = 0.0;  ///< measured drain current [A]
+};
+
+/// One RF sample: a full two-port measurement at a bias and frequency.
+struct RfPoint {
+  device::Bias bias;
+  rf::SParams s;
+};
+
+/// A complete extraction data set.
+struct MeasurementSet {
+  std::vector<DcPoint> dc;
+  std::vector<RfPoint> rf;
+
+  std::size_t residual_count() const { return dc.size() + 8 * rf.size(); }
+};
+
+/// Noise / corruption description for the synthetic bench.
+struct MeasurementNoise {
+  double dc_relative_sigma = 0.01;   ///< 1% current noise
+  double dc_floor_a = 50e-6;         ///< ammeter floor [A]
+  double s_sigma = 0.005;            ///< additive complex sigma per S entry
+  double outlier_fraction = 0.0;     ///< fraction of gross outliers
+  double outlier_scale = 10.0;       ///< outlier magnitude multiplier
+};
+
+/// Default measurement plan mirroring a realistic characterization run:
+/// DC grid vgs in [-1.0, 0.2] x vds in [0, 4], and S-parameters at three
+/// LNA-relevant biases over n_freq points, 0.5-6 GHz.
+struct MeasurementPlan {
+  std::vector<double> dc_vgs;
+  std::vector<double> dc_vds;
+  std::vector<device::Bias> rf_biases;
+  std::vector<double> rf_frequencies_hz;
+
+  static MeasurementPlan standard_plan(std::size_t n_freq = 40);
+};
+
+/// Measures the ground-truth device through the plan, applying noise.
+MeasurementSet synthesize_measurements(const device::Phemt& truth,
+                                       const MeasurementPlan& plan,
+                                       const MeasurementNoise& noise,
+                                       numeric::Rng& rng);
+
+}  // namespace gnsslna::extract

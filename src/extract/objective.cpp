@@ -1,0 +1,165 @@
+#include "extract/objective.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnsslna::extract {
+
+namespace {
+
+/// Shared-parameter bounds: {cgs0, cgd0, cds, ri, tau, vbi}.
+struct SharedBounds {
+  double lo[kSharedParamCount] = {0.05e-12, 0.005e-12, 0.01e-12, 0.1,
+                                  0.1e-12, 0.4};
+  double hi[kSharedParamCount] = {2.0e-12, 0.4e-12, 0.6e-12, 10.0,
+                                  10e-12, 1.2};
+  double typical[kSharedParamCount] = {0.5e-12, 0.05e-12, 0.12e-12, 2.0,
+                                       3e-12, 0.8};
+};
+
+double dc_scale_of(const MeasurementSet& data, double requested) {
+  if (requested > 0.0) return requested;
+  double m = 1e-6;
+  for (const DcPoint& p : data.dc) m = std::max(m, std::abs(p.ids));
+  return m;
+}
+
+}  // namespace
+
+device::Phemt candidate_device(const device::FetModel& prototype,
+                               const std::vector<double>& params,
+                               const device::ExtrinsicParams& extrinsics) {
+  const std::size_t n_iv = prototype.parameters().size();
+  if (params.size() != n_iv + kSharedParamCount) {
+    throw std::invalid_argument("candidate_device: parameter size mismatch");
+  }
+  std::unique_ptr<device::FetModel> iv = prototype.clone();
+  iv->set_parameters(
+      std::vector<double>(params.begin(),
+                          params.begin() + static_cast<std::ptrdiff_t>(n_iv)));
+
+  device::CapacitanceParams caps;
+  caps.cgs0 = params[n_iv + 0];
+  caps.cgd0 = params[n_iv + 1];
+  caps.cds = params[n_iv + 2];
+  caps.ri = params[n_iv + 3];
+  caps.tau_s = params[n_iv + 4];
+  caps.vbi = params[n_iv + 5];
+
+  return device::Phemt(std::move(iv), caps, extrinsics,
+                       device::NoiseTemperatures{});
+}
+
+optimize::Bounds candidate_bounds(const device::FetModel& prototype) {
+  const std::vector<device::ParamSpec> specs = prototype.param_specs();
+  const SharedBounds shared;
+  std::vector<double> lo, hi;
+  lo.reserve(specs.size() + kSharedParamCount);
+  hi.reserve(specs.size() + kSharedParamCount);
+  for (const device::ParamSpec& s : specs) {
+    lo.push_back(s.lower);
+    hi.push_back(s.upper);
+  }
+  for (std::size_t i = 0; i < kSharedParamCount; ++i) {
+    lo.push_back(shared.lo[i]);
+    hi.push_back(shared.hi[i]);
+  }
+  return optimize::Bounds(std::move(lo), std::move(hi));
+}
+
+std::vector<double> candidate_start(const device::FetModel& prototype) {
+  const std::vector<device::ParamSpec> specs = prototype.param_specs();
+  const SharedBounds shared;
+  std::vector<double> x;
+  x.reserve(specs.size() + kSharedParamCount);
+  for (const device::ParamSpec& s : specs) x.push_back(s.typical);
+  for (std::size_t i = 0; i < kSharedParamCount; ++i) {
+    x.push_back(shared.typical[i]);
+  }
+  return x;
+}
+
+optimize::ResidualFn extraction_residuals(
+    const device::FetModel& prototype, const MeasurementSet& data,
+    const device::ExtrinsicParams& extrinsics, ObjectiveWeights weights) {
+  if (data.dc.empty() && data.rf.empty()) {
+    throw std::invalid_argument("extraction_residuals: empty measurement set");
+  }
+  const double dc_scale = dc_scale_of(data, weights.dc_scale_a);
+  // Capture the prototype by clone so the returned closure owns its state.
+  std::shared_ptr<device::FetModel> proto(prototype.clone());
+
+  return [proto, &data, extrinsics, weights,
+          dc_scale](const std::vector<double>& params) {
+    const device::Phemt dev = candidate_device(*proto, params, extrinsics);
+    std::vector<double> r;
+    r.reserve(data.residual_count());
+    for (const DcPoint& p : data.dc) {
+      const double model = dev.drain_current({p.vgs, p.vds});
+      r.push_back(weights.dc_weight * (model - p.ids) / dc_scale);
+    }
+    for (const RfPoint& p : data.rf) {
+      const rf::SParams s = dev.s_params(p.bias, p.s.frequency_hz, p.s.z0);
+      const auto push = [&](rf::Complex model, rf::Complex meas) {
+        r.push_back(weights.rf_weight * (model.real() - meas.real()));
+        r.push_back(weights.rf_weight * (model.imag() - meas.imag()));
+      };
+      push(s.s11, p.s.s11);
+      push(s.s21, p.s.s21);
+      push(s.s12, p.s.s12);
+      push(s.s22, p.s.s22);
+    }
+    return r;
+  };
+}
+
+optimize::ObjectiveFn robust_criterion(
+    const device::FetModel& prototype, const MeasurementSet& data,
+    const device::ExtrinsicParams& extrinsics, double huber_delta,
+    ObjectiveWeights weights) {
+  if (huber_delta <= 0.0) {
+    throw std::invalid_argument("robust_criterion: delta must be positive");
+  }
+  optimize::ResidualFn residuals =
+      extraction_residuals(prototype, data, extrinsics, weights);
+  return [residuals = std::move(residuals),
+          huber_delta](const std::vector<double>& x) {
+    const std::vector<double> r = residuals(x);
+    double loss = 0.0;
+    for (const double v : r) {
+      const double a = std::abs(v);
+      loss += a <= huber_delta ? 0.5 * v * v
+                               : huber_delta * (a - 0.5 * huber_delta);
+    }
+    return loss / static_cast<double>(r.size());
+  };
+}
+
+FitError evaluate_fit(const device::FetModel& prototype,
+                      const std::vector<double>& params,
+                      const MeasurementSet& data,
+                      const device::ExtrinsicParams& extrinsics) {
+  const device::Phemt dev = candidate_device(prototype, params, extrinsics);
+  FitError err;
+  if (!data.dc.empty()) {
+    const double scale = dc_scale_of(data, 0.0);
+    double s = 0.0;
+    for (const DcPoint& p : data.dc) {
+      const double d = (dev.drain_current({p.vgs, p.vds}) - p.ids) / scale;
+      s += d * d;
+    }
+    err.rms_dc_rel = std::sqrt(s / static_cast<double>(data.dc.size()));
+  }
+  if (!data.rf.empty()) {
+    double s = 0.0;
+    for (const RfPoint& p : data.rf) {
+      const rf::SParams m = dev.s_params(p.bias, p.s.frequency_hz, p.s.z0);
+      s += std::norm(m.s11 - p.s.s11) + std::norm(m.s21 - p.s.s21) +
+           std::norm(m.s12 - p.s.s12) + std::norm(m.s22 - p.s.s22);
+    }
+    err.rms_s = std::sqrt(s / (4.0 * static_cast<double>(data.rf.size())));
+  }
+  return err;
+}
+
+}  // namespace gnsslna::extract

@@ -1,0 +1,68 @@
+// Extraction objective: candidate parameter vector -> residuals against a
+// MeasurementSet.
+//
+// A candidate couples an I-V model (model-specific parameters) with the
+// shared small-signal elements [cgs0, cgd0, cds, ri, tau, vbi].  The extrinsic
+// shell is held fixed at its test-fixture calibration values — standard
+// practice: pad/lead parasitics come from cold-FET and open/short fixture
+// measurements, not from the hot extraction.
+//
+// Residual layout: first the DC grid (normalized drain-current errors),
+// then for each RF point the 8 real numbers Re/Im of S11,S21,S12,S22.
+#pragma once
+
+#include <memory>
+
+#include "device/models.h"
+#include "device/phemt.h"
+#include "extract/measurement.h"
+#include "optimize/problem.h"
+
+namespace gnsslna::extract {
+
+/// Number of shared (non-I-V) parameters appended to the candidate vector.
+inline constexpr std::size_t kSharedParamCount = 6;
+
+/// Assembles a Phemt from a candidate vector for the given I-V prototype.
+/// Layout: [iv params (prototype order), cgs0, cgd0, cds, ri, tau, vbi].
+device::Phemt candidate_device(const device::FetModel& prototype,
+                               const std::vector<double>& params,
+                               const device::ExtrinsicParams& extrinsics);
+
+/// Bounds for the candidate vector (model specs + physical cap/ri/tau
+/// ranges).
+optimize::Bounds candidate_bounds(const device::FetModel& prototype);
+
+/// Typical starting point (model typicals + mid-range shared values).
+std::vector<double> candidate_start(const device::FetModel& prototype);
+
+/// Residual weights configuration.
+struct ObjectiveWeights {
+  double dc_scale_a = 0.0;  ///< 0 -> auto (max |Ids| of the set)
+  double dc_weight = 1.0;   ///< relative weight of DC block vs RF block
+  double rf_weight = 1.0;
+};
+
+/// The residual map for least-squares methods.
+optimize::ResidualFn extraction_residuals(
+    const device::FetModel& prototype, const MeasurementSet& data,
+    const device::ExtrinsicParams& extrinsics, ObjectiveWeights weights = {});
+
+/// Robust scalar criterion for meta-heuristics: mean Huber loss of the
+/// residuals with threshold delta.
+optimize::ObjectiveFn robust_criterion(
+    const device::FetModel& prototype, const MeasurementSet& data,
+    const device::ExtrinsicParams& extrinsics, double huber_delta = 0.05,
+    ObjectiveWeights weights = {});
+
+/// Fit-quality summary of a candidate against the data.
+struct FitError {
+  double rms_s = 0.0;      ///< RMS complex S-parameter error
+  double rms_dc_rel = 0.0; ///< RMS drain-current error / dc scale
+};
+FitError evaluate_fit(const device::FetModel& prototype,
+                      const std::vector<double>& params,
+                      const MeasurementSet& data,
+                      const device::ExtrinsicParams& extrinsics);
+
+}  // namespace gnsslna::extract

@@ -1,0 +1,44 @@
+#include "extract/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace gnsslna::extract {
+
+std::vector<ModelComparisonRow> compare_models(
+    const MeasurementSet& data, const device::ExtrinsicParams& extrinsics,
+    numeric::Rng& rng, ThreeStepOptions options) {
+  std::vector<ModelComparisonRow> rows;
+  for (const std::unique_ptr<device::FetModel>& model :
+       device::all_models()) {
+    numeric::Rng child = rng.fork();
+    ModelComparisonRow row;
+    row.result =
+        three_step_extract(*model, data, extrinsics, child, options);
+    row.specs = model->param_specs();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_comparison(std::ostream& out,
+                      const std::vector<ModelComparisonRow>& rows) {
+  out << std::left << std::setw(20) << "model" << std::right << std::setw(14)
+      << "RMS |dS|" << std::setw(14) << "RMS dI/Imax" << std::setw(12)
+      << "evals" << "  parameters\n";
+  for (const ModelComparisonRow& row : rows) {
+    out << std::left << std::setw(20) << row.result.model_name << std::right
+        << std::scientific << std::setprecision(3) << std::setw(14)
+        << row.result.error.rms_s << std::setw(14)
+        << row.result.error.rms_dc_rel << std::setw(12)
+        << row.result.evaluations << "  ";
+    for (std::size_t i = 0; i < row.specs.size(); ++i) {
+      out << row.specs[i].name << '='
+          << std::setprecision(4) << row.result.params[i];
+      if (i + 1 < row.specs.size()) out << ", ";
+    }
+    out << '\n' << std::defaultfloat;
+  }
+}
+
+}  // namespace gnsslna::extract

@@ -1,0 +1,27 @@
+// Cross-model extraction comparison (Table I of the reconstruction).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "extract/three_step.h"
+
+namespace gnsslna::extract {
+
+/// One row of the model-comparison table.
+struct ModelComparisonRow {
+  ExtractionResult result;
+  std::vector<device::ParamSpec> specs;  ///< for parameter names/units
+};
+
+/// Extracts every comparison model (device::all_models()) from the same
+/// data set with the three-step procedure.  Rows come back in model order.
+std::vector<ModelComparisonRow> compare_models(
+    const MeasurementSet& data, const device::ExtrinsicParams& extrinsics,
+    numeric::Rng& rng, ThreeStepOptions options = {});
+
+/// Pretty-prints the comparison as an aligned text table.
+void print_comparison(std::ostream& out,
+                      const std::vector<ModelComparisonRow>& rows);
+
+}  // namespace gnsslna::extract

@@ -1,0 +1,175 @@
+#include "extract/three_step.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/stats.h"
+#include "optimize/differential_evolution.h"
+#include "optimize/levenberg_marquardt.h"
+#include "optimize/nelder_mead.h"
+#include "optimize/simulated_annealing.h"
+
+namespace gnsslna::extract {
+
+namespace {
+
+ExtractionResult finish(const device::FetModel& prototype,
+                        std::vector<double> params,
+                        const MeasurementSet& data,
+                        const device::ExtrinsicParams& extrinsics,
+                        std::size_t evaluations, bool converged) {
+  ExtractionResult r;
+  r.error = evaluate_fit(prototype, params, data, extrinsics);
+  r.params = std::move(params);
+  r.evaluations = evaluations;
+  r.converged = converged;
+  r.model_name = prototype.name();
+  return r;
+}
+
+}  // namespace
+
+ExtractionResult three_step_extract(const device::FetModel& prototype,
+                                    const MeasurementSet& data,
+                                    const device::ExtrinsicParams& extrinsics,
+                                    numeric::Rng& rng,
+                                    ThreeStepOptions options) {
+  const optimize::Bounds bounds = candidate_bounds(prototype);
+  std::size_t evals = 0;
+
+  // ---- Step 1: global search on the Huber-robust criterion.
+  const optimize::ObjectiveFn robust = robust_criterion(
+      prototype, data, extrinsics, options.huber_delta, options.weights);
+  optimize::DifferentialEvolutionOptions de;
+  de.max_generations = options.de_generations;
+  de.population = options.de_population;
+  const optimize::Result global = optimize::differential_evolution(
+      [&](const std::vector<double>& x) {
+        ++evals;
+        return robust(x);
+      },
+      bounds, rng, de);
+
+  // ---- Step 2: local least-squares refinement.
+  const optimize::ResidualFn residuals =
+      extraction_residuals(prototype, data, extrinsics, options.weights);
+  const optimize::ResidualFn counted = [&](const std::vector<double>& x) {
+    ++evals;
+    return residuals(x);
+  };
+  optimize::LeastSquaresResult local = optimize::levenberg_marquardt(
+      counted, bounds, global.x, {}, options.lm);
+
+  // ---- Step 3: IRLS robust polish.  Huber weights from the MAD sigma.
+  for (int it = 0; it < options.irls_iterations; ++it) {
+    const std::vector<double> r = counted(local.x);
+    std::vector<double> abs_r(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) abs_r[i] = std::abs(r[i]);
+    const double sigma = std::max(numeric::mad_sigma(abs_r), 1e-12);
+    const double k = options.irls_tuning * sigma;
+    std::vector<double> w(r.size());
+    bool any_downweighted = false;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      const double a = std::abs(r[i]);
+      w[i] = a <= k ? 1.0 : std::sqrt(k / a);
+      any_downweighted = any_downweighted || w[i] < 1.0;
+    }
+    if (!any_downweighted) break;  // clean data: weights are all 1
+    local = optimize::levenberg_marquardt(counted, bounds, local.x,
+                                          std::move(w), options.lm);
+  }
+
+  return finish(prototype, local.x, data, extrinsics, evals, local.converged);
+}
+
+std::string strategy_name(ExtractionStrategy strategy) {
+  switch (strategy) {
+    case ExtractionStrategy::kThreeStep:
+      return "three-step (DE + LM + IRLS)";
+    case ExtractionStrategy::kDeOnly:
+      return "DE only";
+    case ExtractionStrategy::kLmOnly:
+      return "LM only (typical start)";
+    case ExtractionStrategy::kLmRandomStart:
+      return "LM only (random start)";
+    case ExtractionStrategy::kNelderMeadMultistart:
+      return "Nelder-Mead multistart";
+    case ExtractionStrategy::kSaThenLm:
+      return "SA + LM";
+  }
+  throw std::invalid_argument("strategy_name: unknown strategy");
+}
+
+ExtractionResult extract_with_strategy(ExtractionStrategy strategy,
+                                       const device::FetModel& prototype,
+                                       const MeasurementSet& data,
+                                       const device::ExtrinsicParams& extrinsics,
+                                       numeric::Rng& rng,
+                                       ThreeStepOptions options) {
+  if (strategy == ExtractionStrategy::kThreeStep) {
+    return three_step_extract(prototype, data, extrinsics, rng, options);
+  }
+
+  const optimize::Bounds bounds = candidate_bounds(prototype);
+  std::size_t evals = 0;
+  const optimize::ResidualFn residuals =
+      extraction_residuals(prototype, data, extrinsics, options.weights);
+  const optimize::ResidualFn counted = [&](const std::vector<double>& x) {
+    ++evals;
+    return residuals(x);
+  };
+  const optimize::ObjectiveFn ssq = [&](const std::vector<double>& x) {
+    ++evals;
+    double s = 0.0;
+    for (const double v : residuals(x)) s += v * v;
+    return s;
+  };
+
+  switch (strategy) {
+    case ExtractionStrategy::kDeOnly: {
+      optimize::DifferentialEvolutionOptions de;
+      de.max_generations = options.de_generations;
+      de.population = options.de_population;
+      const optimize::Result r =
+          optimize::differential_evolution(ssq, bounds, rng, de);
+      return finish(prototype, r.x, data, extrinsics, evals, r.converged);
+    }
+    case ExtractionStrategy::kLmOnly: {
+      const optimize::LeastSquaresResult r = optimize::levenberg_marquardt(
+          counted, bounds, candidate_start(prototype), {}, options.lm);
+      return finish(prototype, r.x, data, extrinsics, evals, r.converged);
+    }
+    case ExtractionStrategy::kLmRandomStart: {
+      const optimize::LeastSquaresResult r = optimize::levenberg_marquardt(
+          counted, bounds, bounds.sample(rng), {}, options.lm);
+      return finish(prototype, r.x, data, extrinsics, evals, r.converged);
+    }
+    case ExtractionStrategy::kNelderMeadMultistart: {
+      optimize::Result best;
+      for (int s = 0; s < 5; ++s) {
+        optimize::NelderMeadOptions nm;
+        nm.max_evaluations = 6000;
+        const optimize::Result r =
+            optimize::nelder_mead(ssq, bounds, bounds.sample(rng), nm);
+        if (r.value < best.value) best = r;
+      }
+      return finish(prototype, best.x, data, extrinsics, evals,
+                    best.converged);
+    }
+    case ExtractionStrategy::kSaThenLm: {
+      optimize::SimulatedAnnealingOptions sa;
+      sa.max_evaluations = 15000;
+      const optimize::Result g =
+          optimize::simulated_annealing(ssq, bounds, rng, sa);
+      const optimize::LeastSquaresResult r = optimize::levenberg_marquardt(
+          counted, bounds, g.x, {}, options.lm);
+      return finish(prototype, r.x, data, extrinsics, evals, r.converged);
+    }
+    case ExtractionStrategy::kThreeStep:
+      break;  // handled above
+  }
+  throw std::invalid_argument("extract_with_strategy: unknown strategy");
+}
+
+}  // namespace gnsslna::extract

@@ -1,0 +1,74 @@
+// The paper's "original three-step robust identification procedure based
+// on a combination of meta-heuristic and direct optimization methods".
+//
+//   Step 1 — GLOBAL (meta-heuristic): differential evolution minimizes the
+//            Huber-robust criterion over the full physical parameter box.
+//            The robust loss keeps gross measurement outliers from steering
+//            the global search.
+//   Step 2 — LOCAL (direct): Levenberg-Marquardt refines the DE solution
+//            on the plain weighted least-squares residuals.
+//   Step 3 — ROBUST POLISH (direct, iteratively re-weighted): residuals are
+//            re-weighted by Huber weights computed from the MAD-based
+//            robust sigma estimate, and LM re-runs until the weights
+//            stabilize — the classic IRLS loop, which strips the remaining
+//            outlier influence from the final parameter values.
+//
+// Single-method baselines for the robustness comparison (Table II) are
+// provided through ExtractionStrategy.
+#pragma once
+
+#include <string>
+
+#include "extract/objective.h"
+#include "optimize/levenberg_marquardt.h"
+
+namespace gnsslna::extract {
+
+struct ThreeStepOptions {
+  // Step 1.
+  std::size_t de_generations = 200;
+  std::size_t de_population = 0;  ///< 0 -> auto
+  double huber_delta = 0.05;
+  // Step 2.
+  optimize::LevenbergMarquardtOptions lm = {};
+  // Step 3.
+  int irls_iterations = 3;
+  double irls_tuning = 1.345;  ///< Huber tuning constant (95% efficiency)
+  ObjectiveWeights weights = {};
+};
+
+struct ExtractionResult {
+  std::vector<double> params;       ///< candidate vector (iv + shared)
+  FitError error;                   ///< against the (noisy) data
+  std::size_t evaluations = 0;      ///< residual/criterion evaluations
+  bool converged = false;
+  std::string model_name;
+};
+
+/// Runs the three-step procedure for one model prototype.
+ExtractionResult three_step_extract(const device::FetModel& prototype,
+                                    const MeasurementSet& data,
+                                    const device::ExtrinsicParams& extrinsics,
+                                    numeric::Rng& rng,
+                                    ThreeStepOptions options = {});
+
+/// Single-method baselines (Table II of the reconstruction).
+enum class ExtractionStrategy {
+  kThreeStep,       ///< the paper's procedure
+  kDeOnly,          ///< meta-heuristic alone
+  kLmOnly,          ///< direct alone, from the typical start
+  kLmRandomStart,   ///< direct alone, from a random start
+  kNelderMeadMultistart,  ///< 5 random NM starts, best kept
+  kSaThenLm,        ///< simulated annealing, then LM
+};
+
+std::string strategy_name(ExtractionStrategy strategy);
+
+ExtractionResult extract_with_strategy(ExtractionStrategy strategy,
+                                       const device::FetModel& prototype,
+                                       const MeasurementSet& data,
+                                       const device::ExtrinsicParams& extrinsics,
+                                       numeric::Rng& rng,
+                                       ThreeStepOptions options = {});
+
+}  // namespace gnsslna::extract

@@ -1,0 +1,109 @@
+#include "extract/uncertainty.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/matrix.h"
+
+namespace gnsslna::extract {
+
+UncertaintyReport parameter_uncertainty(
+    const device::FetModel& prototype, const std::vector<double>& params,
+    const MeasurementSet& data, const device::ExtrinsicParams& extrinsics,
+    ObjectiveWeights weights) {
+  const optimize::ResidualFn residuals =
+      extraction_residuals(prototype, data, extrinsics, weights);
+  const optimize::Bounds bounds = candidate_bounds(prototype);
+  const std::vector<double> widths = bounds.width();
+
+  const std::vector<double> r0 = residuals(params);
+  const std::size_t m = r0.size();
+  const std::size_t n = params.size();
+  if (m <= n) {
+    throw std::invalid_argument(
+        "parameter_uncertainty: not enough residuals for a variance "
+        "estimate");
+  }
+
+  // Finite-difference Jacobian at the optimum (per-parameter scaling).
+  numeric::RealMatrix jac(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double scale = std::max(std::abs(params[j]), 1e-3 * widths[j]);
+    const double h = 1e-6 * scale;
+    std::vector<double> xp = params;
+    xp[j] += h;
+    const std::vector<double> rp = residuals(xp);
+    for (std::size_t i = 0; i < m; ++i) jac(i, j) = (rp[i] - r0[i]) / h;
+  }
+
+  // sigma^2 from the residual sum of squares.
+  double ssr = 0.0;
+  for (const double v : r0) ssr += v * v;
+  const double sigma2 = ssr / static_cast<double>(m - n);
+
+  // Normal matrix and its inverse.
+  numeric::RealMatrix jtj(n, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a; b < n; ++b) {
+        jtj(a, b) += jac(i, a) * jac(i, b);
+      }
+    }
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < a; ++b) jtj(a, b) = jtj(b, a);
+  }
+
+  UncertaintyReport report;
+  report.residual_sigma = std::sqrt(sigma2);
+
+  numeric::RealMatrix cov(n, n);
+  try {
+    cov = numeric::inverse(jtj);
+    cov *= sigma2;
+  } catch (const std::domain_error&) {
+    report.rank_deficient = true;
+  }
+
+  // Parameter names: model specs then the shared block.
+  std::vector<std::string> names;
+  for (const device::ParamSpec& s : prototype.param_specs()) {
+    names.push_back(s.name);
+  }
+  for (const char* shared : {"cgs0", "cgd0", "cds", "ri", "tau", "vbi"}) {
+    names.push_back(shared);
+  }
+
+  report.parameters.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    ParameterUncertainty& p = report.parameters[j];
+    p.name = j < names.size() ? names[j] : "p" + std::to_string(j);
+    p.value = params[j];
+    if (!report.rank_deficient) {
+      p.std_error = std::sqrt(std::max(cov(j, j), 0.0));
+      p.ci95_low = p.value - 1.96 * p.std_error;
+      p.ci95_high = p.value + 1.96 * p.std_error;
+      p.relative_error = std::abs(p.value) > 1e-300
+                             ? p.std_error / std::abs(p.value)
+                             : std::numeric_limits<double>::infinity();
+    }
+  }
+
+  if (!report.rank_deficient) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double denom = std::sqrt(cov(i, i) * cov(j, j));
+        if (denom <= 0.0) continue;
+        const double corr = std::abs(cov(i, j)) / denom;
+        if (corr > report.worst_correlation) {
+          report.worst_correlation = corr;
+          report.worst_pair_i = i;
+          report.worst_pair_j = j;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace gnsslna::extract

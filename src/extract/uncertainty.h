@@ -1,0 +1,42 @@
+// Post-extraction parameter-uncertainty analysis.
+//
+// Linearized (Gauss-Markov) covariance of the least-squares estimate:
+//   Cov(p) ~ sigma^2 (J^T J)^{-1},  sigma^2 = SSR / (m - n),
+// computed from a finite-difference Jacobian at the extracted optimum.
+// Reports per-parameter standard errors, 95% confidence intervals, and
+// the worst pairwise correlation — the diagnostics that tell a modelling
+// engineer whether an extracted parameter is actually determined by the
+// data or just riding a correlation ridge (the classic failure mode of
+// over-parameterized FET models).
+#pragma once
+
+#include "extract/objective.h"
+
+namespace gnsslna::extract {
+
+struct ParameterUncertainty {
+  std::string name;
+  double value = 0.0;
+  double std_error = 0.0;
+  double ci95_low = 0.0;
+  double ci95_high = 0.0;
+  double relative_error = 0.0;  ///< std_error / |value| (inf for value ~ 0)
+};
+
+struct UncertaintyReport {
+  std::vector<ParameterUncertainty> parameters;
+  double residual_sigma = 0.0;       ///< estimated per-residual noise
+  double worst_correlation = 0.0;    ///< max |corr| over parameter pairs
+  std::size_t worst_pair_i = 0;
+  std::size_t worst_pair_j = 0;
+  bool rank_deficient = false;       ///< J^T J was (numerically) singular
+};
+
+/// Computes the linearized uncertainty of an extraction result.
+/// `params` is the extracted candidate vector (iv + shared layout).
+UncertaintyReport parameter_uncertainty(
+    const device::FetModel& prototype, const std::vector<double>& params,
+    const MeasurementSet& data, const device::ExtrinsicParams& extrinsics,
+    ObjectiveWeights weights = {});
+
+}  // namespace gnsslna::extract

@@ -1,0 +1,140 @@
+#include "nonlinear/blocker.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "rf/units.h"
+
+namespace gnsslna::nonlinear {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+using rf::Complex;
+
+/// Greatest common divisor of two positive frequencies (Euclid with a
+/// 1 Hz tolerance); throws when the tones share no reasonable grid.
+double frequency_gcd(double a, double b) {
+  while (b > 1.0) {
+    const double r = std::fmod(a, b);
+    a = b;
+    b = r;
+  }
+  if (a < 1e3) {
+    throw std::invalid_argument(
+        "blocker: tones share no usable common frequency grid");
+  }
+  return a;
+}
+
+Complex dft_bin(const std::vector<double>& x, std::size_t k) {
+  const std::size_t n = x.size();
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = -kTwoPi * static_cast<double>(k) *
+                         static_cast<double>(i) / static_cast<double>(n);
+    acc += x[i] * Complex{std::cos(phase), std::sin(phase)};
+  }
+  return 2.0 / static_cast<double>(n) * acc;
+}
+}  // namespace
+
+BlockerPoint blocker_point(const amplifier::LnaDesign& lna,
+                           double p_blocker_dbm, BlockerOptions options) {
+  if (options.f_signal_hz <= 0.0 || options.f_blocker_hz <= 0.0 ||
+      options.f_signal_hz == options.f_blocker_hz) {
+    throw std::invalid_argument("blocker: invalid tone frequencies");
+  }
+  const double delta =
+      frequency_gcd(std::max(options.f_signal_hz, options.f_blocker_hz),
+                    std::min(options.f_signal_hz, options.f_blocker_hz));
+  const std::size_t k_sig =
+      static_cast<std::size_t>(std::round(options.f_signal_hz / delta));
+  const std::size_t k_blk =
+      static_cast<std::size_t>(std::round(options.f_blocker_hz / delta));
+  const std::size_t n = options.samples;
+  if (n < 8 * std::max(k_sig, k_blk)) {
+    throw std::invalid_argument(
+        "blocker: not enough samples for the tone grid (pick tones with a "
+        "coarser common divisor or raise samples)");
+  }
+
+  const circuit::Netlist nl = lna.build_netlist();
+  const circuit::NodeId gate = nl.find_node("gate");
+  const circuit::NodeId source = nl.find_node("source");
+  const circuit::NodeId drain = nl.find_node("drain");
+  const circuit::NodeId out = nl.ports()[1].node;
+  const double z0 = nl.ports()[1].z0;
+
+  const double vs_sig =
+      std::sqrt(8.0 * z0 * rf::watt_from_dbm(options.p_signal_dbm));
+  const double vs_blk =
+      std::sqrt(8.0 * z0 * rf::watt_from_dbm(p_blocker_dbm));
+
+  const Complex hg_sig =
+      circuit::voltage_transfer(nl, 0, gate, source, options.f_signal_hz);
+  const Complex hg_blk =
+      circuit::voltage_transfer(nl, 0, gate, source, options.f_blocker_hz);
+  const Complex hout_sig = circuit::voltage_transfer(
+      nl, 0, out, circuit::kGround, options.f_signal_hz);
+  const Complex zt_sig = circuit::transimpedance(nl, source, drain, 1,
+                                                 options.f_signal_hz);
+
+  const device::Bias bias{lna.design().vgs, lna.design().vds};
+  const device::Conductances lin = lna.device().conductances(bias);
+  std::vector<double> i_nl(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        static_cast<double>(i) / (static_cast<double>(n) * delta);
+    const Complex es{std::cos(kTwoPi * options.f_signal_hz * t),
+                     std::sin(kTwoPi * options.f_signal_hz * t)};
+    const Complex eb{std::cos(kTwoPi * options.f_blocker_hz * t),
+                     std::sin(kTwoPi * options.f_blocker_hz * t)};
+    const double vg =
+        (hg_sig * vs_sig * es).real() + (hg_blk * vs_blk * eb).real();
+    i_nl[i] = lna.device().drain_current({bias.vgs + vg, bias.vds}) -
+              lin.ids - lin.gm * vg;
+  }
+
+  const Complex i_sig = dft_bin(i_nl, k_sig);
+  const Complex v_sig = hout_sig * vs_sig + zt_sig * i_sig;
+
+  BlockerPoint pt;
+  pt.p_blocker_dbm = p_blocker_dbm;
+  pt.signal_gain_db =
+      rf::dbm_from_watt(std::norm(v_sig) / (2.0 * z0)) - options.p_signal_dbm;
+  pt.desense_db =
+      rf::db20(lna.s_params(options.f_signal_hz).s21) - pt.signal_gain_db;
+  return pt;
+}
+
+BlockerSweep blocker_sweep(const amplifier::LnaDesign& lna,
+                           double p_start_dbm, double p_stop_dbm,
+                           std::size_t n, BlockerOptions options) {
+  if (n < 2 || p_stop_dbm <= p_start_dbm) {
+    throw std::invalid_argument("blocker_sweep: bad sweep definition");
+  }
+  BlockerSweep sweep;
+  sweep.points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = p_start_dbm + (p_stop_dbm - p_start_dbm) *
+                                       static_cast<double>(i) /
+                                       static_cast<double>(n - 1);
+    sweep.points.push_back(blocker_point(lna, p, options));
+  }
+
+  sweep.p1db_desense_dbm = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (sweep.points[i].desense_db >= 1.0) {
+      const BlockerPoint& a = sweep.points[i - 1];
+      const BlockerPoint& b = sweep.points[i];
+      const double t = (1.0 - a.desense_db) / (b.desense_db - a.desense_db);
+      sweep.p1db_desense_dbm =
+          a.p_blocker_dbm + t * (b.p_blocker_dbm - a.p_blocker_dbm);
+      break;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace gnsslna::nonlinear

@@ -1,0 +1,47 @@
+// Blocker desensitization: gain compression of a weak in-band GNSS signal
+// by a strong out-of-band interferer.
+//
+// The scenario that motivates antenna-preamp linearity in the first
+// place: a GSM/LTE uplink burst (sub-GHz, watts, metres away) rides
+// through the preamp's front end and cross-compresses the -130 dBm GNSS
+// signal.  The same single-nonlinearity spectral method as two_tone.h,
+// with unequal tone amplitudes: the small-signal gain at f_sig is
+//   G(f_sig) = |H_lin + Z_t * dI_NL(f_sig)/dV| ...
+// evaluated directly from the time-domain drain current of the full
+// large-signal model driven by (signal + blocker).
+#pragma once
+
+#include "amplifier/lna.h"
+
+namespace gnsslna::nonlinear {
+
+struct BlockerOptions {
+  double f_signal_hz = 1575.0e6;  ///< in-band GNSS carrier
+  double f_blocker_hz = 900.0e6;  ///< GSM-900 uplink style interferer
+  double p_signal_dbm = -60.0;    ///< weak signal (linear regime)
+  std::size_t samples = 4096;     ///< time grid over the common period
+};
+
+struct BlockerPoint {
+  double p_blocker_dbm = 0.0;
+  double signal_gain_db = 0.0;   ///< gain seen by the weak signal
+  double desense_db = 0.0;       ///< gain drop vs unblocked
+};
+
+struct BlockerSweep {
+  std::vector<BlockerPoint> points;
+  double p1db_desense_dbm = 0.0;  ///< blocker power for 1 dB desensitization
+                                  ///< (NaN if not reached)
+};
+
+/// Gain of the weak signal at one blocker power.
+BlockerPoint blocker_point(const amplifier::LnaDesign& lna,
+                           double p_blocker_dbm, BlockerOptions options = {});
+
+/// Blocker power sweep with the 1 dB desensitization point interpolated.
+BlockerSweep blocker_sweep(const amplifier::LnaDesign& lna,
+                           double p_start_dbm = -30.0,
+                           double p_stop_dbm = 0.0, std::size_t n = 11,
+                           BlockerOptions options = {});
+
+}  // namespace gnsslna::nonlinear

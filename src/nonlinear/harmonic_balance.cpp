@@ -1,0 +1,150 @@
+#include "nonlinear/harmonic_balance.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "rf/units.h"
+
+namespace gnsslna::nonlinear {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+using rf::Complex;
+}  // namespace
+
+HarmonicBalanceResult harmonic_balance(const amplifier::LnaDesign& lna,
+                                       double p_in_dbm,
+                                       HarmonicBalanceOptions options) {
+  const std::size_t kh = options.harmonics;
+  const std::size_t n = options.time_samples;
+  if (kh < 1) {
+    throw std::invalid_argument("harmonic_balance: need >= 1 harmonic");
+  }
+  if (n < 4 * kh) {
+    throw std::invalid_argument(
+        "harmonic_balance: time_samples must be >= 4 * harmonics");
+  }
+  if (options.f0_hz <= 0.0) {
+    throw std::invalid_argument("harmonic_balance: f0 must be positive");
+  }
+
+  const circuit::Netlist nl = lna.build_netlist();
+  const circuit::NodeId gate = nl.find_node("gate");
+  const circuit::NodeId source = nl.find_node("source");
+  const circuit::NodeId drain = nl.find_node("drain");
+  const circuit::NodeId out = nl.ports()[1].node;
+  const double z0 = nl.ports()[1].z0;
+
+  const double vs =
+      std::sqrt(8.0 * z0 * rf::watt_from_dbm(p_in_dbm));
+
+  // Linear embedding, precomputed per harmonic:
+  //   v_lin[k]   : source contribution (k = 1 only)
+  //   zg[k], zd[k]: transimpedance from the (source->drain) injection to
+  //                 v(gate)-v(source) and v(drain)-v(source)
+  //   zout[k]    : to the output node
+  std::vector<Complex> vg_lin(kh + 1), vd_lin(kh + 1);
+  std::vector<Complex> zg(kh + 1), zd(kh + 1), zout(kh + 1), hout(kh + 1);
+  vg_lin[1] =
+      circuit::voltage_transfer(nl, 0, gate, source, options.f0_hz) * vs;
+  vd_lin[1] =
+      circuit::voltage_transfer(nl, 0, drain, source, options.f0_hz) * vs;
+  hout[1] = circuit::voltage_transfer(nl, 0, out, circuit::kGround,
+                                      options.f0_hz) *
+            vs;
+
+  // Differential transimpedances: one factorization per harmonic, one
+  // solve for the unit (source -> drain) injection, all three read-outs
+  // from the same solution vector.
+  for (std::size_t k = 1; k <= kh; ++k) {
+    const double f = options.f0_hz * static_cast<double>(k);
+    const numeric::LuDecomposition<Complex> lu(nl.assemble_terminated(f));
+    std::vector<Complex> rhs(nl.node_count() - 1, Complex{0.0, 0.0});
+    rhs[source - 1] += Complex{1.0, 0.0};
+    rhs[drain - 1] -= Complex{1.0, 0.0};
+    const std::vector<Complex> v = lu.solve(rhs);
+    zg[k] = v[gate - 1] - v[source - 1];
+    zd[k] = v[drain - 1] - v[source - 1];
+    zout[k] = v[out - 1];
+  }
+
+  // State: voltage phasors at harmonics 1..K.
+  std::vector<Complex> vg(kh + 1, Complex{0.0, 0.0});
+  std::vector<Complex> vd(kh + 1, Complex{0.0, 0.0});
+  vg[1] = vg_lin[1];
+  vd[1] = vd_lin[1];
+
+  const device::Bias bias{lna.design().vgs, lna.design().vds};
+  const device::Conductances lin = lna.device().conductances(bias);
+
+  HarmonicBalanceResult result;
+  result.p_in_dbm = p_in_dbm;
+
+  std::vector<double> i_nl(n);
+  std::vector<Complex> i_h(kh + 1);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+
+    // Time-domain waveforms from the current phasors.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double theta =
+          kTwoPi * static_cast<double>(i) / static_cast<double>(n);
+      double vgt = 0.0, vdt = 0.0;
+      for (std::size_t k = 1; k <= kh; ++k) {
+        const Complex e{std::cos(k * theta), std::sin(k * theta)};
+        vgt += (vg[k] * e).real();
+        vdt += (vd[k] * e).real();
+      }
+      const double vds_t = std::max(bias.vds + vdt, 0.0);
+      i_nl[i] = lna.device().drain_current({bias.vgs + vgt, vds_t}) -
+                lin.ids - lin.gm * vgt - lin.gds * vdt;
+    }
+
+    // Harmonic content of the excess current.
+    for (std::size_t k = 1; k <= kh; ++k) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t i = 0; i < n; ++i) {
+        const double phase = -kTwoPi * static_cast<double>(k) *
+                             static_cast<double>(i) / static_cast<double>(n);
+        acc += i_nl[i] * Complex{std::cos(phase), std::sin(phase)};
+      }
+      i_h[k] = 2.0 / static_cast<double>(n) * acc;
+    }
+
+    // Relaxed update and convergence check.
+    double delta = 0.0, norm = 0.0;
+    for (std::size_t k = 1; k <= kh; ++k) {
+      const Complex vg_new = vg_lin[k] + zg[k] * i_h[k];
+      const Complex vd_new = vd_lin[k] + zd[k] * i_h[k];
+      delta += std::norm(vg_new - vg[k]) + std::norm(vd_new - vd[k]);
+      norm += std::norm(vg_new) + std::norm(vd_new);
+      vg[k] = vg[k] + options.relaxation * (vg_new - vg[k]);
+      vd[k] = vd[k] + options.relaxation * (vd_new - vd[k]);
+    }
+    if (delta <= options.tolerance * std::max(norm, 1e-30)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Output spectrum.
+  result.p_harmonic_dbm.resize(kh);
+  for (std::size_t k = 1; k <= kh; ++k) {
+    const Complex v_out =
+        (k == 1 ? hout[1] : Complex{0.0, 0.0}) + zout[k] * i_h[k];
+    const double p = std::norm(v_out) / (2.0 * z0);
+    result.p_harmonic_dbm[k - 1] =
+        p > 0.0 ? rf::dbm_from_watt(p) : -300.0;
+  }
+  result.gain_db = result.p_harmonic_dbm[0] - p_in_dbm;
+  if (kh >= 2) {
+    result.hd2_dbc = result.p_harmonic_dbm[1] - result.p_harmonic_dbm[0];
+  }
+  if (kh >= 3) {
+    result.hd3_dbc = result.p_harmonic_dbm[2] - result.p_harmonic_dbm[0];
+  }
+  return result;
+}
+
+}  // namespace gnsslna::nonlinear

@@ -1,0 +1,46 @@
+// Single-tone harmonic balance for the one-FET LNA.
+//
+// Unlike the first-order spectral method in two_tone.h, this solver keeps
+// the DRAIN-VOLTAGE feedback: the nonlinear excess drain current
+//   i_NL(vg, vd) = Id(VGS0+vg, VDS0+vd) - Id0 - gm vg - gds vd
+// is balanced against the linear embedding network at every harmonic
+// simultaneously.  Unknowns are the gate-source and drain-source voltage
+// phasors at harmonics 1..K; the fixed-point (relaxed Picard) iteration
+//
+//   v^(m+1) = (1-w) v^(m) + w [ v_lin + Z_t(k f0) I_NL(v^(m))[k] ]
+//
+// converges quickly at LNA drive levels where the loop gain of the
+// nonlinearity is below one.  The DC (k = 0) rectification shift is
+// neglected: the AC netlist has no valid DC representation, and the bias
+// network re-settles it in reality (documented approximation).
+#pragma once
+
+#include "amplifier/lna.h"
+
+namespace gnsslna::nonlinear {
+
+struct HarmonicBalanceOptions {
+  double f0_hz = 1575.0e6;
+  std::size_t harmonics = 5;       ///< K: highest balanced harmonic
+  std::size_t time_samples = 128;  ///< per fundamental period (>= 4K)
+  std::size_t max_iterations = 200;
+  double relaxation = 0.7;         ///< Picard damping factor w
+  double tolerance = 1e-10;        ///< relative voltage-update norm
+};
+
+struct HarmonicBalanceResult {
+  double p_in_dbm = 0.0;
+  std::vector<double> p_harmonic_dbm;  ///< output power at k f0, k = 1..K
+  double gain_db = 0.0;                ///< fundamental gain
+  double hd2_dbc = 0.0;                ///< 2nd harmonic relative to fund.
+  double hd3_dbc = 0.0;                ///< 3rd harmonic relative to fund.
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Solves the harmonic balance at one drive level.
+HarmonicBalanceResult harmonic_balance(const amplifier::LnaDesign& lna,
+                                       double p_in_dbm,
+                                       HarmonicBalanceOptions options = {});
+
+}  // namespace gnsslna::nonlinear

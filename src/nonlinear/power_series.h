@@ -1,0 +1,37 @@
+// Closed-form third-order intermodulation estimates from the power-series
+// expansion of the drain current around the bias point.
+//
+// With i_d = gm v + (gm2/2) v^2 + (gm3/6) v^3 driven by a two-tone gate
+// voltage of per-tone amplitude A, the IM3 product amplitude is
+// (gm3/8) A^3, so the input-referred intercept (gate-voltage amplitude) is
+//
+//     A_IIP3^2 = 8 |gm| / |gm3| * ... = (4/3) * |6 gm / gm3| / 2  -> see
+//     derivation in the .cpp; the classic result is
+//     A_IIP3 = sqrt( (4/3) |a1 / a3| ),  a1 = gm, a3 = gm3 / 6.
+//
+// These estimates ignore the embedding network (taken at the gate plane)
+// and out-of-band terminations — they are the sanity anchor for the full
+// two-tone simulation in two_tone.h.
+#pragma once
+
+#include "device/phemt.h"
+
+namespace gnsslna::nonlinear {
+
+struct PowerSeriesIp3 {
+  double a_iip3_v = 0.0;    ///< gate-voltage amplitude at the intercept [V]
+  double iip3_dbm = 0.0;    ///< input-referred intercept into z0 [dBm]
+  double a_1db_v = 0.0;     ///< 1 dB gain-compression gate amplitude [V]
+  double p_1db_in_dbm = 0.0;///< input-referred 1 dB compression point [dBm]
+  double gm = 0.0;
+  double gm3 = 0.0;
+};
+
+/// IP3/P1dB of the bare device at a bias, referred to a z0 source driving
+/// the gate directly (unit input match).  Throws std::domain_error when
+/// gm3 is ~0 (inflection bias: the power series predicts infinite IP3 and
+/// the full simulator must be used).
+PowerSeriesIp3 device_ip3(const device::Phemt& device,
+                          const device::Bias& bias, double z0 = 50.0);
+
+}  // namespace gnsslna::nonlinear

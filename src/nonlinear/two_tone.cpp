@@ -1,0 +1,173 @@
+#include "nonlinear/two_tone.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/least_squares.h"
+#include "rf/units.h"
+
+namespace gnsslna::nonlinear {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+using rf::Complex;
+
+/// Checks that f1 and f2 sit on a common grid and returns (delta, k1, k2).
+struct ToneGrid {
+  double delta_hz;
+  std::size_t k1, k2;
+};
+
+ToneGrid tone_grid(const TwoToneOptions& opt) {
+  if (opt.f2_hz <= opt.f1_hz) {
+    throw std::invalid_argument("two_tone: f2 must be above f1");
+  }
+  const double delta = opt.f2_hz - opt.f1_hz;
+  const double k1d = opt.f1_hz / delta;
+  const double k1r = std::round(k1d);
+  if (std::abs(k1d - k1r) > 1e-6 * k1r) {
+    throw std::invalid_argument(
+        "two_tone: f1 must be an integer multiple of (f2 - f1)");
+  }
+  ToneGrid g;
+  g.delta_hz = delta;
+  g.k1 = static_cast<std::size_t>(k1r);
+  g.k2 = g.k1 + 1;
+  return g;
+}
+
+/// Single-bin DFT returning the peak phasor of bin k.
+Complex dft_bin(const std::vector<double>& x, std::size_t k) {
+  const std::size_t n = x.size();
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = -kTwoPi * static_cast<double>(k) *
+                         static_cast<double>(i) / static_cast<double>(n);
+    acc += x[i] * Complex{std::cos(phase), std::sin(phase)};
+  }
+  return 2.0 / static_cast<double>(n) * acc;
+}
+
+double out_power_dbm(Complex v_out, double z0) {
+  const double p = std::norm(v_out) / (2.0 * z0);
+  return p > 0.0 ? rf::dbm_from_watt(p) : -300.0;
+}
+
+}  // namespace
+
+TwoTonePoint two_tone_point(const amplifier::LnaDesign& lna, double p_in_dbm,
+                            TwoToneOptions options) {
+  const ToneGrid grid = tone_grid(options);
+  const std::size_t n = options.samples;
+  if (n < 4 * grid.k2 / 2 + 8) {
+    throw std::invalid_argument(
+        "two_tone: not enough samples for the tone frequencies");
+  }
+
+  const circuit::Netlist nl = lna.build_netlist();
+  const circuit::NodeId gate = nl.find_node("gate");
+  const circuit::NodeId source = nl.find_node("source");
+  const circuit::NodeId drain = nl.find_node("drain");
+  const circuit::NodeId out = nl.ports()[1].node;
+  const double z0 = nl.ports()[1].z0;
+
+  // Thevenin amplitude per tone for the requested available power.
+  const double p_watt = rf::watt_from_dbm(p_in_dbm);
+  const double vs = std::sqrt(8.0 * z0 * p_watt);
+
+  // Linear transfers at the two fundamentals.
+  const Complex hg1 =
+      circuit::voltage_transfer(nl, 0, gate, source, options.f1_hz);
+  const Complex hg2 =
+      circuit::voltage_transfer(nl, 0, gate, source, options.f2_hz);
+  const Complex hout1 =
+      circuit::voltage_transfer(nl, 0, out, circuit::kGround, options.f1_hz);
+
+  // Nonlinear excess drain current over the beat period.
+  const device::Bias bias{lna.design().vgs, lna.design().vds};
+  const device::Conductances lin = lna.device().conductances(bias);
+  const double id0 = lin.ids;
+  std::vector<double> i_nl(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) /
+                     (static_cast<double>(n) * grid.delta_hz);
+    const Complex e1{std::cos(kTwoPi * options.f1_hz * t),
+                     std::sin(kTwoPi * options.f1_hz * t)};
+    const Complex e2{std::cos(kTwoPi * options.f2_hz * t),
+                     std::sin(kTwoPi * options.f2_hz * t)};
+    const double vg = (hg1 * vs * e1).real() + (hg2 * vs * e2).real();
+    i_nl[i] = lna.device().drain_current({bias.vgs + vg, bias.vds}) - id0 -
+              lin.gm * vg;
+  }
+
+  // Spectral lines of interest.
+  const Complex i_f1 = dft_bin(i_nl, grid.k1);
+  const Complex i_im3 = dft_bin(i_nl, 2 * grid.k1 - grid.k2);  // 2f1 - f2
+
+  // Carry the injections to the output.  Injection pair (source, drain)
+  // models the extra drain-to-source channel current.
+  const Complex zt_f1 =
+      circuit::transimpedance(nl, source, drain, 1, options.f1_hz);
+  const double f_im3 =
+      grid.delta_hz * static_cast<double>(2 * grid.k1 - grid.k2);
+  const Complex zt_im3 = circuit::transimpedance(nl, source, drain, 1, f_im3);
+
+  const Complex v_fund = hout1 * vs + zt_f1 * i_f1;
+  const Complex v_im3 = zt_im3 * i_im3;
+
+  TwoTonePoint pt;
+  pt.p_in_dbm = p_in_dbm;
+  pt.p_fund_dbm = out_power_dbm(v_fund, z0);
+  pt.p_im3_dbm = out_power_dbm(v_im3, z0);
+  pt.gain_db = pt.p_fund_dbm - p_in_dbm;
+  return pt;
+}
+
+TwoToneSweep two_tone_sweep(const amplifier::LnaDesign& lna,
+                            double p_start_dbm, double p_stop_dbm,
+                            std::size_t n, TwoToneOptions options) {
+  if (n < 3 || p_stop_dbm <= p_start_dbm) {
+    throw std::invalid_argument("two_tone_sweep: bad sweep definition");
+  }
+  TwoToneSweep sweep;
+  sweep.points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = p_start_dbm + (p_stop_dbm - p_start_dbm) *
+                                       static_cast<double>(i) /
+                                       static_cast<double>(n - 1);
+    sweep.points.push_back(two_tone_point(lna, p, options));
+  }
+
+  // Intercept from the lowest-drive point (deep in the asymptotic region).
+  const TwoTonePoint& lo = sweep.points.front();
+  sweep.oip3_dbm = lo.p_fund_dbm + 0.5 * (lo.p_fund_dbm - lo.p_im3_dbm);
+  sweep.iip3_dbm = sweep.oip3_dbm - lo.gain_db;
+
+  // IM3 slope from a least-squares fit over the lower half of the sweep.
+  {
+    std::vector<double> x, y;
+    for (std::size_t i = 0; i < (n + 1) / 2; ++i) {
+      x.push_back(sweep.points[i].p_in_dbm);
+      y.push_back(sweep.points[i].p_im3_dbm);
+    }
+    const std::vector<double> c = numeric::polyfit(x, y, 1);
+    sweep.im3_slope = c[1];
+  }
+
+  // Output 1 dB compression: first crossing of (small-signal gain - 1 dB).
+  sweep.p1db_out_dbm = std::numeric_limits<double>::quiet_NaN();
+  const double g0 = sweep.points.front().gain_db;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (sweep.points[i].gain_db <= g0 - 1.0) {
+      const TwoTonePoint& a = sweep.points[i - 1];
+      const TwoTonePoint& b = sweep.points[i];
+      const double t = (g0 - 1.0 - a.gain_db) / (b.gain_db - a.gain_db);
+      sweep.p1db_out_dbm = a.p_fund_dbm + t * (b.p_fund_dbm - a.p_fund_dbm);
+      break;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace gnsslna::nonlinear

@@ -1,0 +1,59 @@
+// Two-tone intermodulation simulation of the complete LNA.
+//
+// Method (a single-nonlinearity spectral balance, adequate for a one-FET
+// LNA whose distortion is gm-dominated):
+//   1. the LINEAR response comes from the MNA netlist with the linearized
+//      FET — exactly what the S-parameter analysis uses;
+//   2. the gate waveform v_gs(t) for the two tones is reconstructed from
+//      the Thevenin-source-to-gate voltage transfer H_g(f);
+//   3. the drain current of the FULL large-signal model is evaluated on a
+//      dense time grid over the two-tone beat period; the linear term
+//      gm v_gs is subtracted, leaving the nonlinear excess current;
+//   4. each spectral line of the excess current (single-bin DFT) is
+//      re-injected into the linear network at the drain and carried to the
+//      output through the transimpedance Z_t(f).
+// Output-voltage feedback onto the nonlinearity (vds modulation) is
+// neglected — first-order in the gm3 products, the standard Volterra
+// truncation at LNA drive levels.  The fundamental correction IS included,
+// so gain compression emerges naturally.
+#pragma once
+
+#include "amplifier/lna.h"
+
+namespace gnsslna::nonlinear {
+
+struct TwoToneOptions {
+  double f1_hz = 1575.0e6;
+  double f2_hz = 1576.0e6;     ///< must share a common divisor with f1
+  std::size_t samples = 8192;  ///< time samples over the beat period
+};
+
+/// Spot result at one input power.
+struct TwoTonePoint {
+  double p_in_dbm = 0.0;       ///< available power per tone
+  double p_fund_dbm = 0.0;     ///< output power per fundamental tone
+  double p_im3_dbm = 0.0;      ///< output power per IM3 product (2f1-f2)
+  double gain_db = 0.0;        ///< fundamental gain at this drive
+};
+
+/// Simulates one drive level.
+TwoTonePoint two_tone_point(const amplifier::LnaDesign& lna, double p_in_dbm,
+                            TwoToneOptions options = {});
+
+/// Power sweep + intercept extraction.
+struct TwoToneSweep {
+  std::vector<TwoTonePoint> points;
+  double oip3_dbm = 0.0;       ///< output intercept (small-signal asymptotes)
+  double iip3_dbm = 0.0;
+  double im3_slope = 0.0;      ///< dB/dB slope of the IM3 line (expect ~3)
+  double p1db_out_dbm = 0.0;   ///< output 1 dB compression (NaN if not hit)
+};
+
+/// Sweeps input power [p_start, p_stop] dBm in n points and extracts
+/// intercepts from the low-drive asymptotes.
+TwoToneSweep two_tone_sweep(const amplifier::LnaDesign& lna,
+                            double p_start_dbm = -40.0,
+                            double p_stop_dbm = -10.0, std::size_t n = 13,
+                            TwoToneOptions options = {});
+
+}  // namespace gnsslna::nonlinear

@@ -1,0 +1,94 @@
+#include "numeric/least_squares.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnsslna::numeric {
+
+std::vector<double> solve_least_squares(const RealMatrix& a,
+                                        const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) {
+    throw std::invalid_argument("solve_least_squares: rhs dimension mismatch");
+  }
+  if (m < n) {
+    throw std::invalid_argument("solve_least_squares: system is underdetermined");
+  }
+
+  RealMatrix r = a;
+  std::vector<double> qtb = b;
+
+  // Householder QR: triangularize R in place, apply reflectors to qtb.
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      throw std::domain_error("solve_least_squares: rank-deficient matrix");
+    }
+    const double alpha = (r(k, k) > 0.0) ? -norm : norm;
+    std::vector<double> v(m - k);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vnorm2 = 0.0;
+    for (const double vi : v) vnorm2 += vi * vi;
+    if (vnorm2 == 0.0) continue;  // column already triangular
+
+    r(k, k) = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) r(i, k) = 0.0;
+
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
+      const double scale = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= scale * v[i - k];
+    }
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * qtb[i];
+    const double scale = 2.0 * dot / vnorm2;
+    for (std::size_t i = k; i < m; ++i) qtb[i] -= scale * v[i - k];
+  }
+
+  // Back substitution on the upper-triangular n x n block.  Rank
+  // deficiency shows up as a diagonal entry collapsing relative to the
+  // largest one.
+  double diag_max = 0.0;
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    diag_max = std::max(diag_max, std::abs(r(ii, ii)));
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r(ii, j) * x[j];
+    const double diag = r(ii, ii);
+    if (std::abs(diag) < 1e-12 * diag_max) {
+      throw std::domain_error("solve_least_squares: rank-deficient matrix");
+    }
+    x[ii] = acc / diag;
+  }
+  return x;
+}
+
+std::vector<double> polyfit(const std::vector<double>& x,
+                            const std::vector<double>& y, int degree) {
+  if (degree < 0) throw std::invalid_argument("polyfit: negative degree");
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("polyfit: x/y size mismatch");
+  }
+  const std::size_t n = static_cast<std::size_t>(degree) + 1;
+  if (x.size() < n) {
+    throw std::invalid_argument("polyfit: not enough points for degree");
+  }
+  RealMatrix vand(x.size(), n);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double p = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      vand(i, j) = p;
+      p *= x[i];
+    }
+  }
+  return solve_least_squares(vand, y);
+}
+
+}  // namespace gnsslna::numeric

@@ -1,0 +1,27 @@
+// Linear least squares via Householder QR.
+//
+// Used by the Levenberg-Marquardt optimizer and by polynomial/curve fitting
+// inside the extraction library.  Real-valued only; complex residuals are
+// split into (re, im) rows by callers.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.h"
+
+namespace gnsslna::numeric {
+
+/// Solves min_x ||A x - b||_2 for a tall (rows >= cols) real matrix A
+/// using Householder QR with column norms checked for rank deficiency.
+///
+/// Throws std::invalid_argument on shape mismatch and std::domain_error
+/// when A is (numerically) rank deficient.
+std::vector<double> solve_least_squares(const RealMatrix& a,
+                                        const std::vector<double>& b);
+
+/// Fits a polynomial c0 + c1 x + ... + c_degree x^degree in the
+/// least-squares sense.  Returns coefficients in ascending-power order.
+std::vector<double> polyfit(const std::vector<double>& x,
+                            const std::vector<double>& y, int degree);
+
+}  // namespace gnsslna::numeric

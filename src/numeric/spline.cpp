@@ -1,0 +1,94 @@
+#include "numeric/spline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gnsslna::numeric {
+
+CubicSpline::CubicSpline(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  const std::size_t n = x_.size();
+  if (n < 2 || y_.size() != n) {
+    throw std::invalid_argument("CubicSpline: need >= 2 matching points");
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (x_[i] <= x_[i - 1]) {
+      throw std::invalid_argument("CubicSpline: x must be strictly increasing");
+    }
+  }
+
+  // Solve the tridiagonal system for the second derivatives (natural BCs:
+  // m[0] = m[n-1] = 0) with the Thomas algorithm.
+  m_.assign(n, 0.0);
+  if (n == 2) return;
+  std::vector<double> diag(n - 2), rhs(n - 2), sub(n - 2), sup(n - 2);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double h0 = x_[i] - x_[i - 1];
+    const double h1 = x_[i + 1] - x_[i];
+    sub[i - 1] = h0;
+    diag[i - 1] = 2.0 * (h0 + h1);
+    sup[i - 1] = h1;
+    rhs[i - 1] =
+        6.0 * ((y_[i + 1] - y_[i]) / h1 - (y_[i] - y_[i - 1]) / h0);
+  }
+  for (std::size_t i = 1; i < diag.size(); ++i) {
+    const double w = sub[i] / diag[i - 1];
+    diag[i] -= w * sup[i - 1];
+    rhs[i] -= w * rhs[i - 1];
+  }
+  for (std::size_t ii = diag.size(); ii-- > 0;) {
+    double acc = rhs[ii];
+    if (ii + 1 < diag.size()) acc -= sup[ii] * m_[ii + 2];
+    m_[ii + 1] = acc / diag[ii];
+  }
+}
+
+std::size_t CubicSpline::segment(double x) const {
+  // Index i such that x in [x_[i], x_[i+1]); clamped to valid range.
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::ptrdiff_t idx = std::distance(x_.begin(), it) - 1;
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(idx, 0,
+                                 static_cast<std::ptrdiff_t>(x_.size()) - 2));
+}
+
+double CubicSpline::operator()(double x) const {
+  if (x <= x_.front()) {
+    return y_.front() + derivative(x_.front()) * (x - x_.front());
+  }
+  if (x >= x_.back()) {
+    return y_.back() + derivative(x_.back()) * (x - x_.back());
+  }
+  const std::size_t i = segment(x);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  return a * y_[i] + b * y_[i + 1] +
+         ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[i + 1]) * h * h / 6.0;
+}
+
+double CubicSpline::derivative(double x) const {
+  const double xc = std::clamp(x, x_.front(), x_.back());
+  const std::size_t i = segment(xc);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - xc) / h;
+  const double b = (xc - x_[i]) / h;
+  return (y_[i + 1] - y_[i]) / h +
+         ((3.0 * b * b - 1.0) * m_[i + 1] - (3.0 * a * a - 1.0) * m_[i]) * h /
+             6.0;
+}
+
+double lerp_table(const std::vector<double>& x, const std::vector<double>& y,
+                  double xq) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("lerp_table: bad table");
+  }
+  if (xq <= x.front()) return y.front();
+  if (xq >= x.back()) return y.back();
+  const auto it = std::upper_bound(x.begin(), x.end(), xq);
+  const std::size_t i = static_cast<std::size_t>(it - x.begin()) - 1;
+  const double t = (xq - x[i]) / (x[i + 1] - x[i]);
+  return y[i] + t * (y[i + 1] - y[i]);
+}
+
+}  // namespace gnsslna::numeric

@@ -1,0 +1,40 @@
+// Natural cubic spline interpolation.
+//
+// Used to interpolate tabulated frequency-dispersion data (component Q(f),
+// ESR(f)) and measured S-parameter sweeps onto the optimizer's frequency
+// grid.
+#pragma once
+
+#include <vector>
+
+namespace gnsslna::numeric {
+
+/// Natural cubic spline through (x, y) points with strictly increasing x.
+class CubicSpline {
+ public:
+  /// Builds the spline.  Requires x strictly increasing and >= 2 points.
+  CubicSpline(std::vector<double> x, std::vector<double> y);
+
+  /// Evaluates the spline; clamps to linear extrapolation outside [x0, xN].
+  double operator()(double x) const;
+
+  /// First derivative of the spline at x (same extrapolation rule).
+  double derivative(double x) const;
+
+  double x_min() const { return x_.front(); }
+  double x_max() const { return x_.back(); }
+
+ private:
+  std::size_t segment(double x) const;
+
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> m_;  // second derivatives at the knots
+};
+
+/// Piecewise-linear interpolation with clamped extrapolation; the cheap
+/// sibling of CubicSpline for monotone tabulated data.
+double lerp_table(const std::vector<double>& x, const std::vector<double>& y,
+                  double xq);
+
+}  // namespace gnsslna::numeric

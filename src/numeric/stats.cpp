@@ -1,0 +1,73 @@
+#include "numeric/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gnsslna::numeric {
+
+namespace {
+void require_nonempty(const std::vector<double>& v, const char* who) {
+  if (v.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty input");
+  }
+}
+}  // namespace
+
+double mean(const std::vector<double>& v) {
+  require_nonempty(v, "mean");
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  require_nonempty(v, "stddev");
+  if (v.size() == 1) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (const double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double median(std::vector<double> v) {
+  require_nonempty(v, "median");
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> v, double p) {
+  require_nonempty(v, "percentile");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p must be in [0, 100]");
+  }
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] + frac * (v[lo + 1] - v[lo]);
+}
+
+double mad_sigma(const std::vector<double>& v) {
+  require_nonempty(v, "mad_sigma");
+  const double med = median(v);
+  std::vector<double> dev(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) dev[i] = std::abs(v[i] - med);
+  return 1.4826 * median(std::move(dev));
+}
+
+double rms(const std::vector<double>& v) {
+  require_nonempty(v, "rms");
+  double s = 0.0;
+  for (const double x : v) s += x * x;
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+}  // namespace gnsslna::numeric

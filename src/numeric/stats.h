@@ -1,0 +1,27 @@
+// Descriptive statistics used by the benchmark harness and robust fitting.
+#pragma once
+
+#include <vector>
+
+namespace gnsslna::numeric {
+
+/// Arithmetic mean.  Throws std::invalid_argument on empty input.
+double mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); zero for size-1 input.
+double stddev(const std::vector<double>& v);
+
+/// Median (averages the two central values for even sizes).
+double median(std::vector<double> v);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> v, double p);
+
+/// Median absolute deviation, scaled by 1.4826 so it estimates sigma for
+/// Gaussian data.  The robust spread estimator used in extraction step 3.
+double mad_sigma(const std::vector<double>& v);
+
+/// Root mean square of the entries.
+double rms(const std::vector<double>& v);
+
+}  // namespace gnsslna::numeric

@@ -1,0 +1,147 @@
+#include "optimize/bfgs.h"
+
+#include <cmath>
+
+#include "numeric/matrix.h"
+
+namespace gnsslna::optimize {
+
+std::vector<double> numeric_gradient(const ObjectiveFn& fn,
+                                     const std::vector<double>& x,
+                                     const Bounds& bounds, double fd_step) {
+  const std::size_t n = x.size();
+  const std::vector<double> widths = bounds.width();
+  std::vector<double> g(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double scale = std::max(std::abs(x[j]), 1e-3 * widths[j]);
+    const double h = fd_step * scale;
+    std::vector<double> xp = x, xm = x;
+    xp[j] = std::min(x[j] + h, bounds.upper[j]);
+    xm[j] = std::max(x[j] - h, bounds.lower[j]);
+    const double denom = xp[j] - xm[j];
+    g[j] = denom > 0.0 ? (fn(xp) - fn(xm)) / denom : 0.0;
+  }
+  return g;
+}
+
+Result bfgs(const ObjectiveFn& fn, const Bounds& bounds,
+            std::vector<double> x0, BfgsOptions options) {
+  bounds.validate();
+  const std::size_t n = bounds.dimension();
+  if (x0.size() != n) {
+    throw std::invalid_argument("bfgs: x0 dimension mismatch");
+  }
+
+  Result result;
+  const auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return fn(x);
+  };
+  const std::vector<double> widths = bounds.width();
+
+  std::vector<double> x = bounds.clamp(std::move(x0));
+  double f = eval(x);
+  numeric::RealMatrix h_inv = numeric::RealMatrix::identity(n);
+  std::vector<double> grad = numeric_gradient(
+      [&](const std::vector<double>& p) { return eval(p); }, x, bounds,
+      options.fd_step);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+
+    // Scaled gradient-norm stopping rule.
+    double gmax = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      gmax = std::max(gmax, std::abs(grad[j]) * widths[j]);
+    }
+    if (gmax < options.gradient_tolerance * std::max(1.0, std::abs(f))) {
+      result.converged = true;
+      break;
+    }
+
+    // Search direction d = -H_inv * grad.
+    std::vector<double> d(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) d[i] -= h_inv(i, j) * grad[j];
+    }
+    double slope = 0.0;
+    for (std::size_t j = 0; j < n; ++j) slope += d[j] * grad[j];
+    if (slope >= 0.0) {
+      // Not a descent direction (numerical breakdown): reset to steepest
+      // descent.
+      h_inv = numeric::RealMatrix::identity(n);
+      for (std::size_t j = 0; j < n; ++j) d[j] = -grad[j];
+      slope = 0.0;
+      for (std::size_t j = 0; j < n; ++j) slope += d[j] * grad[j];
+      if (slope >= 0.0) break;  // zero gradient
+    }
+
+    // Armijo backtracking.
+    double alpha = 1.0;
+    std::vector<double> x_new;
+    double f_new = f;
+    bool accepted = false;
+    bool clipped = false;
+    for (std::size_t bt = 0; bt < options.max_backtracks; ++bt) {
+      std::vector<double> trial(n);
+      for (std::size_t j = 0; j < n; ++j) trial[j] = x[j] + alpha * d[j];
+      std::vector<double> clamped = bounds.clamp(trial);
+      clipped = clamped != trial;
+      f_new = eval(clamped);
+      if (f_new <= f + options.armijo_c1 * alpha * slope) {
+        x_new = std::move(clamped);
+        accepted = true;
+        break;
+      }
+      alpha *= options.backtrack;
+    }
+    if (!accepted) {
+      result.converged = true;  // no further descent possible
+      break;
+    }
+
+    std::vector<double> grad_new = numeric_gradient(
+        [&](const std::vector<double>& p) { return eval(p); }, x_new, bounds,
+        options.fd_step);
+
+    if (clipped) {
+      // Curvature information is invalid across a projection: restart.
+      h_inv = numeric::RealMatrix::identity(n);
+    } else {
+      // BFGS inverse update.
+      std::vector<double> s(n), y(n);
+      double sy = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        s[j] = x_new[j] - x[j];
+        y[j] = grad_new[j] - grad[j];
+        sy += s[j] * y[j];
+      }
+      if (sy > 1e-12) {
+        const double rho = 1.0 / sy;
+        // H' = (I - rho s y^T) H (I - rho y s^T) + rho s s^T
+        std::vector<double> hy(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) hy[i] += h_inv(i, j) * y[j];
+        }
+        double yhy = 0.0;
+        for (std::size_t j = 0; j < n; ++j) yhy += y[j] * hy[j];
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            h_inv(i, j) += (rho * rho * yhy + rho) * s[i] * s[j] -
+                           rho * (hy[i] * s[j] + s[i] * hy[j]);
+          }
+        }
+      }
+    }
+
+    x = std::move(x_new);
+    f = f_new;
+    grad = std::move(grad_new);
+  }
+
+  result.x = std::move(x);
+  result.value = f;
+  return result;
+}
+
+}  // namespace gnsslna::optimize

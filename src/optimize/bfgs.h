@@ -1,0 +1,35 @@
+// BFGS quasi-Newton minimization with numeric gradients (direct method #3).
+//
+// Dense inverse-Hessian update, Armijo backtracking line search, and
+// projection-plus-restart handling of the box bounds: when a step lands on
+// the boundary the inverse Hessian is reset (the curvature estimate is no
+// longer valid along the clipped direction).  Suited to the smooth
+// medium-dimension objectives in this library (the KS-smoothed attainment
+// scalarization, circuit objectives away from clamp boundaries).
+#pragma once
+
+#include "optimize/problem.h"
+
+namespace gnsslna::optimize {
+
+struct BfgsOptions {
+  std::size_t max_iterations = 300;
+  double gradient_tolerance = 1e-8;  ///< stop on ||grad||_inf (scaled)
+  double fd_step = 1e-7;             ///< relative finite-difference step
+  double armijo_c1 = 1e-4;
+  double backtrack = 0.5;
+  std::size_t max_backtracks = 40;
+};
+
+/// Minimizes fn over the box starting at x0.
+Result bfgs(const ObjectiveFn& fn, const Bounds& bounds,
+            std::vector<double> x0, BfgsOptions options = {});
+
+/// Central-difference gradient with per-parameter scaling (bounds width
+/// fallback for near-zero coordinates); exposed for tests.
+std::vector<double> numeric_gradient(const ObjectiveFn& fn,
+                                     const std::vector<double>& x,
+                                     const Bounds& bounds,
+                                     double fd_step = 1e-7);
+
+}  // namespace gnsslna::optimize

@@ -1,0 +1,88 @@
+#include "optimize/differential_evolution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnsslna::optimize {
+
+Result differential_evolution(const ObjectiveFn& fn, const Bounds& bounds,
+                              numeric::Rng& rng,
+                              DifferentialEvolutionOptions options) {
+  bounds.validate();
+  const std::size_t n = bounds.dimension();
+  const std::size_t np = options.population > 0
+                             ? std::max<std::size_t>(options.population, 4)
+                             : std::max<std::size_t>(10 * n, 20);
+
+  Result result;
+  const auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return fn(x);
+  };
+
+  // Reflect an out-of-bounds coordinate back into the box.
+  const auto repair = [&](double v, std::size_t i) {
+    const double lo = bounds.lower[i];
+    const double hi = bounds.upper[i];
+    if (v < lo) v = lo + std::min(hi - lo, lo - v);
+    if (v > hi) v = hi - std::min(hi - lo, v - hi);
+    return std::clamp(v, lo, hi);
+  };
+
+  std::vector<std::vector<double>> pop(np);
+  std::vector<double> fitness(np);
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < np; ++i) {
+    pop[i] = bounds.sample(rng);
+    fitness[i] = eval(pop[i]);
+    if (fitness[i] < fitness[best]) best = i;
+  }
+
+  double last_best = fitness[best];
+  std::size_t stall = 0;
+
+  for (std::size_t gen = 0; gen < options.max_generations; ++gen) {
+    ++result.iterations;
+    for (std::size_t i = 0; i < np; ++i) {
+      // Pick three distinct partners different from i.
+      std::size_t a, b, c;
+      do a = rng.uniform_index(np); while (a == i);
+      do b = rng.uniform_index(np); while (b == i || b == a);
+      do c = rng.uniform_index(np); while (c == i || c == a || c == b);
+
+      const double f = options.dither
+                           ? options.weight + 0.2 * (rng.uniform() - 0.5) * 2.0
+                           : options.weight;
+      std::vector<double> trial = pop[i];
+      const std::size_t forced = rng.uniform_index(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == forced || rng.bernoulli(options.crossover)) {
+          trial[j] = repair(pop[a][j] + f * (pop[b][j] - pop[c][j]), j);
+        }
+      }
+      const double ft = eval(trial);
+      if (ft <= fitness[i]) {
+        pop[i] = std::move(trial);
+        fitness[i] = ft;
+        if (ft < fitness[best]) best = i;
+      }
+    }
+
+    if (fitness[best] <= options.value_target) break;
+    if (options.stall_generations > 0) {
+      if (last_best - fitness[best] < options.stall_tolerance) {
+        if (++stall >= options.stall_generations) break;
+      } else {
+        stall = 0;
+        last_best = fitness[best];
+      }
+    }
+  }
+
+  result.x = pop[best];
+  result.value = fitness[best];
+  result.converged = true;  // population methods always return their best
+  return result;
+}
+
+}  // namespace gnsslna::optimize

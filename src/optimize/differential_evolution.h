@@ -1,0 +1,32 @@
+// Differential evolution (meta-heuristic #1).
+//
+// DE/rand/1/bin with reflection-at-bounds repair and optional dithered F.
+// The global-search stage of the paper's three-step identification, and the
+// global stage of the improved goal-attainment method.
+#pragma once
+
+#include "optimize/problem.h"
+
+namespace gnsslna::optimize {
+
+struct DifferentialEvolutionOptions {
+  std::size_t population = 0;     ///< 0 -> 10 * dimension, min 20
+  std::size_t max_generations = 300;
+  double crossover = 0.9;         ///< CR
+  double weight = 0.7;            ///< F (dithered +-0.2 when dither=true)
+  bool dither = true;
+  double value_target =
+      -std::numeric_limits<double>::infinity();  ///< early stop below this
+  double stall_tolerance = 1e-12; ///< stop when best stops improving ...
+  std::size_t stall_generations = 0;  ///< ... for this many generations
+                                      ///< (0 disables stall detection:
+                                      ///< DE routinely plateaus before a
+                                      ///< breakthrough on rough landscapes)
+};
+
+/// Minimizes fn over the box.  Deterministic for a given rng seed.
+Result differential_evolution(const ObjectiveFn& fn, const Bounds& bounds,
+                              numeric::Rng& rng,
+                              DifferentialEvolutionOptions options = {});
+
+}  // namespace gnsslna::optimize

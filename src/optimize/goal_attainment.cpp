@@ -1,0 +1,261 @@
+#include "optimize/goal_attainment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "optimize/differential_evolution.h"
+#include "optimize/multi_objective.h"
+#include "optimize/nelder_mead.h"
+
+namespace gnsslna::optimize {
+
+void GoalProblem::validate() const {
+  if (!objectives) throw std::invalid_argument("GoalProblem: null objectives");
+  if (goals.empty() || goals.size() != weights.size()) {
+    throw std::invalid_argument("GoalProblem: goals/weights size mismatch");
+  }
+  for (const double w : weights) {
+    if (w <= 0.0) {
+      throw std::invalid_argument("GoalProblem: weights must be positive");
+    }
+  }
+  bounds.validate();
+  for (const ConstraintFn& c : constraints) {
+    if (!c) throw std::invalid_argument("GoalProblem: null constraint");
+  }
+}
+
+namespace {
+
+double max_violation(const GoalProblem& problem,
+                     const std::vector<double>& x) {
+  double v = 0.0;
+  for (const ConstraintFn& c : problem.constraints) {
+    v = std::max(v, std::max(0.0, c(x)));
+  }
+  return v;
+}
+
+/// Weighted attainment components z_i = (f_i - g_i) / w_i.
+std::vector<double> attainment_terms(const std::vector<double>& f,
+                                     const std::vector<double>& goals,
+                                     const std::vector<double>& weights) {
+  if (f.size() != goals.size()) {
+    throw std::invalid_argument(
+        "goal attainment: objective count does not match goals");
+  }
+  std::vector<double> z(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    z[i] = (f[i] - goals[i]) / weights[i];
+  }
+  return z;
+}
+
+/// Kreisselmeier-Steinhauser smooth maximum.
+double ks_envelope(const std::vector<double>& z, double rho) {
+  const double zmax = *std::max_element(z.begin(), z.end());
+  double s = 0.0;
+  for (const double zi : z) s += std::exp(rho * (zi - zmax));
+  return zmax + std::log(s) / rho;
+}
+
+GoalResult finalize(const GoalProblem& problem, std::vector<double> x,
+                    std::size_t evaluations, bool converged) {
+  GoalResult r;
+  r.objective_values = problem.objectives(x);
+  const std::vector<double> z =
+      attainment_terms(r.objective_values, problem.goals, problem.weights);
+  r.attainment = *std::max_element(z.begin(), z.end());
+  r.constraint_violation = max_violation(problem, x);
+  r.x = std::move(x);
+  r.evaluations = evaluations;
+  r.converged = converged;
+  return r;
+}
+
+}  // namespace
+
+double attainment_of(const GoalProblem& problem,
+                     const std::vector<double>& x) {
+  const std::vector<double> z =
+      attainment_terms(problem.objectives(x), problem.goals, problem.weights);
+  return *std::max_element(z.begin(), z.end());
+}
+
+GoalResult standard_goal_attainment(const GoalProblem& problem,
+                                    std::vector<double> x0,
+                                    StandardGoalOptions options) {
+  problem.validate();
+  std::size_t evals = 0;
+  const ObjectiveFn scalar = [&](const std::vector<double>& x) {
+    ++evals;
+    const std::vector<double> z =
+        attainment_terms(problem.objectives(x), problem.goals,
+                         problem.weights);
+    double value = *std::max_element(z.begin(), z.end());
+    for (const ConstraintFn& c : problem.constraints) {
+      const double viol = std::max(0.0, c(x));
+      value += options.penalty_mu * viol * viol;
+    }
+    return value;
+  };
+
+  NelderMeadOptions nm;
+  nm.max_evaluations = options.max_evaluations;
+  const Result res = nelder_mead(scalar, problem.bounds, std::move(x0), nm);
+  return finalize(problem, res.x, evals, res.converged);
+}
+
+GoalResult improved_goal_attainment(const GoalProblem& problem,
+                                    numeric::Rng& rng,
+                                    ImprovedGoalOptions options) {
+  problem.validate();
+  std::size_t evals = 0;
+
+  // --- Ingredient 1: adaptive weight normalization.  Sample the box to
+  // estimate each objective's dynamic range and rescale the user weights so
+  // a unit of gamma means a comparable fraction of each range.
+  std::vector<double> weights = problem.weights;
+  if (options.adaptive_weights) {
+    const std::size_t k = problem.goals.size();
+    std::vector<double> lo(k, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(k, -std::numeric_limits<double>::infinity());
+    for (int s = 0; s < 32; ++s) {
+      const std::vector<double> f =
+          problem.objectives(problem.bounds.sample(rng));
+      ++evals;
+      for (std::size_t i = 0; i < k; ++i) {
+        lo[i] = std::min(lo[i], f[i]);
+        hi[i] = std::max(hi[i], f[i]);
+      }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const double range = std::max(hi[i] - lo[i], 1e-9);
+      weights[i] = problem.weights[i] * range;
+    }
+  }
+
+  // Scalarization used by both stages.  `w` is captured by reference so
+  // the continuation loop can switch from the adaptive to the true
+  // weights for the final stage.
+  const auto make_scalar = [&](double rho,
+                               const std::vector<double>& w) -> ObjectiveFn {
+    return [&, rho](const std::vector<double>& x) {
+      ++evals;
+      const std::vector<double> z =
+          attainment_terms(problem.objectives(x), problem.goals, w);
+      double value = options.smooth_aggregation
+                         ? ks_envelope(z, rho)
+                         : *std::max_element(z.begin(), z.end());
+      for (const ConstraintFn& c : problem.constraints) {
+        const double viol = std::max(0.0, c(x));
+        value += options.exact_penalty
+                     ? options.penalty_mu * viol
+                     : options.penalty_mu * viol * viol;
+      }
+      return value;
+    };
+  };
+
+  // --- Ingredient 3: global seeding with differential evolution.
+  std::vector<double> x = problem.bounds.center();
+  if (options.global_seeding) {
+    DifferentialEvolutionOptions de;
+    de.max_generations = options.de_generations;
+    de.population = options.de_population;
+    const Result global = differential_evolution(
+        make_scalar(options.rho_start, weights), problem.bounds, rng, de);
+    x = global.x;
+  }
+
+  // --- Ingredient 4: rho-continuation polish with Nelder-Mead.  The
+  // adaptive weights condition the early stages; the FINAL stage always
+  // optimizes the user's true weighted minimax so the answer solves the
+  // problem as posed, not the rescaled surrogate.
+  bool converged = false;
+  const int stages = std::max(options.rho_stages, 1);
+  for (int stage = 0; stage < stages; ++stage) {
+    const bool final_stage = stage == stages - 1;
+    const double t = stages == 1 ? 1.0
+                                 : static_cast<double>(stage) /
+                                       static_cast<double>(stages - 1);
+    const double rho = options.rho_start *
+                       std::pow(options.rho_end / options.rho_start, t);
+    NelderMeadOptions nm;
+    nm.max_evaluations = options.polish_evaluations / stages;
+    nm.initial_step = stage == 0 ? 0.05 : 0.01;
+    const std::vector<double>& stage_weights =
+        final_stage ? problem.weights : weights;
+    const Result local =
+        nelder_mead(make_scalar(rho, stage_weights), problem.bounds, x, nm);
+    x = local.x;
+    converged = local.converged;
+  }
+
+  return finalize(problem, std::move(x), evals, converged);
+}
+
+std::vector<ParetoPoint> pareto_sweep(const GoalProblem& problem,
+                                      numeric::Rng& rng, std::size_t n_points,
+                                      ImprovedGoalOptions options) {
+  problem.validate();
+  if (problem.goals.size() != 2) {
+    throw std::invalid_argument("pareto_sweep: bi-objective problems only");
+  }
+  if (n_points < 2) {
+    throw std::invalid_argument("pareto_sweep: need at least 2 points");
+  }
+
+  // Endpoint scouting: strongly skewed weights approximate the two
+  // single-objective optima and span the reachable objective range.
+  const auto solve_skewed = [&](double skew) {
+    GoalProblem sub = problem;
+    sub.weights = {problem.weights[0] * skew, problem.weights[1] / skew};
+    numeric::Rng child = rng.fork();
+    return improved_goal_attainment(sub, child, options);
+  };
+  const GoalResult end_a = solve_skewed(100.0);  // f2 matters most
+  const GoalResult end_b = solve_skewed(0.01);   // f1 matters most
+
+  // Anchor sweep (the textbook way to trace a Pareto front with goal
+  // attainment): slide the goal point along the segment joining the two
+  // endpoint objective vectors; each minimax run projects its anchor onto
+  // the front along the weight direction.
+  std::vector<ParetoPoint> points;
+  points.reserve(n_points + 2);
+  for (const GoalResult* end : {&end_a, &end_b}) {
+    if (end->constraint_violation <= 1e-6) {
+      points.push_back({end->x, end->objective_values, end->attainment});
+    }
+  }
+  for (std::size_t k = 0; k < n_points; ++k) {
+    const double t = static_cast<double>(k) / static_cast<double>(n_points - 1);
+    GoalProblem sub = problem;
+    sub.goals = {
+        end_a.objective_values[0] +
+            t * (end_b.objective_values[0] - end_a.objective_values[0]),
+        end_a.objective_values[1] +
+            t * (end_b.objective_values[1] - end_a.objective_values[1])};
+    numeric::Rng child = rng.fork();
+    const GoalResult r = improved_goal_attainment(sub, child, options);
+    if (r.constraint_violation > 1e-6) continue;  // infeasible anchor
+    points.push_back({r.x, r.objective_values, r.attainment});
+  }
+
+  // Non-dominated filter on the objective values.
+  std::vector<std::vector<double>> fs;
+  fs.reserve(points.size());
+  for (const ParetoPoint& p : points) fs.push_back(p.f);
+  const std::vector<std::size_t> keep = non_dominated_indices(fs);
+  std::vector<ParetoPoint> front;
+  front.reserve(keep.size());
+  for (const std::size_t i : keep) front.push_back(std::move(points[i]));
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.f[0] < b.f[0];
+            });
+  return front;
+}
+
+}  // namespace gnsslna::optimize

@@ -1,0 +1,140 @@
+#include "optimize/levenberg_marquardt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/matrix.h"
+
+namespace gnsslna::optimize {
+
+LeastSquaresResult levenberg_marquardt(const ResidualFn& residuals,
+                                       const Bounds& bounds,
+                                       std::vector<double> x0,
+                                       std::vector<double> weights,
+                                       LevenbergMarquardtOptions options) {
+  bounds.validate();
+  const std::size_t n = bounds.dimension();
+  if (x0.size() != n) {
+    throw std::invalid_argument("levenberg_marquardt: x0 dimension mismatch");
+  }
+
+  LeastSquaresResult result;
+  const auto eval = [&](const std::vector<double>& x) {
+    ++result.residual_evaluations;
+    std::vector<double> r = residuals(x);
+    if (!weights.empty()) {
+      if (weights.size() != r.size()) {
+        throw std::invalid_argument(
+            "levenberg_marquardt: weight/residual size mismatch");
+      }
+      for (std::size_t i = 0; i < r.size(); ++i) r[i] *= weights[i];
+    }
+    return r;
+  };
+  const auto ssq = [](const std::vector<double>& r) {
+    double s = 0.0;
+    for (const double v : r) s += v * v;
+    return s;
+  };
+
+  std::vector<double> x = bounds.clamp(std::move(x0));
+  std::vector<double> r = eval(x);
+  const std::size_t m = r.size();
+  if (m < n) {
+    throw std::invalid_argument(
+        "levenberg_marquardt: fewer residuals than parameters");
+  }
+  double cost = ssq(r);
+  double lambda = options.initial_lambda;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+
+    // Forward-difference Jacobian.  The step must follow each parameter's
+    // own scale — extraction problems mix volts (1e0) with farads (1e-13)
+    // — so fall back to a fraction of the box width, never to 1.0.
+    const std::vector<double> widths = bounds.width();
+    numeric::RealMatrix jac(m, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double scale = std::max(std::abs(x[j]), 1e-3 * widths[j]);
+      const double h = options.fd_step * scale;
+      std::vector<double> xj = x;
+      // Step inward when at the upper bound.
+      xj[j] = (xj[j] + h <= bounds.upper[j]) ? xj[j] + h : xj[j] - h;
+      const double actual_h = xj[j] - x[j];
+      const std::vector<double> rj = eval(xj);
+      for (std::size_t i = 0; i < m; ++i) {
+        jac(i, j) = (rj[i] - r[i]) / actual_h;
+      }
+    }
+
+    // Gradient g = J^T r and normal matrix A = J^T J.
+    std::vector<double> g(n, 0.0);
+    numeric::RealMatrix a(n, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        g[j] += jac(i, j) * r[i];
+        for (std::size_t k = j; k < n; ++k) {
+          a(j, k) += jac(i, j) * jac(i, k);
+        }
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < j; ++k) a(j, k) = a(k, j);
+    }
+
+    double gmax = 0.0;
+    for (const double v : g) gmax = std::max(gmax, std::abs(v));
+    if (gmax < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Try steps with increasing damping until the cost decreases.
+    bool accepted = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      numeric::RealMatrix damped = a;
+      for (std::size_t j = 0; j < n; ++j) {
+        damped(j, j) += lambda * std::max(a(j, j), 1e-12);
+      }
+      std::vector<double> step;
+      try {
+        step = numeric::solve(damped, g);
+      } catch (const std::domain_error&) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      std::vector<double> x_new(n);
+      for (std::size_t j = 0; j < n; ++j) x_new[j] = x[j] - step[j];
+      x_new = bounds.clamp(std::move(x_new));
+
+      const std::vector<double> r_new = eval(x_new);
+      const double cost_new = ssq(r_new);
+      if (cost_new < cost) {
+        double step_size = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          const double scale = std::max(std::abs(x[j]), 1e-3 * widths[j]);
+          step_size =
+              std::max(step_size, std::abs(x_new[j] - x[j]) / scale);
+        }
+        x = std::move(x_new);
+        r = r_new;
+        cost = cost_new;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        accepted = true;
+        if (step_size < options.step_tolerance) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!accepted || result.converged) break;
+  }
+
+  result.x = std::move(x);
+  result.sum_squares = cost;
+  return result;
+}
+
+}  // namespace gnsslna::optimize

@@ -1,0 +1,40 @@
+// Levenberg-Marquardt damped least squares (direct method #2).
+//
+// Minimizes ||r(x)||^2 for a residual map r: R^n -> R^m with a forward-
+// difference Jacobian, multiplicative damping, and box-bound clamping.
+// Step 2 of the paper's three-step identification procedure uses this as
+// the high-precision local refiner, and it also serves robust IRLS
+// re-weighting in step 3 via the optional per-residual weights.
+#pragma once
+
+#include "optimize/problem.h"
+
+namespace gnsslna::optimize {
+
+struct LevenbergMarquardtOptions {
+  std::size_t max_iterations = 200;
+  double gradient_tolerance = 1e-12;  ///< stop when ||J^T r||_inf below this
+  double step_tolerance = 1e-14;      ///< stop on relative step size
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.25;
+  double fd_step = 1e-7;              ///< relative forward-difference step
+};
+
+struct LeastSquaresResult {
+  std::vector<double> x;
+  double sum_squares = 0.0;
+  std::size_t residual_evaluations = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes sum_i (w_i r_i(x))^2 over the box from x0.  `weights` may be
+/// empty (all ones) or match the residual dimension.
+LeastSquaresResult levenberg_marquardt(const ResidualFn& residuals,
+                                       const Bounds& bounds,
+                                       std::vector<double> x0,
+                                       std::vector<double> weights = {},
+                                       LevenbergMarquardtOptions options = {});
+
+}  // namespace gnsslna::optimize

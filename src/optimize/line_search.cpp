@@ -1,0 +1,144 @@
+#include "optimize/line_search.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnsslna::optimize {
+
+namespace {
+void check_interval(double lo, double hi, const char* who) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument(std::string(who) + ": requires lo < hi");
+  }
+}
+}  // namespace
+
+ScalarResult golden_section(const ScalarFn& fn, double lo, double hi,
+                            double x_tolerance, std::size_t max_evaluations) {
+  check_interval(lo, hi, "golden_section");
+  const double invphi = (std::sqrt(5.0) - 1.0) / 2.0;
+
+  ScalarResult result;
+  const auto eval = [&](double x) {
+    ++result.evaluations;
+    return fn(x);
+  };
+
+  double a = lo, b = hi;
+  double c = b - invphi * (b - a);
+  double d = a + invphi * (b - a);
+  double fc = eval(c), fd = eval(d);
+  while (b - a > x_tolerance && result.evaluations < max_evaluations) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - invphi * (b - a);
+      fc = eval(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + invphi * (b - a);
+      fd = eval(d);
+    }
+  }
+  result.converged = b - a <= x_tolerance;
+  if (fc < fd) {
+    result.x = c;
+    result.value = fc;
+  } else {
+    result.x = d;
+    result.value = fd;
+  }
+  return result;
+}
+
+ScalarResult brent_minimize(const ScalarFn& fn, double lo, double hi,
+                            double x_tolerance, std::size_t max_evaluations) {
+  check_interval(lo, hi, "brent_minimize");
+  const double golden = 0.3819660112501051;  // 2 - phi
+
+  ScalarResult result;
+  const auto eval = [&](double xq) {
+    ++result.evaluations;
+    return fn(xq);
+  };
+
+  double a = lo, b = hi;
+  double x = a + golden * (b - a);
+  double w = x, v = x;
+  double fx = eval(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  while (result.evaluations < max_evaluations) {
+    const double m = 0.5 * (a + b);
+    const double tol1 = x_tolerance * std::abs(x) + 1e-15;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - m) <= tol2 - 0.5 * (b - a)) {
+      result.converged = true;
+      break;
+    }
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Parabolic fit through (x, w, v).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_prev = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_prev) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) {
+          d = x < m ? tol1 : -tol1;
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < m ? b : a) - x;
+      d = golden * e;
+    }
+    const double u =
+        std::abs(d) >= tol1 ? x + d : x + (d > 0.0 ? tol1 : -tol1);
+    const double fu = eval(u);
+    if (fu <= fx) {
+      if (u < x) {
+        b = x;
+      } else {
+        a = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.value = fx;
+  return result;
+}
+
+}  // namespace gnsslna::optimize

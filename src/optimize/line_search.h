@@ -1,0 +1,32 @@
+// One-dimensional minimization: golden-section and Brent's method.
+//
+// Used directly for single-knob sweeps (e.g. "best line length at fixed
+// everything else") and as the exact line search inside BFGS.
+#pragma once
+
+#include <functional>
+
+namespace gnsslna::optimize {
+
+using ScalarFn = std::function<double(double)>;
+
+struct ScalarResult {
+  double x = 0.0;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Golden-section search on [lo, hi] (unimodal assumption).
+ScalarResult golden_section(const ScalarFn& fn, double lo, double hi,
+                            double x_tolerance = 1e-10,
+                            std::size_t max_evaluations = 200);
+
+/// Brent's method (golden section + parabolic interpolation) on [lo, hi].
+/// Typically 3-5x fewer evaluations than pure golden section on smooth
+/// functions.
+ScalarResult brent_minimize(const ScalarFn& fn, double lo, double hi,
+                            double x_tolerance = 1e-10,
+                            std::size_t max_evaluations = 200);
+
+}  // namespace gnsslna::optimize

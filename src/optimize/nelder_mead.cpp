@@ -1,0 +1,130 @@
+#include "optimize/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnsslna::optimize {
+
+namespace {
+
+struct Vertex {
+  std::vector<double> x;
+  double f;
+};
+
+double spread_f(const std::vector<Vertex>& s) {
+  return std::abs(s.back().f - s.front().f);
+}
+
+double spread_x(const std::vector<Vertex>& s) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < s.front().x.size(); ++i) {
+    d = std::max(d, std::abs(s.back().x[i] - s.front().x[i]));
+  }
+  return d;
+}
+
+}  // namespace
+
+Result nelder_mead(const ObjectiveFn& fn, const Bounds& bounds,
+                   std::vector<double> x0, NelderMeadOptions options) {
+  bounds.validate();
+  const std::size_t n = bounds.dimension();
+  if (x0.size() != n) {
+    throw std::invalid_argument("nelder_mead: x0 dimension mismatch");
+  }
+
+  Result result;
+  const auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return fn(x);
+  };
+
+  // Standard adaptive coefficients (Gao-Han for n > 2 would also work; the
+  // classic set is fine at these dimensions).
+  const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+  const std::vector<double> widths = bounds.width();
+
+  std::vector<double> best_x = bounds.clamp(std::move(x0));
+  double best_f = eval(best_x);
+
+  for (int restart = 0; restart <= options.max_restarts; ++restart) {
+    // Build the initial simplex around the current best point.
+    std::vector<Vertex> simplex;
+    simplex.reserve(n + 1);
+    simplex.push_back({best_x, best_f});
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> v = best_x;
+      const double step = options.initial_step * widths[i];
+      v[i] = (v[i] + step <= bounds.upper[i]) ? v[i] + step : v[i] - step;
+      simplex.push_back({v, eval(v)});
+    }
+
+    while (result.evaluations < options.max_evaluations) {
+      std::sort(simplex.begin(), simplex.end(),
+                [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+      if (spread_f(simplex) < options.f_tolerance &&
+          spread_x(simplex) < options.x_tolerance) {
+        result.converged = true;
+        break;
+      }
+
+      // Centroid of all but the worst vertex.
+      std::vector<double> centroid(n, 0.0);
+      for (std::size_t v = 0; v < n; ++v) {
+        for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[v].x[i];
+      }
+      for (double& c : centroid) c /= static_cast<double>(n);
+
+      const auto blend = [&](double coef) {
+        std::vector<double> x(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          x[i] = centroid[i] + coef * (centroid[i] - simplex[n].x[i]);
+        }
+        return bounds.clamp(std::move(x));
+      };
+
+      const std::vector<double> xr = blend(alpha);
+      const double fr = eval(xr);
+      if (fr < simplex[0].f) {
+        const std::vector<double> xe = blend(gamma);
+        const double fe = eval(xe);
+        simplex[n] = fe < fr ? Vertex{xe, fe} : Vertex{xr, fr};
+      } else if (fr < simplex[n - 1].f) {
+        simplex[n] = {xr, fr};
+      } else {
+        const std::vector<double> xc = blend(-rho);
+        const double fc = eval(xc);
+        if (fc < simplex[n].f) {
+          simplex[n] = {xc, fc};
+        } else {
+          // Shrink toward the best vertex.
+          for (std::size_t v = 1; v <= n; ++v) {
+            for (std::size_t i = 0; i < n; ++i) {
+              simplex[v].x[i] =
+                  simplex[0].x[i] + sigma * (simplex[v].x[i] - simplex[0].x[i]);
+            }
+            simplex[v].f = eval(simplex[v].x);
+          }
+        }
+      }
+    }
+
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+    if (simplex[0].f < best_f) {
+      best_f = simplex[0].f;
+      best_x = simplex[0].x;
+    }
+    ++result.iterations;
+    if (result.converged || result.evaluations >= options.max_evaluations) {
+      break;
+    }
+  }
+
+  result.x = std::move(best_x);
+  result.value = best_f;
+  return result;
+}
+
+}  // namespace gnsslna::optimize

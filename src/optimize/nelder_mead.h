@@ -1,0 +1,24 @@
+// Nelder-Mead downhill simplex (direct method #1).
+//
+// The classic derivative-free local optimizer.  Box bounds are enforced by
+// clamping trial points; the simplex restarts once from the best point if
+// it collapses before the tolerance is met.
+#pragma once
+
+#include "optimize/problem.h"
+
+namespace gnsslna::optimize {
+
+struct NelderMeadOptions {
+  std::size_t max_evaluations = 20000;
+  double f_tolerance = 1e-10;   ///< simplex spread in f at convergence
+  double x_tolerance = 1e-10;   ///< simplex diameter at convergence
+  double initial_step = 0.05;   ///< initial simplex size, fraction of box width
+  int max_restarts = 1;         ///< re-seed collapsed simplex this many times
+};
+
+/// Minimizes fn over the box starting at x0 (clamped into bounds).
+Result nelder_mead(const ObjectiveFn& fn, const Bounds& bounds,
+                   std::vector<double> x0, NelderMeadOptions options = {});
+
+}  // namespace gnsslna::optimize

@@ -1,0 +1,258 @@
+#include "optimize/nsga2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "optimize/multi_objective.h"
+
+namespace gnsslna::optimize {
+
+std::vector<std::size_t> non_dominated_rank(
+    const std::vector<std::vector<double>>& points) {
+  const std::size_t n = points.size();
+  std::vector<std::size_t> rank(n, 0);
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dominates(points[i], points[j])) {
+        dominated_by[i].push_back(j);
+      } else if (dominates(points[j], points[i])) {
+        ++domination_count[i];
+      }
+    }
+  }
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (domination_count[i] == 0) current.push_back(i);
+  }
+  std::size_t level = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t i : current) {
+      rank[i] = level;
+      for (const std::size_t j : dominated_by[i]) {
+        if (--domination_count[j] == 0) next.push_back(j);
+      }
+    }
+    current = std::move(next);
+    ++level;
+  }
+  return rank;
+}
+
+std::vector<double> crowding_distance(
+    const std::vector<std::vector<double>>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  const std::size_t k = front[0].size();
+  if (n <= 2) {
+    std::fill(distance.begin(), distance.end(),
+              std::numeric_limits<double>::infinity());
+    return distance;
+  }
+  for (std::size_t obj = 0; obj < k; ++obj) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return front[a][obj] < front[b][obj];
+    });
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    const double span =
+        front[order.back()][obj] - front[order.front()][obj];
+    if (span <= 0.0) continue;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      distance[order[i]] +=
+          (front[order[i + 1]][obj] - front[order[i - 1]][obj]) / span;
+    }
+  }
+  return distance;
+}
+
+namespace {
+
+struct Individual {
+  std::vector<double> x;
+  std::vector<double> f;       ///< penalized objectives (selection)
+  std::vector<double> f_raw;   ///< unpenalized objectives (reporting)
+  double violation = 0.0;
+  std::size_t rank = 0;
+  double crowding = 0.0;
+};
+
+/// Binary tournament on (rank, crowding).
+std::size_t tournament(const std::vector<Individual>& pop,
+                       numeric::Rng& rng) {
+  const std::size_t a = rng.uniform_index(pop.size());
+  const std::size_t b = rng.uniform_index(pop.size());
+  if (pop[a].rank != pop[b].rank) {
+    return pop[a].rank < pop[b].rank ? a : b;
+  }
+  return pop[a].crowding > pop[b].crowding ? a : b;
+}
+
+double sbx_child(double p1, double p2, double lo, double hi, double eta,
+                 numeric::Rng& rng, bool first) {
+  if (std::abs(p1 - p2) < 1e-14) return p1;
+  const double u = rng.uniform();
+  const double beta = u <= 0.5 ? std::pow(2.0 * u, 1.0 / (eta + 1.0))
+                               : std::pow(1.0 / (2.0 * (1.0 - u)),
+                                          1.0 / (eta + 1.0));
+  const double c = first ? 0.5 * ((1.0 + beta) * p1 + (1.0 - beta) * p2)
+                         : 0.5 * ((1.0 - beta) * p1 + (1.0 + beta) * p2);
+  return std::clamp(c, lo, hi);
+}
+
+double polynomial_mutation(double v, double lo, double hi, double eta,
+                           numeric::Rng& rng) {
+  const double u = rng.uniform();
+  const double range = hi - lo;
+  double delta;
+  if (u < 0.5) {
+    delta = std::pow(2.0 * u, 1.0 / (eta + 1.0)) - 1.0;
+  } else {
+    delta = 1.0 - std::pow(2.0 * (1.0 - u), 1.0 / (eta + 1.0));
+  }
+  return std::clamp(v + delta * range, lo, hi);
+}
+
+}  // namespace
+
+Nsga2Result nsga2(const VectorObjectiveFn& objectives,
+                  std::size_t n_objectives, const Bounds& bounds,
+                  const std::vector<std::function<double(const std::vector<double>&)>>&
+                      constraints,
+                  numeric::Rng& rng, Nsga2Options options) {
+  if (!objectives) throw std::invalid_argument("nsga2: null objectives");
+  if (n_objectives == 0) {
+    throw std::invalid_argument("nsga2: need at least one objective");
+  }
+  bounds.validate();
+  const std::size_t n = bounds.dimension();
+  const std::size_t np = std::max<std::size_t>(options.population & ~1ull, 4);
+  const double pm = options.mutation_probability > 0.0
+                        ? options.mutation_probability
+                        : 1.0 / static_cast<double>(n);
+
+  Nsga2Result result;
+  const auto evaluate = [&](Individual& ind) {
+    ++result.evaluations;
+    ind.f_raw = objectives(ind.x);
+    if (ind.f_raw.size() != n_objectives) {
+      throw std::invalid_argument("nsga2: objective count mismatch");
+    }
+    ind.violation = 0.0;
+    for (const auto& c : constraints) {
+      ind.violation += std::max(0.0, c(ind.x));
+    }
+    ind.f = ind.f_raw;
+    for (double& v : ind.f) v += options.constraint_penalty * ind.violation;
+  };
+
+  const auto assign_ranks = [&](std::vector<Individual>& pop) {
+    std::vector<std::vector<double>> fs(pop.size());
+    for (std::size_t i = 0; i < pop.size(); ++i) fs[i] = pop[i].f;
+    const std::vector<std::size_t> ranks = non_dominated_rank(fs);
+    const std::size_t max_rank =
+        *std::max_element(ranks.begin(), ranks.end());
+    for (std::size_t i = 0; i < pop.size(); ++i) pop[i].rank = ranks[i];
+    for (std::size_t level = 0; level <= max_rank; ++level) {
+      std::vector<std::size_t> members;
+      std::vector<std::vector<double>> front;
+      for (std::size_t i = 0; i < pop.size(); ++i) {
+        if (ranks[i] == level) {
+          members.push_back(i);
+          front.push_back(pop[i].f);
+        }
+      }
+      const std::vector<double> d = crowding_distance(front);
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        pop[members[m]].crowding = d[m];
+      }
+    }
+  };
+
+  // Initial population.
+  std::vector<Individual> pop(np);
+  for (Individual& ind : pop) {
+    ind.x = bounds.sample(rng);
+    evaluate(ind);
+  }
+  assign_ranks(pop);
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    // Offspring by tournament + SBX + mutation.
+    std::vector<Individual> offspring;
+    offspring.reserve(np);
+    while (offspring.size() < np) {
+      const Individual& p1 = pop[tournament(pop, rng)];
+      const Individual& p2 = pop[tournament(pop, rng)];
+      Individual c1, c2;
+      c1.x.resize(n);
+      c2.x.resize(n);
+      const bool do_cross = rng.bernoulli(options.crossover_probability);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (do_cross) {
+          c1.x[j] = sbx_child(p1.x[j], p2.x[j], bounds.lower[j],
+                              bounds.upper[j], options.eta_crossover, rng,
+                              true);
+          c2.x[j] = sbx_child(p1.x[j], p2.x[j], bounds.lower[j],
+                              bounds.upper[j], options.eta_crossover, rng,
+                              false);
+        } else {
+          c1.x[j] = p1.x[j];
+          c2.x[j] = p2.x[j];
+        }
+        if (rng.bernoulli(pm)) {
+          c1.x[j] = polynomial_mutation(c1.x[j], bounds.lower[j],
+                                        bounds.upper[j],
+                                        options.eta_mutation, rng);
+        }
+        if (rng.bernoulli(pm)) {
+          c2.x[j] = polynomial_mutation(c2.x[j], bounds.lower[j],
+                                        bounds.upper[j],
+                                        options.eta_mutation, rng);
+        }
+      }
+      evaluate(c1);
+      evaluate(c2);
+      offspring.push_back(std::move(c1));
+      if (offspring.size() < np) offspring.push_back(std::move(c2));
+    }
+
+    // Environmental selection from the merged population.
+    std::vector<Individual> merged = std::move(pop);
+    merged.insert(merged.end(), std::make_move_iterator(offspring.begin()),
+                  std::make_move_iterator(offspring.end()));
+    assign_ranks(merged);
+    std::sort(merged.begin(), merged.end(),
+              [](const Individual& a, const Individual& b) {
+                if (a.rank != b.rank) return a.rank < b.rank;
+                return a.crowding > b.crowding;
+              });
+    merged.resize(np);
+    pop = std::move(merged);
+    assign_ranks(pop);
+  }
+
+  for (const Individual& ind : pop) {
+    if (ind.rank == 0 && ind.violation <= 0.0) {
+      result.front.push_back({ind.x, ind.f_raw});
+    }
+  }
+  // Fall back to the penalized front if nothing is strictly feasible.
+  if (result.front.empty()) {
+    for (const Individual& ind : pop) {
+      if (ind.rank == 0) result.front.push_back({ind.x, ind.f_raw});
+    }
+  }
+  return result;
+}
+
+}  // namespace gnsslna::optimize

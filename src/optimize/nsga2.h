@@ -1,0 +1,54 @@
+// NSGA-II (Deb et al. 2002) — population-based multi-objective baseline.
+//
+// Fast non-dominated sorting, crowding-distance selection, simulated
+// binary crossover (SBX) and polynomial mutation.  Included so the
+// goal-attainment experiments can be cross-checked against the standard
+// evolutionary multi-objective approach: NSGA-II returns a whole front in
+// one run, goal attainment returns one targeted compromise per run — the
+// paper's method trades front coverage for designer control.
+#pragma once
+
+#include "optimize/problem.h"
+
+namespace gnsslna::optimize {
+
+struct Nsga2Options {
+  std::size_t population = 80;       ///< even number
+  std::size_t generations = 150;
+  double crossover_probability = 0.9;
+  double eta_crossover = 15.0;       ///< SBX distribution index
+  double eta_mutation = 20.0;        ///< polynomial-mutation index
+  double mutation_probability = 0.0; ///< 0 -> 1/dimension
+  double constraint_penalty = 1e3;   ///< added per unit violation to all
+                                     ///< objectives (simple feasibility
+                                     ///< pressure)
+};
+
+struct Nsga2Individual {
+  std::vector<double> x;
+  std::vector<double> f;
+};
+
+struct Nsga2Result {
+  std::vector<Nsga2Individual> front;  ///< final non-dominated set
+  std::size_t evaluations = 0;
+};
+
+/// Runs NSGA-II on a vector objective with optional hard constraints
+/// (same ConstraintFn convention as GoalProblem: c(x) <= 0 feasible).
+Nsga2Result nsga2(const VectorObjectiveFn& objectives, std::size_t n_objectives,
+                  const Bounds& bounds,
+                  const std::vector<std::function<double(const std::vector<double>&)>>&
+                      constraints,
+                  numeric::Rng& rng, Nsga2Options options = {});
+
+/// Fast non-dominated sorting: returns front index (0 = best) per point.
+std::vector<std::size_t> non_dominated_rank(
+    const std::vector<std::vector<double>>& points);
+
+/// Crowding distance of each point within one front (same objective
+/// vectors); boundary points get +infinity.
+std::vector<double> crowding_distance(
+    const std::vector<std::vector<double>>& front);
+
+}  // namespace gnsslna::optimize

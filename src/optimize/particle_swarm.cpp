@@ -1,0 +1,90 @@
+#include "optimize/particle_swarm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnsslna::optimize {
+
+Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
+                      numeric::Rng& rng, ParticleSwarmOptions options) {
+  bounds.validate();
+  const std::size_t n = bounds.dimension();
+  const std::size_t ns = options.swarm_size > 0
+                             ? std::max<std::size_t>(options.swarm_size, 4)
+                             : std::max<std::size_t>(8 * n, 24);
+
+  Result result;
+  const auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return fn(x);
+  };
+
+  const std::vector<double> widths = bounds.width();
+  std::vector<double> vmax(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    vmax[j] = options.max_velocity_fraction * widths[j];
+  }
+
+  std::vector<std::vector<double>> pos(ns), vel(ns), pbest(ns);
+  std::vector<double> pbest_f(ns);
+  std::vector<double> gbest;
+  double gbest_f = std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < ns; ++i) {
+    pos[i] = bounds.sample(rng);
+    vel[i].assign(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      vel[i][j] = rng.uniform(-vmax[j], vmax[j]);
+    }
+    pbest[i] = pos[i];
+    pbest_f[i] = eval(pos[i]);
+    if (pbest_f[i] < gbest_f) {
+      gbest_f = pbest_f[i];
+      gbest = pos[i];
+    }
+  }
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    const double w =
+        options.inertia_start +
+        (options.inertia_end - options.inertia_start) *
+            (static_cast<double>(iter) /
+             static_cast<double>(std::max<std::size_t>(options.max_iterations - 1, 1)));
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double r1 = rng.uniform();
+        const double r2 = rng.uniform();
+        vel[i][j] = w * vel[i][j] +
+                    options.cognitive * r1 * (pbest[i][j] - pos[i][j]) +
+                    options.social * r2 * (gbest[j] - pos[i][j]);
+        vel[i][j] = std::clamp(vel[i][j], -vmax[j], vmax[j]);
+        pos[i][j] += vel[i][j];
+        // Absorbing walls: clamp position, zero the offending velocity.
+        if (pos[i][j] < bounds.lower[j]) {
+          pos[i][j] = bounds.lower[j];
+          vel[i][j] = 0.0;
+        } else if (pos[i][j] > bounds.upper[j]) {
+          pos[i][j] = bounds.upper[j];
+          vel[i][j] = 0.0;
+        }
+      }
+      const double f = eval(pos[i]);
+      if (f < pbest_f[i]) {
+        pbest_f[i] = f;
+        pbest[i] = pos[i];
+        if (f < gbest_f) {
+          gbest_f = f;
+          gbest = pos[i];
+        }
+      }
+    }
+  }
+
+  result.x = std::move(gbest);
+  result.value = gbest_f;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace gnsslna::optimize

@@ -1,0 +1,25 @@
+// Particle swarm optimization (meta-heuristic #2).
+//
+// Global-best PSO with inertia damping and velocity clamping; one of the
+// baseline meta-heuristics the extraction-robustness study (Table II)
+// compares against differential evolution.
+#pragma once
+
+#include "optimize/problem.h"
+
+namespace gnsslna::optimize {
+
+struct ParticleSwarmOptions {
+  std::size_t swarm_size = 0;        ///< 0 -> 8 * dimension, min 24
+  std::size_t max_iterations = 400;
+  double inertia_start = 0.9;
+  double inertia_end = 0.4;
+  double cognitive = 1.5;            ///< c1
+  double social = 1.5;               ///< c2
+  double max_velocity_fraction = 0.25;  ///< of box width
+};
+
+Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
+                      numeric::Rng& rng, ParticleSwarmOptions options = {});
+
+}  // namespace gnsslna::optimize

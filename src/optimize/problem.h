@@ -1,0 +1,122 @@
+// Objective-function framework shared by all optimizers.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/rng.h"
+
+namespace gnsslna::optimize {
+
+/// Scalar objective: R^n -> R (smaller is better).
+using ObjectiveFn = std::function<double(const std::vector<double>&)>;
+
+/// Vector residual map: R^n -> R^m for least-squares solvers.
+using ResidualFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// Vector objective: R^n -> R^k for multi-objective methods.
+using VectorObjectiveFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// Box constraints.  lower[i] <= x[i] <= upper[i] for all i.
+struct Bounds {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  Bounds() = default;
+  Bounds(std::vector<double> lo, std::vector<double> hi)
+      : lower(std::move(lo)), upper(std::move(hi)) {
+    validate();
+  }
+
+  std::size_t dimension() const { return lower.size(); }
+
+  void validate() const {
+    if (lower.size() != upper.size() || lower.empty()) {
+      throw std::invalid_argument("Bounds: mismatched or empty bound vectors");
+    }
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+      if (!(lower[i] < upper[i])) {
+        throw std::invalid_argument("Bounds: lower must be < upper");
+      }
+    }
+  }
+
+  /// Componentwise clamp of x into the box.
+  std::vector<double> clamp(std::vector<double> x) const {
+    if (x.size() != dimension()) {
+      throw std::invalid_argument("Bounds::clamp: dimension mismatch");
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] < lower[i]) x[i] = lower[i];
+      if (x[i] > upper[i]) x[i] = upper[i];
+    }
+    return x;
+  }
+
+  bool contains(const std::vector<double>& x) const {
+    if (x.size() != dimension()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] < lower[i] || x[i] > upper[i]) return false;
+    }
+    return true;
+  }
+
+  /// Uniform random point inside the box.
+  std::vector<double> sample(numeric::Rng& rng) const {
+    std::vector<double> x(dimension());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.uniform(lower[i], upper[i]);
+    }
+    return x;
+  }
+
+  /// Midpoint of the box (default deterministic start).
+  std::vector<double> center() const {
+    std::vector<double> x(dimension());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = 0.5 * (lower[i] + upper[i]);
+    }
+    return x;
+  }
+
+  /// Box width per dimension (used for characteristic step sizes).
+  std::vector<double> width() const {
+    std::vector<double> w(dimension());
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] = upper[i] - lower[i];
+    return w;
+  }
+};
+
+/// Optimization outcome shared by all scalar optimizers.
+struct Result {
+  std::vector<double> x;
+  double value = std::numeric_limits<double>::infinity();
+  std::size_t evaluations = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Wraps an objective and counts evaluations (by reference, so one counter
+/// can thread through a multi-phase pipeline).
+class CountedObjective {
+ public:
+  CountedObjective(ObjectiveFn fn, std::size_t& counter)
+      : fn_(std::move(fn)), counter_(&counter) {
+    if (!fn_) throw std::invalid_argument("CountedObjective: null objective");
+  }
+
+  double operator()(const std::vector<double>& x) const {
+    ++*counter_;
+    return fn_(x);
+  }
+
+ private:
+  ObjectiveFn fn_;
+  std::size_t* counter_;
+};
+
+}  // namespace gnsslna::optimize

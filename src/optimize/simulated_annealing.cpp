@@ -1,0 +1,99 @@
+#include "optimize/simulated_annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnsslna::optimize {
+
+Result simulated_annealing(const ObjectiveFn& fn, const Bounds& bounds,
+                           numeric::Rng& rng,
+                           SimulatedAnnealingOptions options) {
+  bounds.validate();
+  const std::size_t n = bounds.dimension();
+
+  Result result;
+  const auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return fn(x);
+  };
+
+  const std::vector<double> widths = bounds.width();
+  std::vector<double> x = bounds.sample(rng);
+  double f = eval(x);
+  std::vector<double> best_x = x;
+  double best_f = f;
+
+  // Calibrate the initial temperature so that ~initial_acceptance of the
+  // early uphill moves are accepted: T0 = <|df|> / -ln(p_accept).
+  double mean_uphill = 0.0;
+  std::size_t uphill_count = 0;
+  {
+    std::vector<double> probe = x;
+    double pf = f;
+    for (int k = 0; k < 40; ++k) {
+      std::vector<double> y(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        y[j] = std::clamp(
+            probe[j] + options.initial_step_fraction * widths[j] * rng.normal(),
+            bounds.lower[j], bounds.upper[j]);
+      }
+      const double fy = eval(y);
+      if (fy > pf) {
+        mean_uphill += fy - pf;
+        ++uphill_count;
+      }
+      probe = std::move(y);
+      pf = fy;
+    }
+  }
+  double temperature =
+      uphill_count > 0
+          ? (mean_uphill / static_cast<double>(uphill_count)) /
+                -std::log(options.initial_acceptance)
+          : 1.0;
+  temperature = std::max(temperature, 1e-12);
+
+  // Cool the neighbourhood size along with the temperature, spreading the
+  // whole schedule over the evaluation budget; the step floors at the
+  // final fraction so late iterations polish locally.
+  double step_fraction = options.initial_step_fraction;
+  const std::size_t planned_rounds = std::max<std::size_t>(
+      options.max_evaluations / std::max<std::size_t>(
+                                    options.moves_per_temperature, 1),
+      1);
+  const double step_cooling =
+      std::pow(options.final_step_fraction / options.initial_step_fraction,
+               1.0 / static_cast<double>(planned_rounds));
+
+  while (result.evaluations < options.max_evaluations) {
+    ++result.iterations;
+    for (std::size_t move = 0; move < options.moves_per_temperature; ++move) {
+      std::vector<double> y(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        y[j] = std::clamp(x[j] + step_fraction * widths[j] * rng.normal(),
+                          bounds.lower[j], bounds.upper[j]);
+      }
+      const double fy = eval(y);
+      const double df = fy - f;
+      if (df <= 0.0 || rng.bernoulli(std::exp(-df / temperature))) {
+        x = std::move(y);
+        f = fy;
+        if (f < best_f) {
+          best_f = f;
+          best_x = x;
+        }
+      }
+      if (result.evaluations >= options.max_evaluations) break;
+    }
+    temperature *= options.cooling;
+    step_fraction =
+        std::max(step_fraction * step_cooling, options.final_step_fraction);
+  }
+
+  result.x = std::move(best_x);
+  result.value = best_f;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace gnsslna::optimize

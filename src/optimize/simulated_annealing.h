@@ -1,0 +1,24 @@
+// Simulated annealing (meta-heuristic #3).
+//
+// Gaussian-neighbourhood annealing with geometric cooling and automatic
+// initial-temperature calibration from the early acceptance statistics.
+#pragma once
+
+#include "optimize/problem.h"
+
+namespace gnsslna::optimize {
+
+struct SimulatedAnnealingOptions {
+  std::size_t max_evaluations = 30000;
+  std::size_t moves_per_temperature = 50;
+  double cooling = 0.92;              ///< geometric cooling factor
+  double initial_step_fraction = 0.2; ///< of box width
+  double final_step_fraction = 1e-3;
+  double initial_acceptance = 0.8;    ///< target early acceptance rate
+};
+
+Result simulated_annealing(const ObjectiveFn& fn, const Bounds& bounds,
+                           numeric::Rng& rng,
+                           SimulatedAnnealingOptions options = {});
+
+}  // namespace gnsslna::optimize

@@ -1,0 +1,82 @@
+// Analytic optimization test problems.
+//
+// Standard single-objective landscapes (for optimizer unit tests) and
+// bi-objective ZDT-style problems with known Pareto fronts (for the
+// goal-attainment comparison, Table III).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "optimize/problem.h"
+
+namespace gnsslna::optimize::testing {
+
+/// Sphere: global minimum 0 at the origin.
+inline double sphere(const std::vector<double>& x) {
+  double s = 0.0;
+  for (const double v : x) s += v * v;
+  return s;
+}
+
+/// Rosenbrock valley: global minimum 0 at (1, ..., 1).
+inline double rosenbrock(const std::vector<double>& x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    s += 100.0 * std::pow(x[i + 1] - x[i] * x[i], 2) + std::pow(1.0 - x[i], 2);
+  }
+  return s;
+}
+
+/// Rastrigin: highly multimodal, global minimum 0 at the origin.
+inline double rastrigin(const std::vector<double>& x) {
+  double s = 10.0 * static_cast<double>(x.size());
+  for (const double v : x) {
+    s += v * v - 10.0 * std::cos(2.0 * std::numbers::pi * v);
+  }
+  return s;
+}
+
+/// Ackley: multimodal with a deep central funnel, minimum 0 at the origin.
+inline double ackley(const std::vector<double>& x) {
+  const double n = static_cast<double>(x.size());
+  double sq = 0.0, cs = 0.0;
+  for (const double v : x) {
+    sq += v * v;
+    cs += std::cos(2.0 * std::numbers::pi * v);
+  }
+  return -20.0 * std::exp(-0.2 * std::sqrt(sq / n)) - std::exp(cs / n) +
+         20.0 + std::numbers::e;
+}
+
+/// ZDT1: convex Pareto front f2 = 1 - sqrt(f1) on x in [0,1]^n, optimal at
+/// x2..xn = 0.
+inline std::vector<double> zdt1(const std::vector<double>& x) {
+  const double f1 = x[0];
+  double g = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) g += x[i];
+  g = 1.0 + 9.0 * g / static_cast<double>(x.size() - 1);
+  return {f1, g * (1.0 - std::sqrt(f1 / g))};
+}
+
+/// ZDT2: concave Pareto front f2 = 1 - f1^2.
+inline std::vector<double> zdt2(const std::vector<double>& x) {
+  const double f1 = x[0];
+  double g = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) g += x[i];
+  g = 1.0 + 9.0 * g / static_cast<double>(x.size() - 1);
+  return {f1, g * (1.0 - (f1 / g) * (f1 / g))};
+}
+
+/// Unit box [0,1]^n for the ZDT problems.
+inline Bounds zdt_bounds(std::size_t n) {
+  return Bounds(std::vector<double>(n, 0.0), std::vector<double>(n, 1.0));
+}
+
+/// Symmetric box [-r, r]^n.
+inline Bounds box(std::size_t n, double r) {
+  return Bounds(std::vector<double>(n, -r), std::vector<double>(n, r));
+}
+
+}  // namespace gnsslna::optimize::testing

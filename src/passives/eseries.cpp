@@ -1,0 +1,90 @@
+#include "passives/eseries.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnsslna::passives {
+
+namespace {
+// IEC 60063 tables.  E12/E24 use the historically rounded values; E48/E96
+// are the computed round(10^(k/N), 2-3 sig) values.
+const std::vector<double> kE12 = {1.0, 1.2, 1.5, 1.8, 2.2, 2.7,
+                                  3.3, 3.9, 4.7, 5.6, 6.8, 8.2};
+const std::vector<double> kE24 = {1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0,
+                                  2.2, 2.4, 2.7, 3.0, 3.3, 3.6, 3.9, 4.3,
+                                  4.7, 5.1, 5.6, 6.2, 6.8, 7.5, 8.2, 9.1};
+
+std::vector<double> computed_series(int n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const double raw = std::pow(10.0, static_cast<double>(k) / n);
+    // E48/E96 values are specified to 3 significant figures.
+    v[static_cast<std::size_t>(k)] = std::round(raw * 100.0) / 100.0;
+  }
+  return v;
+}
+
+const std::vector<double> kE48 = computed_series(48);
+const std::vector<double> kE96 = computed_series(96);
+}  // namespace
+
+const std::vector<double>& series_mantissas(ESeries series) {
+  switch (series) {
+    case ESeries::kE12:
+      return kE12;
+    case ESeries::kE24:
+      return kE24;
+    case ESeries::kE48:
+      return kE48;
+    case ESeries::kE96:
+      return kE96;
+  }
+  throw std::invalid_argument("series_mantissas: unknown series");
+}
+
+Neighbors neighbors(double value, ESeries series) {
+  if (value <= 0.0 || !std::isfinite(value)) {
+    throw std::invalid_argument("eseries: value must be positive and finite");
+  }
+  const std::vector<double>& m = series_mantissas(series);
+  const double exponent = std::floor(std::log10(value));
+  const double decade = std::pow(10.0, exponent);
+  const double mantissa = value / decade;
+
+  Neighbors nb;
+  nb.below = m.back() * decade / 10.0;  // largest value of the decade below
+  nb.above = m.front() * decade * 10.0; // smallest value of the decade above
+  for (const double mi : m) {
+    const double candidate = mi * decade;
+    if (mi <= mantissa * (1.0 + 1e-12)) {
+      nb.below = candidate;
+    } else {
+      nb.above = candidate;
+      break;
+    }
+  }
+  if (nb.above < nb.below) nb.above = m.front() * decade * 10.0;
+  return nb;
+}
+
+double snap(double value, ESeries series) {
+  const Neighbors nb = neighbors(value, series);
+  // Geometric (log-space) nearest: matches how tolerances are specified.
+  const double lo = std::log(value / nb.below);
+  const double hi = std::log(nb.above / value);
+  return lo <= hi ? nb.below : nb.above;
+}
+
+double max_relative_error(ESeries series) {
+  const std::vector<double>& m = series_mantissas(series);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const double next = (i + 1 < m.size()) ? m[i + 1] : m.front() * 10.0;
+    // Midpoint (geometric) between adjacent values is the worst case.
+    const double mid = std::sqrt(m[i] * next);
+    worst = std::max(worst, (mid - m[i]) / mid);
+  }
+  return worst;
+}
+
+}  // namespace gnsslna::passives

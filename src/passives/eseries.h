@@ -1,0 +1,31 @@
+// IEC 60063 preferred-number (E-series) component values.
+//
+// The design flow first optimizes element values continuously, then snaps
+// each to the nearest purchasable E-series value and re-verifies the design
+// (Table IV of the reconstruction).
+#pragma once
+
+#include <vector>
+
+namespace gnsslna::passives {
+
+enum class ESeries { kE12, kE24, kE48, kE96 };
+
+/// The per-decade mantissas of a series (e.g. E12: 1.0, 1.2, 1.5, ...).
+const std::vector<double>& series_mantissas(ESeries series);
+
+/// Snaps `value` (> 0) to the nearest value of the series (geometric
+/// distance, i.e. nearest in log space — the standard tolerance metric).
+double snap(double value, ESeries series);
+
+/// The two neighbouring series values bracketing `value` (below, above).
+struct Neighbors {
+  double below = 0.0;
+  double above = 0.0;
+};
+Neighbors neighbors(double value, ESeries series);
+
+/// Worst-case relative snapping error of the series (e.g. ~5% for E24).
+double max_relative_error(ESeries series);
+
+}  // namespace gnsslna::passives

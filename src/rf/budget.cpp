@@ -1,0 +1,79 @@
+#include "rf/budget.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/units.h"
+
+namespace gnsslna::rf {
+
+BudgetStage BudgetStage::attenuator(std::string name, double loss_db,
+                                    double t_phys) {
+  if (loss_db < 0.0) {
+    throw std::invalid_argument("BudgetStage::attenuator: loss must be >= 0");
+  }
+  BudgetStage s;
+  s.name = std::move(name);
+  s.gain_db = -loss_db;
+  s.nf_db = noise_figure_db(passive_noise_factor(ratio_from_db(loss_db),
+                                                 t_phys));
+  s.oip3_dbm = 1e9;  // passive: effectively distortion-free here
+  return s;
+}
+
+double BudgetResult::snr_degradation_db(double t_antenna_k) const {
+  const double te = noise_temperature(ratio_from_db(total_nf_db));
+  return db_from_ratio(1.0 + te / t_antenna_k);
+}
+
+BudgetResult cascade_budget(const std::vector<BudgetStage>& stages) {
+  if (stages.empty()) {
+    throw std::invalid_argument("cascade_budget: empty chain");
+  }
+
+  BudgetResult result;
+  result.rows.reserve(stages.size());
+
+  double gain_product = 1.0;      // linear available gain so far
+  double noise_factor_total = 1.0;
+  double inv_iip3_w = 0.0;        // 1 / IIP3 accumulated (coherent worst case
+                                  // omitted; standard power-sum rule)
+
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const BudgetStage& st = stages[i];
+    if (st.nf_db < 0.0) {
+      throw std::invalid_argument("cascade_budget: stage NF below 0 dB");
+    }
+    const double g = ratio_from_db(st.gain_db);
+    const double f = ratio_from_db(st.nf_db);
+
+    // Friis.
+    noise_factor_total += (f - 1.0) / gain_product;
+
+    // IP3 cascade (input-referred reciprocal sum): a stage's IIP3 referred
+    // to the chain input is iip3_stage / gain_before.
+    if (st.oip3_dbm < 1e8) {
+      const double iip3_stage_w =
+          watt_from_dbm(st.oip3_dbm - st.gain_db);
+      inv_iip3_w += gain_product / iip3_stage_w;
+    }
+    gain_product *= g;
+
+    BudgetRow row;
+    row.name = st.name;
+    row.cumulative_gain_db = db_from_ratio(gain_product);
+    row.cumulative_nf_db = noise_figure_db(noise_factor_total);
+    row.cumulative_iip3_dbm =
+        inv_iip3_w > 0.0 ? dbm_from_watt(1.0 / inv_iip3_w) : 1e9;
+    result.rows.push_back(std::move(row));
+  }
+
+  result.total_gain_db = db_from_ratio(gain_product);
+  result.total_nf_db = noise_figure_db(noise_factor_total);
+  result.total_iip3_dbm =
+      inv_iip3_w > 0.0 ? dbm_from_watt(1.0 / inv_iip3_w) : 1e9;
+  result.total_oip3_dbm = result.total_iip3_dbm + result.total_gain_db;
+  return result;
+}
+
+}  // namespace gnsslna::rf

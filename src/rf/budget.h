@@ -1,0 +1,53 @@
+// Receiver-chain system budget: cascaded noise figure, gain, and IP3.
+//
+// The paper's preamplifier is an *antenna* amplifier: it sits at the mast,
+// in front of metres of coax and the receiver front-end.  This module does
+// the classic cascade bookkeeping (Friis for noise, reciprocal-sum for
+// IP3) that justifies the whole exercise: with the preamp in place, the
+// cable loss and receiver noise barely matter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rf/noise.h"
+
+namespace gnsslna::rf {
+
+/// One stage of the receive chain.
+struct BudgetStage {
+  std::string name;
+  double gain_db = 0.0;      ///< available gain (negative = loss)
+  double nf_db = 0.0;        ///< noise figure
+  double oip3_dbm = 1e9;     ///< output IP3; >= 1e9 means "ideal"
+
+  /// Passive attenuator at temperature t (F = L).
+  static BudgetStage attenuator(std::string name, double loss_db,
+                                double t_phys = kT0);
+};
+
+/// Per-stage cumulative results.
+struct BudgetRow {
+  std::string name;
+  double cumulative_gain_db = 0.0;
+  double cumulative_nf_db = 0.0;
+  double cumulative_iip3_dbm = 0.0;  ///< input-referred
+};
+
+struct BudgetResult {
+  std::vector<BudgetRow> rows;
+  double total_gain_db = 0.0;
+  double total_nf_db = 0.0;
+  double total_iip3_dbm = 0.0;
+  double total_oip3_dbm = 0.0;
+
+  /// G/T-style figure: SNR degradation relative to an ideal receiver for
+  /// a source at t_antenna [K]: Delta_SNR = 10 log10(1 + Te/Ta).
+  double snr_degradation_db(double t_antenna_k = 130.0) const;
+};
+
+/// Cascades the chain.  Throws std::invalid_argument on an empty chain or
+/// non-physical stages (nf < 0 dB).
+BudgetResult cascade_budget(const std::vector<BudgetStage>& stages);
+
+}  // namespace gnsslna::rf

@@ -1,0 +1,74 @@
+// Two-port noise parameters and noise-figure arithmetic.
+//
+// The four-parameter noise model (Fmin, Rn, Gamma_opt) with its standard
+// source-pull formula, Friis cascading, and constant-noise circles — the
+// quantities the multi-objective LNA optimizer trades against gain.
+#pragma once
+
+#include <vector>
+
+#include "rf/metrics.h"
+#include "rf/twoport.h"
+
+namespace gnsslna::rf {
+
+/// IEEE two-port noise parameters at one frequency.
+struct NoiseParams {
+  double frequency_hz = 0.0;
+  double f_min = 1.0;   ///< minimum noise factor (linear, >= 1)
+  double r_n = 0.0;     ///< equivalent noise resistance [ohm]
+  Complex gamma_opt;    ///< optimum source reflection coefficient
+  double z0 = kZ0;      ///< reference impedance of gamma_opt
+
+  /// Minimum noise figure in dB.
+  double nf_min_db() const;
+};
+
+/// Noise factor (linear) when the two-port is driven from source reflection
+/// coefficient gamma_s:  F = Fmin + 4 (Rn/z0) |Gs-Gopt|^2 /
+/// ((1-|Gs|^2)|1+Gopt|^2).
+double noise_factor(const NoiseParams& np, Complex gamma_s);
+
+/// Noise figure in dB for the same source.
+double noise_figure_db(const NoiseParams& np, Complex gamma_s);
+
+/// One stage of a Friis cascade.
+struct CascadeStage {
+  double noise_factor = 1.0;   ///< linear
+  double available_gain = 1.0; ///< linear
+};
+
+/// Friis formula: total noise factor of a cascade of stages.
+double friis_noise_factor(const std::vector<CascadeStage>& stages);
+
+/// Haus noise measure M = (F - 1) / (1 - 1/Ga); the right figure of merit
+/// when the stage is followed by an identical infinite cascade.
+double noise_measure(double noise_factor, double available_gain);
+
+/// Constant-noise-figure circle in the gamma_s plane for noise factor f.
+/// Requires f >= Fmin.
+Circle noise_circle(const NoiseParams& np, double f);
+
+/// Equivalent noise temperature [K] of a noise factor.
+double noise_temperature(double noise_factor, double t0 = kT0);
+
+/// Noise factor of an attenuator/lossy passive with (linear, >=1) loss L at
+/// physical temperature t_phys: F = 1 + (L - 1) * t_phys / T0.
+double passive_noise_factor(double loss_linear, double t_phys = kT0);
+
+/// One source-pull measurement point.
+struct SourcePullPoint {
+  Complex gamma_s;        ///< source reflection coefficient (|.| < 1)
+  double noise_factor = 1.0;  ///< measured linear F at that source
+};
+
+/// Fits the four IEEE noise parameters from >= 4 source-pull points via
+/// Lane's linearized least squares:
+///   F Gs = A Gs + B + C Bs + D (Gs^2 + Bs^2)
+/// with Ys = Gs + jBs the source admittance.  Throws std::invalid_argument
+/// on fewer than 4 points or degenerate source sets, std::domain_error
+/// when the fit lands on a non-physical parameter set (Fmin < 1, Rn <= 0).
+NoiseParams fit_noise_parameters(const std::vector<SourcePullPoint>& points,
+                                 double frequency_hz, double z0 = kZ0);
+
+}  // namespace gnsslna::rf

@@ -1,0 +1,66 @@
+#include "rf/smith.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnsslna::rf {
+
+std::string render_smith_chart(const std::vector<SmithTrace>& traces,
+                               SmithChartOptions options) {
+  if (options.width < 21 || options.height < 11) {
+    throw std::invalid_argument("render_smith_chart: grid too small");
+  }
+  // Force odd dimensions so the centre lands on a cell.
+  const std::size_t w = options.width | 1u;
+  const std::size_t h = options.height | 1u;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  const double cx = static_cast<double>(w - 1) / 2.0;
+  const double cy = static_cast<double>(h - 1) / 2.0;
+
+  const auto put = [&](double re, double im, char c) {
+    // Clip to the unit circle (rim).
+    const double mag = std::hypot(re, im);
+    if (mag > 1.0) {
+      re /= mag;
+      im /= mag;
+    }
+    const long col = std::lround(cx + re * cx);
+    const long row = std::lround(cy - im * cy);
+    if (row >= 0 && row < static_cast<long>(h) && col >= 0 &&
+        col < static_cast<long>(w)) {
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = c;
+    }
+  };
+
+  // Unit circle and axes.
+  for (double ang = 0.0; ang < 6.2832; ang += 0.02) {
+    put(std::cos(ang), std::sin(ang), '.');
+  }
+  for (double re = -1.0; re <= 1.0; re += 2.0 / static_cast<double>(w)) {
+    put(re, 0.0, '-');
+  }
+  put(0.0, 0.0, '+');  // the 50-ohm centre
+
+  // Traces (drawn last so they win over the scaffold).
+  for (const SmithTrace& trace : traces) {
+    for (const Complex& g : trace.points) {
+      put(g.real(), g.imag(), trace.marker);
+    }
+  }
+
+  std::ostringstream out;
+  for (const std::string& row : grid) out << row << '\n';
+  if (!traces.empty()) {
+    out << "legend: ";
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      out << traces[i].marker << " = " << traces[i].label;
+      if (i + 1 < traces.size()) out << ", ";
+    }
+    out << "  (+ = 50 ohm)\n";
+  }
+  return out.str();
+}
+
+}  // namespace gnsslna::rf

@@ -1,0 +1,35 @@
+// ASCII Smith-chart rendering for terminal workflows.
+//
+// A library that lives on the command line should let you *see* a match:
+// this renders labelled reflection-coefficient trajectories on a character
+// grid with the unit circle, the real axis, and the matched centre marked.
+// Fidelity is what a 61x31 grid allows — enough to see whether a sweep
+// spirals into the centre or hugs the rim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rf/twoport.h"
+
+namespace gnsslna::rf {
+
+/// One labelled trace: a sequence of reflection coefficients, drawn with
+/// the given marker character.
+struct SmithTrace {
+  std::string label;
+  char marker = '*';
+  std::vector<Complex> points;
+};
+
+struct SmithChartOptions {
+  std::size_t width = 61;   ///< odd, >= 21
+  std::size_t height = 31;  ///< odd, >= 11 (terminal cells are ~2:1)
+};
+
+/// Renders the traces into a multi-line string (includes a legend).
+/// Points with |gamma| > 1 are clipped to the rim.
+std::string render_smith_chart(const std::vector<SmithTrace>& traces,
+                               SmithChartOptions options = {});
+
+}  // namespace gnsslna::rf

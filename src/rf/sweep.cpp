@@ -1,0 +1,131 @@
+#include "rf/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gnsslna::rf {
+
+std::vector<double> linear_grid(double lo, double hi, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("linear_grid: n must be >= 1");
+  if (hi < lo) throw std::invalid_argument("linear_grid: hi < lo");
+  if (n == 1) return {lo};
+  std::vector<double> g(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) g[i] = lo + step * static_cast<double>(i);
+  g.back() = hi;  // guard against accumulation error at the endpoint
+  return g;
+}
+
+std::vector<double> log_grid(double lo, double hi, std::size_t n) {
+  if (lo <= 0.0 || hi <= 0.0) {
+    throw std::invalid_argument("log_grid: endpoints must be positive");
+  }
+  std::vector<double> g = linear_grid(std::log(lo), std::log(hi), n);
+  for (double& x : g) x = std::exp(x);
+  if (!g.empty()) g.back() = hi;
+  return g;
+}
+
+namespace {
+
+template <typename Record>
+std::pair<std::size_t, double> bracket(const std::vector<Record>& sweep,
+                                       double frequency_hz, const char* who) {
+  if (sweep.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty sweep");
+  }
+  if (sweep.size() == 1 || frequency_hz <= sweep.front().frequency_hz) {
+    return {0, 0.0};
+  }
+  if (frequency_hz >= sweep.back().frequency_hz) {
+    return {sweep.size() - 2, 1.0};
+  }
+  const auto it = std::upper_bound(
+      sweep.begin(), sweep.end(), frequency_hz,
+      [](double f, const Record& r) { return f < r.frequency_hz; });
+  const std::size_t i = static_cast<std::size_t>(it - sweep.begin()) - 1;
+  const double t = (frequency_hz - sweep[i].frequency_hz) /
+                   (sweep[i + 1].frequency_hz - sweep[i].frequency_hz);
+  return {i, t};
+}
+
+Complex mix(Complex a, Complex b, double t) { return a + (b - a) * t; }
+
+}  // namespace
+
+SParams interpolate(const SweepData& sweep, double frequency_hz) {
+  const auto [i, t] = bracket(sweep, frequency_hz, "interpolate(SweepData)");
+  if (sweep.size() == 1) {
+    SParams s = sweep.front();
+    s.frequency_hz = frequency_hz;
+    return s;
+  }
+  const SParams& a = sweep[i];
+  const SParams& b = sweep[i + 1];
+  SParams out;
+  out.frequency_hz = frequency_hz;
+  out.z0 = a.z0;
+  out.s11 = mix(a.s11, b.s11, t);
+  out.s12 = mix(a.s12, b.s12, t);
+  out.s21 = mix(a.s21, b.s21, t);
+  out.s22 = mix(a.s22, b.s22, t);
+  return out;
+}
+
+NoiseParams interpolate(const NoiseSweep& sweep, double frequency_hz) {
+  const auto [i, t] = bracket(sweep, frequency_hz, "interpolate(NoiseSweep)");
+  if (sweep.size() == 1) {
+    NoiseParams n = sweep.front();
+    n.frequency_hz = frequency_hz;
+    return n;
+  }
+  const NoiseParams& a = sweep[i];
+  const NoiseParams& b = sweep[i + 1];
+  NoiseParams out;
+  out.frequency_hz = frequency_hz;
+  out.z0 = a.z0;
+  out.f_min = a.f_min + (b.f_min - a.f_min) * t;
+  out.r_n = a.r_n + (b.r_n - a.r_n) * t;
+  out.gamma_opt = mix(a.gamma_opt, b.gamma_opt, t);
+  return out;
+}
+
+std::vector<double> group_delay(const SweepData& sweep) {
+  if (sweep.size() < 2) {
+    throw std::invalid_argument("group_delay: need at least 2 points");
+  }
+  // Unwrapped S21 phase.
+  std::vector<double> phase(sweep.size());
+  phase[0] = std::arg(sweep[0].s21);
+  constexpr double kPi = 3.14159265358979323846;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    double p = std::arg(sweep[i].s21);
+    double prev = phase[i - 1];
+    while (p - prev > kPi) p -= 2.0 * kPi;
+    while (p - prev < -kPi) p += 2.0 * kPi;
+    phase[i] = p;
+  }
+  std::vector<double> tau(sweep.size());
+  const auto omega = [&](std::size_t i) {
+    return 2.0 * kPi * sweep[i].frequency_hz;
+  };
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (i == 0) {
+      tau[i] = -(phase[1] - phase[0]) / (omega(1) - omega(0));
+    } else if (i + 1 == sweep.size()) {
+      tau[i] = -(phase[i] - phase[i - 1]) / (omega(i) - omega(i - 1));
+    } else {
+      tau[i] = -(phase[i + 1] - phase[i - 1]) / (omega(i + 1) - omega(i - 1));
+    }
+  }
+  return tau;
+}
+
+double group_delay_ripple(const SweepData& sweep) {
+  const std::vector<double> tau = group_delay(sweep);
+  const auto [lo, hi] = std::minmax_element(tau.begin(), tau.end());
+  return *hi - *lo;
+}
+
+}  // namespace gnsslna::rf

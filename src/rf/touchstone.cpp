@@ -1,0 +1,224 @@
+#include "rf/touchstone.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnsslna::rf {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+double frequency_multiplier(const std::string& unit) {
+  const std::string u = to_lower(unit);
+  if (u == "hz") return 1.0;
+  if (u == "khz") return 1e3;
+  if (u == "mhz") return 1e6;
+  if (u == "ghz") return 1e9;
+  throw std::runtime_error("touchstone: unknown frequency unit '" + unit + "'");
+}
+
+Complex decode(TouchstoneFormat fmt, double a, double b) {
+  switch (fmt) {
+    case TouchstoneFormat::kRealImaginary:
+      return {a, b};
+    case TouchstoneFormat::kMagnitudeAngle:
+      return from_mag_deg(a, b);
+    case TouchstoneFormat::kDbAngle:
+      return from_mag_deg(mag_from_db(a), b);
+  }
+  throw std::logic_error("touchstone: unreachable format");
+}
+
+std::pair<double, double> encode(TouchstoneFormat fmt, Complex s) {
+  switch (fmt) {
+    case TouchstoneFormat::kRealImaginary:
+      return {s.real(), s.imag()};
+    case TouchstoneFormat::kMagnitudeAngle:
+      return {std::abs(s), phase_deg(s)};
+    case TouchstoneFormat::kDbAngle: {
+      const double m = std::abs(s);
+      return {m > 0.0 ? db_from_mag(m) : -200.0, phase_deg(s)};
+    }
+  }
+  throw std::logic_error("touchstone: unreachable format");
+}
+
+std::vector<double> parse_numbers(const std::string& line) {
+  std::istringstream iss(line);
+  std::vector<double> out;
+  std::string tok;
+  while (iss >> tok) {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(tok, &used);
+      if (used != tok.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+      out.push_back(v);
+    } catch (const std::exception&) {
+      throw std::runtime_error("touchstone: non-numeric field '" + tok + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TouchstoneFile read_touchstone(std::istream& in) {
+  TouchstoneFile file;
+  double f_mult = 1e9;  // Touchstone default is GHz
+  TouchstoneFormat fmt = TouchstoneFormat::kMagnitudeAngle;
+  double z0 = kZ0;
+  bool option_seen = false;
+  bool in_noise_block = false;
+
+  std::string raw;
+  while (std::getline(in, raw)) {
+    // Strip comments and whitespace.
+    const std::size_t bang = raw.find('!');
+    std::string line = bang == std::string::npos ? raw : raw.substr(0, bang);
+    const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+    line.erase(line.begin(), std::find_if(line.begin(), line.end(), not_space));
+    line.erase(std::find_if(line.rbegin(), line.rend(), not_space).base(),
+               line.end());
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      if (option_seen) {
+        throw std::runtime_error("touchstone: multiple option lines");
+      }
+      option_seen = true;
+      std::istringstream iss(line.substr(1));
+      std::string tok;
+      while (iss >> tok) {
+        const std::string t = to_lower(tok);
+        if (t == "hz" || t == "khz" || t == "mhz" || t == "ghz") {
+          f_mult = frequency_multiplier(t);
+        } else if (t == "s") {
+          // parameter type: only S supported
+        } else if (t == "y" || t == "z" || t == "h" || t == "g") {
+          throw std::runtime_error(
+              "touchstone: only S-parameter files are supported");
+        } else if (t == "ma") {
+          fmt = TouchstoneFormat::kMagnitudeAngle;
+        } else if (t == "db") {
+          fmt = TouchstoneFormat::kDbAngle;
+        } else if (t == "ri") {
+          fmt = TouchstoneFormat::kRealImaginary;
+        } else if (t == "r") {
+          if (!(iss >> z0) || z0 <= 0.0) {
+            throw std::runtime_error("touchstone: bad reference impedance");
+          }
+        } else {
+          throw std::runtime_error("touchstone: unknown option '" + tok + "'");
+        }
+      }
+      continue;
+    }
+
+    const std::vector<double> nums = parse_numbers(line);
+    const double freq = nums.empty() ? 0.0 : nums[0] * f_mult;
+
+    // A frequency lower than the previous S-parameter row marks the start of
+    // the conventional trailing noise-parameter block.
+    if (!in_noise_block && !file.s.empty() &&
+        freq < file.s.back().frequency_hz) {
+      in_noise_block = true;
+    }
+
+    if (!in_noise_block) {
+      if (nums.size() != 9) {
+        throw std::runtime_error(
+            "touchstone: expected 9 columns in S-parameter row, got " +
+            std::to_string(nums.size()));
+      }
+      SParams s;
+      s.frequency_hz = freq;
+      s.z0 = z0;
+      s.s11 = decode(fmt, nums[1], nums[2]);
+      s.s21 = decode(fmt, nums[3], nums[4]);
+      s.s12 = decode(fmt, nums[5], nums[6]);
+      s.s22 = decode(fmt, nums[7], nums[8]);
+      if (!file.s.empty() && s.frequency_hz <= file.s.back().frequency_hz) {
+        throw std::runtime_error("touchstone: frequencies must be ascending");
+      }
+      file.s.push_back(s);
+    } else {
+      if (nums.size() != 5) {
+        throw std::runtime_error(
+            "touchstone: expected 5 columns in noise row, got " +
+            std::to_string(nums.size()));
+      }
+      NoiseParams np;
+      np.frequency_hz = freq;
+      np.z0 = z0;
+      np.f_min = noise_factor_from_db(nums[1]);
+      np.gamma_opt = from_mag_deg(nums[2], nums[3]);
+      np.r_n = nums[4] * z0;  // column is rn normalized to z0
+      if (!file.noise.empty() &&
+          np.frequency_hz <= file.noise.back().frequency_hz) {
+        throw std::runtime_error(
+            "touchstone: noise frequencies must be ascending");
+      }
+      file.noise.push_back(np);
+    }
+  }
+  if (file.s.empty()) {
+    throw std::runtime_error("touchstone: file contains no S-parameter data");
+  }
+  return file;
+}
+
+TouchstoneFile read_touchstone_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_touchstone(iss);
+}
+
+void write_touchstone(std::ostream& out, const SweepData& s,
+                      const NoiseSweep& noise, TouchstoneFormat format) {
+  if (s.empty()) {
+    throw std::invalid_argument("write_touchstone: empty sweep");
+  }
+  const double z0 = s.front().z0;
+  const char* fmt_name = format == TouchstoneFormat::kRealImaginary ? "RI"
+                         : format == TouchstoneFormat::kDbAngle     ? "DB"
+                                                                    : "MA";
+  out << "! gnsslna two-port S-parameter export\n";
+  out << "# Hz S " << fmt_name << " R " << z0 << "\n";
+  out << std::scientific << std::setprecision(9);
+  for (const SParams& p : s) {
+    const auto [a11, b11] = encode(format, p.s11);
+    const auto [a21, b21] = encode(format, p.s21);
+    const auto [a12, b12] = encode(format, p.s12);
+    const auto [a22, b22] = encode(format, p.s22);
+    out << p.frequency_hz << ' ' << a11 << ' ' << b11 << ' ' << a21 << ' '
+        << b21 << ' ' << a12 << ' ' << b12 << ' ' << a22 << ' ' << b22 << '\n';
+  }
+  if (!noise.empty()) {
+    out << "! noise parameters: f Fmin(dB) |Gopt| ang(Gopt) rn/z0\n";
+    for (const NoiseParams& np : noise) {
+      out << np.frequency_hz << ' ' << noise_figure_db(np.f_min) << ' '
+          << std::abs(np.gamma_opt) << ' ' << phase_deg(np.gamma_opt) << ' '
+          << np.r_n / z0 << '\n';
+    }
+  }
+}
+
+std::string write_touchstone_string(const SweepData& s,
+                                    const NoiseSweep& noise,
+                                    TouchstoneFormat format) {
+  std::ostringstream oss;
+  write_touchstone(oss, s, noise, format);
+  return oss.str();
+}
+
+}  // namespace gnsslna::rf

@@ -1,0 +1,43 @@
+// Touchstone (.s2p) file I/O for two-port S-parameter sweeps.
+//
+// Supports the subset of Touchstone 1.x that VNAs actually emit for
+// two-ports: `# <unit> S <MA|DB|RI> R <z0>` option lines, comment lines, and
+// optional trailing noise-parameter blocks (freq Fmin_dB |Gopt| ang(Gopt)
+// rn/z0, the classic 5-column form).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rf/sweep.h"
+
+namespace gnsslna::rf {
+
+/// Parsed contents of a .s2p file.
+struct TouchstoneFile {
+  SweepData s;       ///< S-parameter block (always present)
+  NoiseSweep noise;  ///< optional noise block (empty when absent)
+};
+
+/// Numeric format of the S-parameter columns.
+enum class TouchstoneFormat { kMagnitudeAngle, kDbAngle, kRealImaginary };
+
+/// Parses a Touchstone 2-port stream.  Throws std::runtime_error on
+/// malformed input (unknown option line, wrong column count, non-numeric
+/// fields, non-ascending frequency).
+TouchstoneFile read_touchstone(std::istream& in);
+
+/// Convenience: parse from a string.
+TouchstoneFile read_touchstone_string(const std::string& text);
+
+/// Writes a two-port sweep (and optional noise data) as Touchstone 1.x.
+void write_touchstone(std::ostream& out, const SweepData& s,
+                      const NoiseSweep& noise = {},
+                      TouchstoneFormat format = TouchstoneFormat::kRealImaginary);
+
+/// Convenience: serialize to a string.
+std::string write_touchstone_string(
+    const SweepData& s, const NoiseSweep& noise = {},
+    TouchstoneFormat format = TouchstoneFormat::kRealImaginary);
+
+}  // namespace gnsslna::rf

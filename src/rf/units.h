@@ -1,0 +1,111 @@
+// RF unit conversions and physical constants.
+//
+// Library-wide convention: SI units internally (Hz, ohm, watt, kelvin,
+// metre); decibel quantities appear only at I/O boundaries through the
+// helpers below.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace gnsslna::rf {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// IEEE standard noise reference temperature [K].
+inline constexpr double kT0 = 290.0;
+
+/// Default system reference impedance [ohm].
+inline constexpr double kZ0 = 50.0;
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kC0 = 299792458.0;
+
+/// Power ratio -> decibels.  Requires ratio > 0.
+inline double db_from_ratio(double ratio) {
+  if (ratio <= 0.0) {
+    throw std::invalid_argument("db_from_ratio: ratio must be positive");
+  }
+  return 10.0 * std::log10(ratio);
+}
+
+/// Decibels -> power ratio.
+inline double ratio_from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Voltage-wave magnitude -> decibels (20 log10 |x|).
+inline double db_from_mag(double mag) {
+  if (mag <= 0.0) {
+    throw std::invalid_argument("db_from_mag: magnitude must be positive");
+  }
+  return 20.0 * std::log10(mag);
+}
+
+/// Decibels -> voltage-wave magnitude.
+inline double mag_from_db(double db) { return std::pow(10.0, db / 20.0); }
+
+/// |S| in dB for a complex wave quantity; returns -infinity for exact zero.
+inline double db20(const std::complex<double>& s) {
+  const double m = std::abs(s);
+  return m > 0.0 ? 20.0 * std::log10(m) : -std::numeric_limits<double>::infinity();
+}
+
+/// Power in watt -> dBm.
+inline double dbm_from_watt(double watt) {
+  if (watt <= 0.0) {
+    throw std::invalid_argument("dbm_from_watt: power must be positive");
+  }
+  return 10.0 * std::log10(watt / 1e-3);
+}
+
+/// dBm -> watt.
+inline double watt_from_dbm(double dbm) {
+  return 1e-3 * std::pow(10.0, dbm / 10.0);
+}
+
+/// Noise figure [dB] -> noise factor (linear).
+inline double noise_factor_from_db(double nf_db) {
+  return ratio_from_db(nf_db);
+}
+
+/// Noise factor (linear) -> noise figure [dB].
+inline double noise_figure_db(double factor) { return db_from_ratio(factor); }
+
+/// Phase of a complex value in degrees.
+inline double phase_deg(const std::complex<double>& s) {
+  return std::arg(s) * 180.0 / 3.14159265358979323846;
+}
+
+/// Complex value from (magnitude, phase-in-degrees).
+inline std::complex<double> from_mag_deg(double mag, double deg) {
+  const double rad = deg * 3.14159265358979323846 / 180.0;
+  return {mag * std::cos(rad), mag * std::sin(rad)};
+}
+
+/// Reflection coefficient of impedance z against reference z0.
+inline std::complex<double> gamma_from_z(std::complex<double> z,
+                                         double z0 = kZ0) {
+  return (z - z0) / (z + z0);
+}
+
+/// Impedance corresponding to reflection coefficient gamma (|gamma| != 1).
+inline std::complex<double> z_from_gamma(std::complex<double> gamma,
+                                         double z0 = kZ0) {
+  const std::complex<double> den = 1.0 - gamma;
+  if (std::abs(den) < 1e-15) {
+    throw std::domain_error("z_from_gamma: |gamma| = 1 has no finite impedance");
+  }
+  return z0 * (1.0 + gamma) / den;
+}
+
+/// VSWR for a reflection coefficient magnitude < 1.
+inline double vswr(const std::complex<double>& gamma) {
+  const double g = std::abs(gamma);
+  if (g >= 1.0) {
+    throw std::domain_error("vswr: |gamma| must be < 1");
+  }
+  return (1.0 + g) / (1.0 - g);
+}
+
+}  // namespace gnsslna::rf

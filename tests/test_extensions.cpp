@@ -1,0 +1,184 @@
+// Tests for the production-hardening extensions: extraction uncertainty,
+// environmental corners, and blocker desensitization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amplifier/corners.h"
+#include "extract/uncertainty.h"
+#include "nonlinear/blocker.h"
+#include "rf/sweep.h"
+
+namespace gnsslna {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Extraction uncertainty
+
+extract::MeasurementSet small_measurement(const device::Phemt& truth,
+                                          double s_sigma,
+                                          numeric::Rng& rng) {
+  extract::MeasurementPlan plan = extract::MeasurementPlan::standard_plan(8);
+  plan.dc_vgs = rf::linear_grid(-0.9, 0.1, 6);
+  plan.dc_vds = rf::linear_grid(0.0, 4.0, 5);
+  plan.rf_biases = {{-0.4, 2.0}, {-0.2, 2.0}};
+  extract::MeasurementNoise noise;
+  noise.s_sigma = s_sigma;
+  noise.dc_relative_sigma = s_sigma;
+  return extract::synthesize_measurements(truth, plan, noise, rng);
+}
+
+std::vector<double> truth_params(const device::Phemt& truth) {
+  std::vector<double> x = truth.iv_model().parameters();
+  x.insert(x.end(),
+           {truth.caps().cgs0, truth.caps().cgd0, truth.caps().cds,
+            truth.caps().ri, truth.caps().tau_s, truth.caps().vbi});
+  return x;
+}
+
+TEST(Uncertainty, ReportsOneEntryPerParameter) {
+  const device::Phemt truth = device::Phemt::reference_device();
+  numeric::Rng rng(3);
+  const extract::MeasurementSet data = small_measurement(truth, 0.005, rng);
+  const extract::UncertaintyReport rep = extract::parameter_uncertainty(
+      truth.iv_model(), truth_params(truth), data, truth.extrinsics());
+  EXPECT_EQ(rep.parameters.size(), 13u);
+  EXPECT_FALSE(rep.rank_deficient);
+  EXPECT_EQ(rep.parameters[0].name, "ipk");
+  EXPECT_EQ(rep.parameters[12].name, "vbi");
+}
+
+TEST(Uncertainty, IntervalsBracketTheValue) {
+  const device::Phemt truth = device::Phemt::reference_device();
+  numeric::Rng rng(4);
+  const extract::MeasurementSet data = small_measurement(truth, 0.005, rng);
+  const extract::UncertaintyReport rep = extract::parameter_uncertainty(
+      truth.iv_model(), truth_params(truth), data, truth.extrinsics());
+  for (const extract::ParameterUncertainty& p : rep.parameters) {
+    EXPECT_LE(p.ci95_low, p.value) << p.name;
+    EXPECT_GE(p.ci95_high, p.value) << p.name;
+    EXPECT_GE(p.std_error, 0.0) << p.name;
+  }
+}
+
+TEST(Uncertainty, NoisierDataGivesWiderIntervals) {
+  const device::Phemt truth = device::Phemt::reference_device();
+  numeric::Rng rng1(5), rng2(5);
+  const extract::MeasurementSet quiet = small_measurement(truth, 0.002, rng1);
+  const extract::MeasurementSet loud = small_measurement(truth, 0.02, rng2);
+  const extract::UncertaintyReport rq = extract::parameter_uncertainty(
+      truth.iv_model(), truth_params(truth), quiet, truth.extrinsics());
+  const extract::UncertaintyReport rl = extract::parameter_uncertainty(
+      truth.iv_model(), truth_params(truth), loud, truth.extrinsics());
+  // Compare a well-determined parameter (ipk).
+  EXPECT_LT(rq.parameters[0].std_error, rl.parameters[0].std_error);
+  EXPECT_LT(rq.residual_sigma, rl.residual_sigma);
+}
+
+TEST(Uncertainty, CorrelationBoundedByOne) {
+  const device::Phemt truth = device::Phemt::reference_device();
+  numeric::Rng rng(6);
+  const extract::MeasurementSet data = small_measurement(truth, 0.005, rng);
+  const extract::UncertaintyReport rep = extract::parameter_uncertainty(
+      truth.iv_model(), truth_params(truth), data, truth.extrinsics());
+  EXPECT_GE(rep.worst_correlation, 0.0);
+  EXPECT_LE(rep.worst_correlation, 1.0 + 1e-9);
+  EXPECT_NE(rep.worst_pair_i, rep.worst_pair_j);
+}
+
+// ---------------------------------------------------------------------------
+// Corner analysis
+
+TEST(Corners, StandardSetCoversTemperatureAndRail) {
+  const std::vector<amplifier::Corner> corners =
+      amplifier::standard_corners(5.0);
+  ASSERT_EQ(corners.size(), 5u);
+  double tmin = 1e9, tmax = 0.0;
+  for (const amplifier::Corner& c : corners) {
+    tmin = std::min(tmin, c.t_ambient_k);
+    tmax = std::max(tmax, c.t_ambient_k);
+  }
+  EXPECT_LT(tmin, 240.0);
+  EXPECT_GT(tmax, 350.0);
+}
+
+TEST(Corners, HotCornerIsNoisierThanCold) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  amplifier::DesignGoals goals;
+  goals.nf_goal_db = 10.0;  // loose: we only compare corners here
+  goals.gain_goal_db = 0.0;
+  goals.s11_goal_db = 0.0;
+  goals.s22_goal_db = 0.0;
+  goals.mu_margin = 0.0;
+  goals.id_max_a = 1.0;
+  const std::vector<amplifier::CornerRow> rows = amplifier::corner_analysis(
+      dev, config, amplifier::DesignVector{}, goals,
+      {{"cold", 233.15, 5.0}, {"hot", 358.15, 5.0}});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_LT(rows[0].report.nf_avg_db, rows[1].report.nf_avg_db);
+  EXPECT_TRUE(rows[0].meets_goals);
+  EXPECT_TRUE(rows[1].meets_goals);
+}
+
+TEST(Corners, LowRailShrinksHeadroom) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  amplifier::DesignVector d;
+  d.vds = 3.5;  // close to a sagging 4.2 V rail
+  const std::vector<amplifier::CornerRow> rows = amplifier::corner_analysis(
+      dev, config, d, amplifier::DesignGoals{},
+      {{"nominal", 290.0, 5.0}, {"sagging", 290.0, 3.4}});
+  // vds above the sagging rail: the corner must be flagged, not crash.
+  EXPECT_FALSE(rows[1].meets_goals);
+}
+
+// ---------------------------------------------------------------------------
+// Blocker desensitization
+
+amplifier::LnaDesign default_lna() {
+  amplifier::AmplifierConfig config;
+  return amplifier::LnaDesign(device::Phemt::reference_device(), config,
+                              amplifier::DesignVector{});
+}
+
+TEST(Blocker, WeakBlockerCausesNoDesense) {
+  const nonlinear::BlockerPoint pt =
+      nonlinear::blocker_point(default_lna(), -60.0);
+  EXPECT_NEAR(pt.desense_db, 0.0, 0.05);
+}
+
+TEST(Blocker, DesenseGrowsMonotonicallyWithBlockerPower) {
+  const amplifier::LnaDesign lna = default_lna();
+  double prev = -1.0;
+  for (const double p : {-30.0, -20.0, -12.0, -6.0}) {
+    const nonlinear::BlockerPoint pt = nonlinear::blocker_point(lna, p);
+    EXPECT_GE(pt.desense_db, prev - 0.02) << p;
+    prev = pt.desense_db;
+  }
+  EXPECT_GT(prev, 0.1);  // a -6 dBm blocker visibly compresses
+}
+
+TEST(Blocker, SweepFindsOneDbPoint) {
+  const nonlinear::BlockerSweep sweep =
+      nonlinear::blocker_sweep(default_lna(), -20.0, 5.0, 8);
+  EXPECT_FALSE(std::isnan(sweep.p1db_desense_dbm));
+  // Single-pHEMT LNA: 1 dB desense for a strong sub-GHz blocker in the
+  // -15..+10 dBm region.
+  EXPECT_GT(sweep.p1db_desense_dbm, -16.0);
+  EXPECT_LT(sweep.p1db_desense_dbm, 10.0);
+}
+
+TEST(Blocker, ValidatesTones) {
+  nonlinear::BlockerOptions bad;
+  bad.f_blocker_hz = bad.f_signal_hz;
+  EXPECT_THROW(nonlinear::blocker_point(default_lna(), -20.0, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.f_blocker_hz = 900.77e6;  // no sane common grid with 1575 MHz
+  EXPECT_THROW(nonlinear::blocker_point(default_lna(), -20.0, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnsslna

@@ -1,0 +1,201 @@
+#include "numeric/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "numeric/least_squares.h"
+#include "numeric/rng.h"
+
+namespace gnsslna::numeric {
+namespace {
+
+TEST(Matrix, ConstructsZeroFilled) {
+  const RealMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, InitializerListLayout) {
+  const RealMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((RealMatrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtChecksBounds) {
+  RealMatrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, IdentityMultiplicationIsNeutral) {
+  const RealMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const RealMatrix i = RealMatrix::identity(2);
+  EXPECT_EQ(a * i, a);
+  EXPECT_EQ(i * a, a);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  const RealMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const RealMatrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const RealMatrix c = a * b;
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const RealMatrix a(2, 3);
+  const RealMatrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const RealMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> v = a * std::vector<double>{1.0, 1.0};
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, TransposeAndAdjoint) {
+  const ComplexMatrix m{{{1.0, 1.0}, {2.0, 0.0}}, {{0.0, -1.0}, {3.0, 2.0}}};
+  const ComplexMatrix t = m.transpose();
+  EXPECT_EQ(t(0, 1), (std::complex<double>{0.0, -1.0}));
+  const ComplexMatrix h = m.adjoint();
+  EXPECT_EQ(h(0, 0), (std::complex<double>{1.0, -1.0}));
+  EXPECT_EQ(h(1, 0), (std::complex<double>{2.0, 0.0}));
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const RealMatrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.norm(), 5.0);
+}
+
+TEST(Lu, SolvesDiagonalSystem) {
+  const RealMatrix a{{2.0, 0.0}, {0.0, 4.0}};
+  const std::vector<double> x = solve(a, {2.0, 8.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Lu, SolvesSystemNeedingPivot) {
+  // Leading zero forces a row swap.
+  const RealMatrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const std::vector<double> x = solve(a, {3.0, 7.0});
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  const RealMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuDecomposition<double>{a}, std::domain_error);
+}
+
+TEST(Lu, DeterminantTracksPivotSwaps) {
+  const RealMatrix a{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(LuDecomposition<double>(a).determinant(), -1.0);
+}
+
+TEST(Lu, ComplexSolveRoundTrip) {
+  Rng rng(42);
+  ComplexMatrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      a(i, j) = {rng.normal(), rng.normal()};
+    }
+  }
+  std::vector<std::complex<double>> x_true(4);
+  for (auto& v : x_true) v = {rng.normal(), rng.normal()};
+  const auto b = a * x_true;
+  const auto x = solve(a, b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  Rng rng(7);
+  RealMatrix a(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a(i, j) = rng.normal();
+  }
+  const RealMatrix prod = inverse(a) * a;
+  const RealMatrix eye = RealMatrix::identity(5);
+  EXPECT_LT((prod - eye).norm(), 1e-9);
+}
+
+// Property sweep: random well-conditioned systems of several sizes solve to
+// machine-level accuracy.
+class LuSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuSizeSweep, RandomSystemRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  RealMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+    a(i, i) += static_cast<double>(n);  // diagonal dominance
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2.0, 2.0);
+  const std::vector<double> x = solve(a, a * x_true);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizeSweep,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 13,
+                                                        21, 34));
+
+TEST(LeastSquares, ExactSystemReproduced) {
+  const RealMatrix a{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const std::vector<double> x = solve_least_squares(a, {1.0, 2.0, 3.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, MinimizesResidualOfInconsistentSystem) {
+  // Fit a constant to {1, 2, 3}: the LS answer is the mean.
+  const RealMatrix a{{1.0}, {1.0}, {1.0}};
+  const std::vector<double> x = solve_least_squares(a, {1.0, 2.0, 3.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  const RealMatrix a(1, 2);
+  EXPECT_THROW(solve_least_squares(a, {1.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  const RealMatrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_THROW(solve_least_squares(a, {1.0, 2.0, 3.0}), std::domain_error);
+}
+
+TEST(Polyfit, RecoversQuadraticExactly) {
+  std::vector<double> x, y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 - 3.0 * i + 0.5 * i * i);
+  }
+  const std::vector<double> c = polyfit(x, y, 2);
+  EXPECT_NEAR(c[0], 2.0, 1e-10);
+  EXPECT_NEAR(c[1], -3.0, 1e-10);
+  EXPECT_NEAR(c[2], 0.5, 1e-10);
+}
+
+TEST(Polyfit, RejectsTooFewPoints) {
+  EXPECT_THROW(polyfit({1.0, 2.0}, {1.0, 2.0}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnsslna::numeric

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optimize/bfgs.h"
+#include "optimize/line_search.h"
+#include "optimize/nsga2.h"
+#include "optimize/test_problems.h"
+
+namespace gnsslna::optimize {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1-D minimizers
+
+TEST(GoldenSection, FindsQuadraticMinimum) {
+  const ScalarResult r = golden_section(
+      [](double x) { return (x - 2.5) * (x - 2.5) + 1.0; }, 0.0, 10.0);
+  EXPECT_NEAR(r.x, 2.5, 1e-7);
+  EXPECT_NEAR(r.value, 1.0, 1e-12);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(GoldenSection, HandlesBoundaryMinimum) {
+  const ScalarResult r =
+      golden_section([](double x) { return x; }, 1.0, 4.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-6);
+}
+
+TEST(GoldenSection, RejectsEmptyInterval) {
+  EXPECT_THROW(golden_section([](double x) { return x; }, 2.0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Brent, FindsQuarticMinimum) {
+  const ScalarResult r = brent_minimize(
+      [](double x) { return std::pow(x - 1.3, 4) - 2.0; }, -5.0, 5.0, 1e-9);
+  EXPECT_NEAR(r.x, 1.3, 1e-2);  // quartic floor is flat
+  EXPECT_NEAR(r.value, -2.0, 1e-7);
+}
+
+TEST(Brent, FewerEvaluationsThanGoldenOnSmoothFunction) {
+  const ScalarFn f = [](double x) { return std::cosh(x - 0.7); };
+  const ScalarResult g = golden_section(f, -4.0, 4.0, 1e-10);
+  const ScalarResult b = brent_minimize(f, -4.0, 4.0, 1e-10);
+  EXPECT_NEAR(b.x, 0.7, 1e-6);
+  EXPECT_LT(b.evaluations, g.evaluations);
+}
+
+TEST(Brent, FindsMinimumOfNoisyScaleFunction) {
+  // Minimize |sin| near pi on a wide interval (unimodal there).
+  const ScalarResult r = brent_minimize(
+      [](double x) { return std::abs(std::sin(x)); }, 2.0, 4.5, 1e-9);
+  EXPECT_NEAR(r.x, 3.14159265, 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// BFGS
+
+TEST(Bfgs, SolvesQuadraticInFewIterations) {
+  const ObjectiveFn f = [](const std::vector<double>& x) {
+    return 3.0 * (x[0] - 1.0) * (x[0] - 1.0) +
+           0.5 * (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  const Result r = bfgs(f, testing::box(2, 10.0), {5.0, 5.0});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-5);
+  EXPECT_LT(r.iterations, 40u);
+}
+
+TEST(Bfgs, SolvesRosenbrock) {
+  BfgsOptions opt;
+  opt.max_iterations = 500;
+  const Result r =
+      bfgs(testing::rosenbrock, testing::box(2, 5.0), {-1.2, 1.0}, opt);
+  EXPECT_LT(r.value, 1e-6);
+}
+
+TEST(Bfgs, FasterThanNelderMeadOnSmoothProblem) {
+  // Not a strict guarantee, but on a smooth 4-D quadratic BFGS should use
+  // far fewer evaluations than a simplex for the same accuracy.
+  const ObjectiveFn f = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      s += (static_cast<double>(i) + 1.0) * x[i] * x[i];
+    }
+    return s;
+  };
+  const Result r = bfgs(f, testing::box(4, 3.0), {2.0, 2.0, 2.0, 2.0});
+  EXPECT_LT(r.value, 1e-10);
+  EXPECT_LT(r.evaluations, 2000u);
+}
+
+TEST(Bfgs, RespectsBounds) {
+  const ObjectiveFn f = [](const std::vector<double>& x) {
+    return (x[0] + 4.0) * (x[0] + 4.0);
+  };
+  const Result r = bfgs(f, Bounds({-1.0}, {1.0}), {0.5});
+  EXPECT_NEAR(r.x[0], -1.0, 1e-9);
+}
+
+TEST(Bfgs, NumericGradientMatchesAnalytic) {
+  const ObjectiveFn f = [](const std::vector<double>& x) {
+    return std::sin(x[0]) + x[1] * x[1];
+  };
+  const std::vector<double> x{0.4, -1.5};
+  const std::vector<double> g =
+      numeric_gradient(f, x, testing::box(2, 10.0));
+  EXPECT_NEAR(g[0], std::cos(0.4), 1e-6);
+  EXPECT_NEAR(g[1], -3.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// NSGA-II
+
+TEST(Nsga2, RankingIdentifiesFronts) {
+  const std::vector<std::vector<double>> pts = {
+      {1.0, 4.0}, {2.0, 2.0}, {4.0, 1.0},  // front 0
+      {2.5, 3.0}, {4.0, 2.0},              // front 1
+      {5.0, 5.0}};                         // front 2
+  const std::vector<std::size_t> rank = non_dominated_rank(pts);
+  EXPECT_EQ(rank[0], 0u);
+  EXPECT_EQ(rank[1], 0u);
+  EXPECT_EQ(rank[2], 0u);
+  EXPECT_EQ(rank[3], 1u);
+  EXPECT_EQ(rank[4], 1u);
+  EXPECT_EQ(rank[5], 2u);
+}
+
+TEST(Nsga2, CrowdingBoundariesAreInfinite) {
+  const std::vector<std::vector<double>> front = {
+      {0.0, 3.0}, {1.0, 2.0}, {2.0, 1.0}, {3.0, 0.0}};
+  const std::vector<double> d = crowding_distance(front);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[3]));
+  EXPECT_GT(d[1], 0.0);
+  EXPECT_FALSE(std::isinf(d[1]));
+}
+
+TEST(Nsga2, RecoversZdt1Front) {
+  numeric::Rng rng(91);
+  Nsga2Options opt;
+  opt.population = 60;
+  opt.generations = 120;
+  const Nsga2Result r = nsga2(
+      [](const std::vector<double>& x) { return testing::zdt1(x); }, 2,
+      testing::zdt_bounds(6), {}, rng, opt);
+  ASSERT_GE(r.front.size(), 20u);
+  int close = 0;
+  for (const Nsga2Individual& ind : r.front) {
+    if (std::abs(ind.f[1] - (1.0 - std::sqrt(ind.f[0]))) < 0.08) ++close;
+  }
+  // Most of the front sits on the analytic curve.
+  EXPECT_GT(close, static_cast<int>(r.front.size() * 3) / 4);
+}
+
+TEST(Nsga2, FrontCoversTheObjectiveRange) {
+  numeric::Rng rng(92);
+  Nsga2Options opt;
+  opt.population = 60;
+  opt.generations = 120;
+  const Nsga2Result r = nsga2(
+      [](const std::vector<double>& x) { return testing::zdt1(x); }, 2,
+      testing::zdt_bounds(6), {}, rng, opt);
+  double f1_min = 1e9, f1_max = -1e9;
+  for (const Nsga2Individual& ind : r.front) {
+    f1_min = std::min(f1_min, ind.f[0]);
+    f1_max = std::max(f1_max, ind.f[0]);
+  }
+  EXPECT_LT(f1_min, 0.1);
+  EXPECT_GT(f1_max, 0.8);
+}
+
+TEST(Nsga2, ConstraintsAreRespected) {
+  numeric::Rng rng(93);
+  Nsga2Options opt;
+  opt.population = 40;
+  opt.generations = 60;
+  // Constrain x0 >= 0.5 -> feasible front has f1 >= 0.5.
+  const Nsga2Result r = nsga2(
+      [](const std::vector<double>& x) { return testing::zdt1(x); }, 2,
+      testing::zdt_bounds(4),
+      {[](const std::vector<double>& x) { return 0.5 - x[0]; }}, rng, opt);
+  for (const Nsga2Individual& ind : r.front) {
+    EXPECT_GE(ind.x[0], 0.5 - 1e-9);
+  }
+}
+
+TEST(Nsga2, ValidatesInput) {
+  numeric::Rng rng(94);
+  EXPECT_THROW(nsga2(nullptr, 2, testing::zdt_bounds(3), {}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      nsga2([](const std::vector<double>& x) { return testing::zdt1(x); },
+            0, testing::zdt_bounds(3), {}, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnsslna::optimize

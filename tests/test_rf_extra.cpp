@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numbers>
+
+#include "numeric/rng.h"
+#include "rf/budget.h"
+#include "rf/smith.h"
+#include "rf/sweep.h"
+#include "rf/twoport.h"
+#include "rf/units.h"
+
+namespace gnsslna::rf {
+namespace {
+
+constexpr double kF = 1.5e9;
+
+// ---------------------------------------------------------------------------
+// T-parameters
+
+TEST(TParams, RoundTripSToTToS) {
+  numeric::Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    SParams s;
+    s.frequency_hz = kF;
+    const auto c = [&] {
+      return Complex{rng.uniform(-0.6, 0.6), rng.uniform(-0.6, 0.6)};
+    };
+    s.s11 = c();
+    s.s12 = c();
+    s.s21 = c() + Complex{0.8, 0.0};  // keep S21 away from zero
+    s.s22 = c();
+    const SParams back = s_from_t(t_from_s(s));
+    EXPECT_NEAR(std::abs(back.s11 - s.s11), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(back.s12 - s.s12), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(back.s21 - s.s21), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(back.s22 - s.s22), 0.0, 1e-12);
+  }
+}
+
+TEST(TParams, CascadeMatchesAbcdCascade) {
+  const SParams a = s_series_impedance(kF, {30.0, 40.0});
+  const SParams b = s_shunt_admittance(kF, {0.01, -0.02});
+  const SParams via_abcd = cascade(a, b);
+  const SParams via_t = cascade_t(a, b);
+  EXPECT_NEAR(std::abs(via_abcd.s11 - via_t.s11), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(via_abcd.s21 - via_t.s21), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(via_abcd.s22 - via_t.s22), 0.0, 1e-10);
+}
+
+TEST(TParams, LongChainStaysAccurate) {
+  // 20 identical line sections via T-cascade == one long ideal line.
+  const double theta = 0.11;
+  SParams section =
+      s_from_abcd(abcd_ideal_line(kF, 65.0, theta), kZ0);
+  SParams chain = section;
+  for (int i = 1; i < 20; ++i) chain = cascade_t(chain, section);
+  const SParams direct =
+      s_from_abcd(abcd_ideal_line(kF, 65.0, 20.0 * theta), kZ0);
+  EXPECT_NEAR(std::abs(chain.s21 - direct.s21), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(chain.s11 - direct.s11), 0.0, 1e-9);
+}
+
+TEST(TParams, ZeroS21Throws) {
+  SParams s = s_identity(kF);
+  s.s21 = {0.0, 0.0};
+  EXPECT_THROW(t_from_s(s), std::domain_error);
+}
+
+// ---------------------------------------------------------------------------
+// Group delay
+
+TEST(GroupDelay, IdealLineDelayMatchesLengthOverVelocity) {
+  // theta = beta * l => tau_g = l / v = theta / omega, constant.
+  const double z0 = 50.0;
+  SweepData sweep;
+  const double tau_true = 1.0e-9;  // 1 ns line
+  for (double f = 1.0e9; f <= 1.5e9; f += 0.05e9) {
+    const double theta = 2.0 * std::numbers::pi * f * tau_true;
+    sweep.push_back(s_from_abcd(abcd_ideal_line(f, z0, theta), kZ0));
+  }
+  const std::vector<double> tau = group_delay(sweep);
+  for (const double t : tau) EXPECT_NEAR(t, tau_true, 1e-12);
+  EXPECT_NEAR(group_delay_ripple(sweep), 0.0, 1e-12);
+}
+
+TEST(GroupDelay, HandlesPhaseWrap) {
+  // A 5 ns delay wraps the phase many times over a 500 MHz span.
+  SweepData sweep;
+  const double tau_true = 5.0e-9;
+  for (double f = 1.0e9; f <= 1.5e9; f += 0.01e9) {
+    SParams s;
+    s.frequency_hz = f;
+    const double phi = -2.0 * std::numbers::pi * f * tau_true;
+    s.s21 = {std::cos(phi), std::sin(phi)};
+    sweep.push_back(s);
+  }
+  for (const double t : group_delay(sweep)) {
+    EXPECT_NEAR(t, tau_true, 1e-12);
+  }
+}
+
+TEST(GroupDelay, NeedsTwoPoints) {
+  SweepData one(1);
+  one[0].frequency_hz = 1e9;
+  EXPECT_THROW(group_delay(one), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// System budget
+
+TEST(Budget, SingleStagePassesThrough) {
+  const BudgetResult r =
+      cascade_budget({{"lna", 17.0, 0.8, 30.0}});
+  EXPECT_DOUBLE_EQ(r.total_gain_db, 17.0);
+  EXPECT_NEAR(r.total_nf_db, 0.8, 1e-12);
+  EXPECT_NEAR(r.total_oip3_dbm, 30.0, 1e-9);
+}
+
+TEST(Budget, MastheadLnaProtectsAgainstCableLoss) {
+  // Classic comparison: preamp before vs after 6 dB of coax.
+  const BudgetStage lna{"lna", 17.0, 0.8, 30.0};
+  const BudgetStage coax = BudgetStage::attenuator("coax", 6.0);
+  const BudgetStage rx{"receiver", 20.0, 7.0, 20.0};
+  const BudgetResult masthead = cascade_budget({lna, coax, rx});
+  const BudgetResult indoor = cascade_budget({coax, lna, rx});
+  // Friis: 0.8 dB + (F_coax-1)/G1 + (F_rx-1)/(G1 G_coax) ~ 2.0 dB.
+  EXPECT_LT(masthead.total_nf_db, 2.2);
+  EXPECT_GT(indoor.total_nf_db, 6.5);     // cable first: +6 dB upfront
+  EXPECT_GT(indoor.total_nf_db - masthead.total_nf_db, 4.0);
+}
+
+TEST(Budget, AttenuatorNoiseFigureEqualsItsLoss) {
+  const BudgetResult r =
+      cascade_budget({BudgetStage::attenuator("pad", 3.0)});
+  EXPECT_NEAR(r.total_nf_db, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.total_gain_db, -3.0);
+}
+
+TEST(Budget, Ip3DominatedByLastStage) {
+  // High-gain front end: the last stage's IP3, referred to the input,
+  // dominates the cascade.
+  const BudgetResult r = cascade_budget(
+      {{"lna", 20.0, 0.8, 35.0}, {"mixer", 10.0, 10.0, 15.0}});
+  // Input-referred mixer IIP3 = 15 - 10 = 5 dBm -> at chain input:
+  // 5 - 20 = -15 dBm, which should dominate over the LNA's 15 dBm.
+  EXPECT_NEAR(r.total_iip3_dbm, -15.0, 1.0);
+}
+
+TEST(Budget, SnrDegradationGrowsWithNf) {
+  const BudgetResult quiet = cascade_budget({{"lna", 17.0, 0.5, 1e9}});
+  const BudgetResult loud = cascade_budget({{"lna", 17.0, 3.0, 1e9}});
+  EXPECT_LT(quiet.snr_degradation_db(130.0),
+            loud.snr_degradation_db(130.0));
+}
+
+TEST(Budget, CumulativeRowsAreMonotone) {
+  const BudgetResult r = cascade_budget(
+      {{"lna", 17.0, 0.8, 30.0},
+       BudgetStage::attenuator("coax", 4.0),
+       {"rx", 20.0, 7.0, 20.0}});
+  ASSERT_EQ(r.rows.size(), 3u);
+  // NF can only grow along the chain.
+  EXPECT_LE(r.rows[0].cumulative_nf_db, r.rows[1].cumulative_nf_db + 1e-12);
+  EXPECT_LE(r.rows[1].cumulative_nf_db, r.rows[2].cumulative_nf_db + 1e-12);
+}
+
+TEST(Budget, RejectsBadChains) {
+  EXPECT_THROW(cascade_budget({}), std::invalid_argument);
+  EXPECT_THROW(cascade_budget({{"bad", 10.0, -1.0, 1e9}}),
+               std::invalid_argument);
+  EXPECT_THROW(BudgetStage::attenuator("neg", -2.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// De-embedding
+
+TEST(Deembed, RecoversDutThroughFixtures) {
+  // DUT between two different line/pad fixtures; de-embedding must return
+  // the DUT exactly.
+  const SParams dut = s_series_impedance(kF, {35.0, 60.0});
+  const SParams fix_in =
+      s_from_abcd(abcd_ideal_line(kF, 55.0, 0.7), kZ0);
+  const SParams fix_out = s_shunt_admittance(kF, {0.004, 0.01});
+  const SParams total = cascade_t(cascade_t(fix_in, dut), fix_out);
+  const SParams back = deembed(total, fix_in, fix_out);
+  EXPECT_NEAR(std::abs(back.s11 - dut.s11), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(back.s21 - dut.s21), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(back.s12 - dut.s12), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(back.s22 - dut.s22), 0.0, 1e-10);
+}
+
+TEST(Deembed, IdentityFixturesAreTransparent) {
+  const SParams dut = s_series_impedance(kF, {20.0, -15.0});
+  const SParams thru = s_identity(kF);
+  const SParams back = deembed(dut, thru, thru);
+  EXPECT_NEAR(std::abs(back.s21 - dut.s21), 0.0, 1e-12);
+}
+
+TEST(Deembed, RejectsNonInvertibleFixture) {
+  SParams blocked = s_identity(kF);
+  blocked.s21 = {0.0, 0.0};
+  blocked.s12 = {0.0, 0.0};
+  EXPECT_THROW(deembed(s_identity(kF), blocked, s_identity(kF)),
+               std::domain_error);
+}
+
+// ---------------------------------------------------------------------------
+// Smith chart rendering
+
+TEST(Smith, RendersGridWithCentreAndRim) {
+  const std::string art = render_smith_chart({});
+  EXPECT_NE(art.find('+'), std::string::npos);   // matched centre
+  EXPECT_NE(art.find('.'), std::string::npos);   // unit circle
+  // 31 rows of 61 chars + newlines.
+  EXPECT_GE(std::count(art.begin(), art.end(), '\n'), 31);
+}
+
+TEST(Smith, TraceMarkersAppearAndLegendListsThem) {
+  SmithTrace t;
+  t.label = "S11 sweep";
+  t.marker = 'x';
+  t.points = {{0.3, 0.2}, {0.1, -0.4}, {-0.5, 0.0}};
+  const std::string art = render_smith_chart({t});
+  EXPECT_NE(art.find('x'), std::string::npos);
+  EXPECT_NE(art.find("S11 sweep"), std::string::npos);
+}
+
+TEST(Smith, OutOfDiscPointsAreClippedNotLost) {
+  SmithTrace t;
+  t.label = "wild";
+  t.marker = '#';
+  t.points = {{3.0, 4.0}};
+  const std::string art = render_smith_chart({t});
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Smith, RejectsTinyGrid) {
+  EXPECT_THROW(render_smith_chart({}, {5, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnsslna::rf

@@ -1,0 +1,129 @@
+#include "rf/touchstone.h"
+
+#include <gtest/gtest.h>
+
+#include "rf/units.h"
+
+namespace gnsslna::rf {
+namespace {
+
+SweepData sample_sweep() {
+  SweepData sweep;
+  for (int i = 0; i < 5; ++i) {
+    SParams s;
+    s.frequency_hz = 1e9 + i * 0.25e9;
+    s.s11 = from_mag_deg(0.3 + 0.02 * i, -100.0 + 3.0 * i);
+    s.s21 = from_mag_deg(4.0 - 0.2 * i, 120.0 - 10.0 * i);
+    s.s12 = from_mag_deg(0.05, 20.0 + i);
+    s.s22 = from_mag_deg(0.4, -60.0 + 2.0 * i);
+    sweep.push_back(s);
+  }
+  return sweep;
+}
+
+NoiseSweep sample_noise() {
+  NoiseSweep noise;
+  for (int i = 0; i < 3; ++i) {
+    NoiseParams np;
+    np.frequency_hz = 1e9 + i * 0.5e9;
+    np.f_min = ratio_from_db(0.4 + 0.1 * i);
+    np.gamma_opt = from_mag_deg(0.5 - 0.05 * i, 40.0 + 10.0 * i);
+    np.r_n = 9.0 + i;
+    noise.push_back(np);
+  }
+  return noise;
+}
+
+class TouchstoneFormats : public ::testing::TestWithParam<TouchstoneFormat> {};
+
+TEST_P(TouchstoneFormats, SweepRoundTrips) {
+  const SweepData original = sample_sweep();
+  const std::string text = write_touchstone_string(original, {}, GetParam());
+  const TouchstoneFile parsed = read_touchstone_string(text);
+  ASSERT_EQ(parsed.s.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(parsed.s[i].frequency_hz, original[i].frequency_hz, 1.0);
+    EXPECT_NEAR(std::abs(parsed.s[i].s11 - original[i].s11), 0.0, 1e-6);
+    EXPECT_NEAR(std::abs(parsed.s[i].s21 - original[i].s21), 0.0, 1e-6);
+    EXPECT_NEAR(std::abs(parsed.s[i].s12 - original[i].s12), 0.0, 1e-6);
+    EXPECT_NEAR(std::abs(parsed.s[i].s22 - original[i].s22), 0.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, TouchstoneFormats,
+                         ::testing::Values(TouchstoneFormat::kRealImaginary,
+                                           TouchstoneFormat::kMagnitudeAngle,
+                                           TouchstoneFormat::kDbAngle));
+
+TEST(Touchstone, NoiseBlockRoundTrips) {
+  const std::string text =
+      write_touchstone_string(sample_sweep(), sample_noise());
+  const TouchstoneFile parsed = read_touchstone_string(text);
+  const NoiseSweep original = sample_noise();
+  ASSERT_EQ(parsed.noise.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(parsed.noise[i].f_min, original[i].f_min, 1e-6);
+    EXPECT_NEAR(parsed.noise[i].r_n, original[i].r_n, 1e-4);
+    EXPECT_NEAR(std::abs(parsed.noise[i].gamma_opt - original[i].gamma_opt),
+                0.0, 1e-6);
+  }
+}
+
+TEST(Touchstone, ParsesHandWrittenGhzMaFile) {
+  const std::string text =
+      "! example VNA export\n"
+      "# GHz S MA R 50\n"
+      "1.0  0.5 -45  3.0 90  0.05 10  0.6 -30\n"
+      "2.0  0.4 -60  2.5 70  0.06 12  0.5 -40\n";
+  const TouchstoneFile f = read_touchstone_string(text);
+  ASSERT_EQ(f.s.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.s[0].frequency_hz, 1e9);
+  EXPECT_NEAR(std::abs(f.s[0].s11), 0.5, 1e-12);
+  EXPECT_NEAR(phase_deg(f.s[1].s21), 70.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.s[0].z0, 50.0);
+}
+
+TEST(Touchstone, DefaultUnitIsGhzDefaultFormatIsMa) {
+  // No option line at all: spec default # GHz S MA R 50.
+  const std::string text = "1.5  0.5 0  1.0 0  0.1 0  0.5 0\n";
+  const TouchstoneFile f = read_touchstone_string(text);
+  EXPECT_DOUBLE_EQ(f.s[0].frequency_hz, 1.5e9);
+}
+
+TEST(Touchstone, CommentsAndBlankLinesIgnored)
+{
+  const std::string text =
+      "!comment\n\n# MHz S RI R 50\n"
+      "100  0.1 0  1 0  0 0  0.2 0 ! trailing comment\n";
+  const TouchstoneFile f = read_touchstone_string(text);
+  EXPECT_DOUBLE_EQ(f.s[0].frequency_hz, 1e8);
+  EXPECT_DOUBLE_EQ(f.s[0].s11.real(), 0.1);
+}
+
+TEST(Touchstone, RejectsMalformedInput) {
+  EXPECT_THROW(read_touchstone_string(""), std::runtime_error);
+  EXPECT_THROW(read_touchstone_string("# GHz S MA R 50\n1.0 0.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_touchstone_string("# GHz Y MA R 50\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      read_touchstone_string("# GHz S MA R 50\n1.0 a b c d e f g h\n"),
+      std::runtime_error);
+  EXPECT_THROW(read_touchstone_string("# parsec S MA R 50\n"),
+               std::runtime_error);
+}
+
+TEST(Touchstone, RejectsNonAscendingFrequencies) {
+  const std::string text =
+      "# GHz S RI R 50\n"
+      "2.0  0 0 1 0 0 0 0 0\n"
+      "2.0  0 0 1 0 0 0 0 0\n";
+  EXPECT_THROW(read_touchstone_string(text), std::runtime_error);
+}
+
+TEST(Touchstone, WriteRejectsEmptySweep) {
+  EXPECT_THROW(write_touchstone_string({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnsslna::rf

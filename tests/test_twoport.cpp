@@ -1,0 +1,216 @@
+#include "rf/twoport.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "numeric/rng.h"
+#include "rf/units.h"
+
+namespace gnsslna::rf {
+namespace {
+
+constexpr double kF = 1.5e9;
+
+void expect_close(Complex a, Complex b, double tol = 1e-10) {
+  EXPECT_NEAR(std::abs(a - b), 0.0, tol) << "a=" << a << " b=" << b;
+}
+
+SParams random_passiveish_twoport(numeric::Rng& rng) {
+  // Random S-matrix with entries inside the unit disc; not necessarily
+  // physical but well-conditioned for conversion round trips.
+  const auto c = [&] {
+    return Complex{rng.uniform(-0.6, 0.6), rng.uniform(-0.6, 0.6)};
+  };
+  SParams s;
+  s.frequency_hz = kF;
+  s.s11 = c();
+  s.s12 = c();
+  s.s21 = c();
+  s.s22 = c();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Units helpers
+
+TEST(Units, DbRoundTrips) {
+  EXPECT_NEAR(ratio_from_db(db_from_ratio(7.3)), 7.3, 1e-12);
+  EXPECT_NEAR(mag_from_db(db_from_mag(0.31)), 0.31, 1e-12);
+  EXPECT_NEAR(db_from_ratio(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(db_from_mag(10.0), 20.0, 1e-12);
+}
+
+TEST(Units, DbmRoundTrip) {
+  EXPECT_NEAR(dbm_from_watt(1e-3), 0.0, 1e-12);
+  EXPECT_NEAR(watt_from_dbm(30.0), 1.0, 1e-12);
+}
+
+TEST(Units, GammaZRoundTrip) {
+  const Complex z{75.0, 25.0};
+  expect_close(z_from_gamma(gamma_from_z(z)), z, 1e-9);
+}
+
+TEST(Units, GammaOfMatchedLoadIsZero) {
+  expect_close(gamma_from_z({50.0, 0.0}), {0.0, 0.0});
+}
+
+TEST(Units, VswrOfMatchIsOne) {
+  EXPECT_DOUBLE_EQ(vswr({0.0, 0.0}), 1.0);
+  EXPECT_NEAR(vswr({0.5, 0.0}), 3.0, 1e-12);
+  EXPECT_THROW(vswr({1.0, 0.0}), std::domain_error);
+}
+
+TEST(Units, InvalidArgumentsThrow) {
+  EXPECT_THROW(db_from_ratio(0.0), std::invalid_argument);
+  EXPECT_THROW(db_from_mag(-1.0), std::invalid_argument);
+  EXPECT_THROW(dbm_from_watt(0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Elementary networks
+
+TEST(TwoPort, IdentityIsPerfectThru) {
+  const SParams s = s_identity(kF);
+  expect_close(s.s11, {0.0, 0.0});
+  expect_close(s.s21, {1.0, 0.0});
+}
+
+TEST(TwoPort, SeriesImpedanceKnownFormula) {
+  // S11 of series Z: Z / (Z + 2 Z0); S21 = 2 Z0 / (Z + 2 Z0).
+  const Complex z{100.0, 0.0};
+  const SParams s = s_series_impedance(kF, z);
+  expect_close(s.s11, z / (z + 2.0 * kZ0));
+  expect_close(s.s21, 2.0 * kZ0 / (z + 2.0 * kZ0));
+  expect_close(s.s12, s.s21);  // reciprocity
+}
+
+TEST(TwoPort, ShuntAdmittanceKnownFormula) {
+  // S11 of shunt Y: -Y Z0 / (Y Z0 + 2); S21 = 2 / (Y Z0 + 2).
+  const Complex y{0.02, 0.0};
+  const SParams s = s_shunt_admittance(kF, y);
+  const Complex yz = y * kZ0;
+  expect_close(s.s11, -yz / (yz + 2.0));
+  expect_close(s.s21, 2.0 / (yz + 2.0));
+}
+
+TEST(TwoPort, IdealQuarterWaveLineInverts) {
+  // Quarter-wave 100-ohm line: S11 = (Z0^2/Zl - z0)/... check the ABCD
+  // directly: A = D = 0, B = jZc, C = j/Zc.
+  const AbcdParams line = abcd_ideal_line(kF, 100.0, std::numbers::pi / 2.0);
+  expect_close(line.a, {0.0, 0.0}, 1e-12);
+  expect_close(line.b, {0.0, 100.0}, 1e-12);
+  expect_close(line.c, Complex{0.0, 0.01}, 1e-12);
+}
+
+TEST(TwoPort, HalfWaveLineIsInvertedThru) {
+  const SParams s =
+      s_from_abcd(abcd_ideal_line(kF, 73.0, std::numbers::pi), kZ0);
+  expect_close(s.s11, {0.0, 0.0}, 1e-9);
+  expect_close(s.s21, {-1.0, 0.0}, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Conversion round trips (property sweep over random networks)
+
+class ConversionRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConversionRoundTrip, SToYToS) {
+  numeric::Rng rng(100 + GetParam());
+  const SParams s = random_passiveish_twoport(rng);
+  const SParams back = s_from_y(y_from_s(s), s.z0);
+  expect_close(back.s11, s.s11, 1e-9);
+  expect_close(back.s12, s.s12, 1e-9);
+  expect_close(back.s21, s.s21, 1e-9);
+  expect_close(back.s22, s.s22, 1e-9);
+}
+
+TEST_P(ConversionRoundTrip, SToZToS) {
+  numeric::Rng rng(200 + GetParam());
+  const SParams s = random_passiveish_twoport(rng);
+  const SParams back = s_from_z(z_from_s(s), s.z0);
+  expect_close(back.s11, s.s11, 1e-9);
+  expect_close(back.s22, s.s22, 1e-9);
+}
+
+TEST_P(ConversionRoundTrip, SToAbcdToS) {
+  numeric::Rng rng(300 + GetParam());
+  SParams s = random_passiveish_twoport(rng);
+  if (std::abs(s.s21) < 0.05) s.s21 = {0.5, 0.1};  // keep chain well-defined
+  const SParams back = s_from_abcd(abcd_from_s(s), s.z0);
+  expect_close(back.s11, s.s11, 1e-9);
+  expect_close(back.s12, s.s12, 1e-9);
+  expect_close(back.s21, s.s21, 1e-9);
+  expect_close(back.s22, s.s22, 1e-9);
+}
+
+TEST_P(ConversionRoundTrip, YToAbcdConsistent) {
+  numeric::Rng rng(400 + GetParam());
+  SParams s = random_passiveish_twoport(rng);
+  if (std::abs(s.s21) < 0.05) s.s21 = {0.4, -0.2};
+  const YParams y1 = y_from_s(s);
+  const YParams y2 = y_from_abcd(abcd_from_s(s));
+  expect_close(y1.y11, y2.y11, 1e-9);
+  expect_close(y1.y12, y2.y12, 1e-9);
+  expect_close(y1.y21, y2.y21, 1e-9);
+  expect_close(y1.y22, y2.y22, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, ConversionRoundTrip,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Cascades
+
+TEST(Cascade, ThruIsNeutral) {
+  numeric::Rng rng(55);
+  SParams s = random_passiveish_twoport(rng);
+  s.s21 = {0.7, 0.1};
+  const SParams c = cascade(s, s_identity(kF));
+  expect_close(c.s21, s.s21, 1e-9);
+  expect_close(c.s11, s.s11, 1e-9);
+}
+
+TEST(Cascade, TwoSeriesImpedancesAdd) {
+  const Complex z1{30.0, 10.0};
+  const Complex z2{20.0, -5.0};
+  const SParams c =
+      cascade(s_series_impedance(kF, z1), s_series_impedance(kF, z2));
+  const SParams direct = s_series_impedance(kF, z1 + z2);
+  expect_close(c.s11, direct.s11, 1e-9);
+  expect_close(c.s21, direct.s21, 1e-9);
+}
+
+TEST(Cascade, IsAssociative) {
+  numeric::Rng rng(56);
+  SParams a = random_passiveish_twoport(rng);
+  SParams b = random_passiveish_twoport(rng);
+  SParams c = random_passiveish_twoport(rng);
+  a.s21 = {0.8, 0.0};
+  b.s21 = {0.6, 0.2};
+  c.s21 = {0.5, -0.3};
+  const SParams left = cascade(cascade(a, b), c);
+  const SParams right = cascade(a, cascade(b, c));
+  expect_close(left.s11, right.s11, 1e-8);
+  expect_close(left.s21, right.s21, 1e-8);
+  expect_close(left.s22, right.s22, 1e-8);
+}
+
+TEST(Cascade, MismatchedGridsThrow) {
+  SParams a = s_identity(1e9);
+  SParams b = s_identity(2e9);
+  EXPECT_THROW(cascade(a, b), std::invalid_argument);
+  b = s_identity(1e9, 75.0);
+  EXPECT_THROW(cascade(a, b), std::invalid_argument);
+}
+
+TEST(TwoPort, MatrixProductMatchesManual) {
+  const TwoPortMatrix a{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const TwoPortMatrix b{{5, 0}, {6, 0}, {7, 0}, {8, 0}};
+  const TwoPortMatrix c = a * b;
+  expect_close(c.m11, {19, 0});
+  expect_close(c.m22, {50, 0});
+}
+
+}  // namespace
+}  // namespace gnsslna::rf
