@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_corners_blocker.dir/bench_a3_corners_blocker.cpp.o"
+  "CMakeFiles/bench_a3_corners_blocker.dir/bench_a3_corners_blocker.cpp.o.d"
+  "bench_a3_corners_blocker"
+  "bench_a3_corners_blocker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_corners_blocker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

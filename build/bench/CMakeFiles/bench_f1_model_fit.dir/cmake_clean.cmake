@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_model_fit.dir/bench_f1_model_fit.cpp.o"
+  "CMakeFiles/bench_f1_model_fit.dir/bench_f1_model_fit.cpp.o.d"
+  "bench_f1_model_fit"
+  "bench_f1_model_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

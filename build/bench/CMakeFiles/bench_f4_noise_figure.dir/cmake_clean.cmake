@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_noise_figure.dir/bench_f4_noise_figure.cpp.o"
+  "CMakeFiles/bench_f4_noise_figure.dir/bench_f4_noise_figure.cpp.o.d"
+  "bench_f4_noise_figure"
+  "bench_f4_noise_figure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_noise_figure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_im3.dir/bench_f5_im3.cpp.o"
+  "CMakeFiles/bench_f5_im3.dir/bench_f5_im3.cpp.o.d"
+  "bench_f5_im3"
+  "bench_f5_im3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_im3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_dispersion.dir/bench_f6_dispersion.cpp.o"
+  "CMakeFiles/bench_f6_dispersion.dir/bench_f6_dispersion.cpp.o.d"
+  "bench_f6_dispersion"
+  "bench_f6_dispersion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

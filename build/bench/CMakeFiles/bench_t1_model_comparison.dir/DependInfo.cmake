@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_t1_model_comparison.cpp" "bench/CMakeFiles/bench_t1_model_comparison.dir/bench_t1_model_comparison.cpp.o" "gcc" "bench/CMakeFiles/bench_t1_model_comparison.dir/bench_t1_model_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amplifier/CMakeFiles/gnsslna_amplifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/gnsslna_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/gnsslna_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/gnsslna_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gnsslna_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/microstrip/CMakeFiles/gnsslna_microstrip.dir/DependInfo.cmake"
+  "/root/repo/build/src/passives/CMakeFiles/gnsslna_passives.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/gnsslna_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_extraction_robustness.dir/bench_t2_extraction_robustness.cpp.o"
+  "CMakeFiles/bench_t2_extraction_robustness.dir/bench_t2_extraction_robustness.cpp.o.d"
+  "bench_t2_extraction_robustness"
+  "bench_t2_extraction_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_extraction_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_goal_attainment.dir/bench_t3_goal_attainment.cpp.o"
+  "CMakeFiles/bench_t3_goal_attainment.dir/bench_t3_goal_attainment.cpp.o.d"
+  "bench_t3_goal_attainment"
+  "bench_t3_goal_attainment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_goal_attainment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_final_design.dir/bench_t4_final_design.cpp.o"
+  "CMakeFiles/bench_t4_final_design.dir/bench_t4_final_design.cpp.o.d"
+  "bench_t4_final_design"
+  "bench_t4_final_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_final_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_gnss_lna.dir/design_gnss_lna.cpp.o"
+  "CMakeFiles/design_gnss_lna.dir/design_gnss_lna.cpp.o.d"
+  "design_gnss_lna"
+  "design_gnss_lna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_gnss_lna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

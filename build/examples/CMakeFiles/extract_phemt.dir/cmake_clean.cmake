@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_phemt.dir/extract_phemt.cpp.o"
+  "CMakeFiles/extract_phemt.dir/extract_phemt.cpp.o.d"
+  "extract_phemt"
+  "extract_phemt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_phemt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/im3_two_tone.dir/im3_two_tone.cpp.o"
+  "CMakeFiles/im3_two_tone.dir/im3_two_tone.cpp.o.d"
+  "im3_two_tone"
+  "im3_two_tone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/im3_two_tone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

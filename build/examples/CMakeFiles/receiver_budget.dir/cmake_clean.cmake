@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receiver_budget.dir/receiver_budget.cpp.o"
+  "CMakeFiles/receiver_budget.dir/receiver_budget.cpp.o.d"
+  "receiver_budget"
+  "receiver_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receiver_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amplifier/characterize.cpp" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/characterize.cpp.o" "gcc" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/characterize.cpp.o.d"
+  "/root/repo/src/amplifier/corners.cpp" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/corners.cpp.o" "gcc" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/corners.cpp.o.d"
+  "/root/repo/src/amplifier/design_flow.cpp" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/design_flow.cpp.o" "gcc" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/design_flow.cpp.o.d"
+  "/root/repo/src/amplifier/lna.cpp" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/lna.cpp.o" "gcc" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/lna.cpp.o.d"
+  "/root/repo/src/amplifier/objectives.cpp" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/objectives.cpp.o" "gcc" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/objectives.cpp.o.d"
+  "/root/repo/src/amplifier/topology.cpp" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/topology.cpp.o" "gcc" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/topology.cpp.o.d"
+  "/root/repo/src/amplifier/yield.cpp" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/yield.cpp.o" "gcc" "src/amplifier/CMakeFiles/gnsslna_amplifier.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/gnsslna_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gnsslna_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/microstrip/CMakeFiles/gnsslna_microstrip.dir/DependInfo.cmake"
+  "/root/repo/build/src/passives/CMakeFiles/gnsslna_passives.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/gnsslna_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/gnsslna_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

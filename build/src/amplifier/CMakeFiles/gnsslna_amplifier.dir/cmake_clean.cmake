@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_amplifier.dir/characterize.cpp.o"
+  "CMakeFiles/gnsslna_amplifier.dir/characterize.cpp.o.d"
+  "CMakeFiles/gnsslna_amplifier.dir/corners.cpp.o"
+  "CMakeFiles/gnsslna_amplifier.dir/corners.cpp.o.d"
+  "CMakeFiles/gnsslna_amplifier.dir/design_flow.cpp.o"
+  "CMakeFiles/gnsslna_amplifier.dir/design_flow.cpp.o.d"
+  "CMakeFiles/gnsslna_amplifier.dir/lna.cpp.o"
+  "CMakeFiles/gnsslna_amplifier.dir/lna.cpp.o.d"
+  "CMakeFiles/gnsslna_amplifier.dir/objectives.cpp.o"
+  "CMakeFiles/gnsslna_amplifier.dir/objectives.cpp.o.d"
+  "CMakeFiles/gnsslna_amplifier.dir/topology.cpp.o"
+  "CMakeFiles/gnsslna_amplifier.dir/topology.cpp.o.d"
+  "CMakeFiles/gnsslna_amplifier.dir/yield.cpp.o"
+  "CMakeFiles/gnsslna_amplifier.dir/yield.cpp.o.d"
+  "libgnsslna_amplifier.a"
+  "libgnsslna_amplifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_amplifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

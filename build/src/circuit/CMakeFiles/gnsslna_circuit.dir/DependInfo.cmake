@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/analysis.cpp" "src/circuit/CMakeFiles/gnsslna_circuit.dir/analysis.cpp.o" "gcc" "src/circuit/CMakeFiles/gnsslna_circuit.dir/analysis.cpp.o.d"
+  "/root/repo/src/circuit/dc.cpp" "src/circuit/CMakeFiles/gnsslna_circuit.dir/dc.cpp.o" "gcc" "src/circuit/CMakeFiles/gnsslna_circuit.dir/dc.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/gnsslna_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/gnsslna_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/noisy_twoport.cpp" "src/circuit/CMakeFiles/gnsslna_circuit.dir/noisy_twoport.cpp.o" "gcc" "src/circuit/CMakeFiles/gnsslna_circuit.dir/noisy_twoport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/gnsslna_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gnsslna_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_circuit.dir/analysis.cpp.o"
+  "CMakeFiles/gnsslna_circuit.dir/analysis.cpp.o.d"
+  "CMakeFiles/gnsslna_circuit.dir/dc.cpp.o"
+  "CMakeFiles/gnsslna_circuit.dir/dc.cpp.o.d"
+  "CMakeFiles/gnsslna_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/gnsslna_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/gnsslna_circuit.dir/noisy_twoport.cpp.o"
+  "CMakeFiles/gnsslna_circuit.dir/noisy_twoport.cpp.o.d"
+  "libgnsslna_circuit.a"
+  "libgnsslna_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/fet_model.cpp" "src/device/CMakeFiles/gnsslna_device.dir/fet_model.cpp.o" "gcc" "src/device/CMakeFiles/gnsslna_device.dir/fet_model.cpp.o.d"
+  "/root/repo/src/device/models.cpp" "src/device/CMakeFiles/gnsslna_device.dir/models.cpp.o" "gcc" "src/device/CMakeFiles/gnsslna_device.dir/models.cpp.o.d"
+  "/root/repo/src/device/phemt.cpp" "src/device/CMakeFiles/gnsslna_device.dir/phemt.cpp.o" "gcc" "src/device/CMakeFiles/gnsslna_device.dir/phemt.cpp.o.d"
+  "/root/repo/src/device/small_signal.cpp" "src/device/CMakeFiles/gnsslna_device.dir/small_signal.cpp.o" "gcc" "src/device/CMakeFiles/gnsslna_device.dir/small_signal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/gnsslna_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_device.dir/fet_model.cpp.o"
+  "CMakeFiles/gnsslna_device.dir/fet_model.cpp.o.d"
+  "CMakeFiles/gnsslna_device.dir/models.cpp.o"
+  "CMakeFiles/gnsslna_device.dir/models.cpp.o.d"
+  "CMakeFiles/gnsslna_device.dir/phemt.cpp.o"
+  "CMakeFiles/gnsslna_device.dir/phemt.cpp.o.d"
+  "CMakeFiles/gnsslna_device.dir/small_signal.cpp.o"
+  "CMakeFiles/gnsslna_device.dir/small_signal.cpp.o.d"
+  "libgnsslna_device.a"
+  "libgnsslna_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/measurement.cpp" "src/extract/CMakeFiles/gnsslna_extract.dir/measurement.cpp.o" "gcc" "src/extract/CMakeFiles/gnsslna_extract.dir/measurement.cpp.o.d"
+  "/root/repo/src/extract/objective.cpp" "src/extract/CMakeFiles/gnsslna_extract.dir/objective.cpp.o" "gcc" "src/extract/CMakeFiles/gnsslna_extract.dir/objective.cpp.o.d"
+  "/root/repo/src/extract/report.cpp" "src/extract/CMakeFiles/gnsslna_extract.dir/report.cpp.o" "gcc" "src/extract/CMakeFiles/gnsslna_extract.dir/report.cpp.o.d"
+  "/root/repo/src/extract/three_step.cpp" "src/extract/CMakeFiles/gnsslna_extract.dir/three_step.cpp.o" "gcc" "src/extract/CMakeFiles/gnsslna_extract.dir/three_step.cpp.o.d"
+  "/root/repo/src/extract/uncertainty.cpp" "src/extract/CMakeFiles/gnsslna_extract.dir/uncertainty.cpp.o" "gcc" "src/extract/CMakeFiles/gnsslna_extract.dir/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/gnsslna_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/gnsslna_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/gnsslna_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

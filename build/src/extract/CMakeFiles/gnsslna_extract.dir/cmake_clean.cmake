@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_extract.dir/measurement.cpp.o"
+  "CMakeFiles/gnsslna_extract.dir/measurement.cpp.o.d"
+  "CMakeFiles/gnsslna_extract.dir/objective.cpp.o"
+  "CMakeFiles/gnsslna_extract.dir/objective.cpp.o.d"
+  "CMakeFiles/gnsslna_extract.dir/report.cpp.o"
+  "CMakeFiles/gnsslna_extract.dir/report.cpp.o.d"
+  "CMakeFiles/gnsslna_extract.dir/three_step.cpp.o"
+  "CMakeFiles/gnsslna_extract.dir/three_step.cpp.o.d"
+  "CMakeFiles/gnsslna_extract.dir/uncertainty.cpp.o"
+  "CMakeFiles/gnsslna_extract.dir/uncertainty.cpp.o.d"
+  "libgnsslna_extract.a"
+  "libgnsslna_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

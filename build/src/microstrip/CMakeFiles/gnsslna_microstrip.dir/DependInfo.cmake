@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microstrip/discontinuity.cpp" "src/microstrip/CMakeFiles/gnsslna_microstrip.dir/discontinuity.cpp.o" "gcc" "src/microstrip/CMakeFiles/gnsslna_microstrip.dir/discontinuity.cpp.o.d"
+  "/root/repo/src/microstrip/line.cpp" "src/microstrip/CMakeFiles/gnsslna_microstrip.dir/line.cpp.o" "gcc" "src/microstrip/CMakeFiles/gnsslna_microstrip.dir/line.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/gnsslna_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_microstrip.dir/discontinuity.cpp.o"
+  "CMakeFiles/gnsslna_microstrip.dir/discontinuity.cpp.o.d"
+  "CMakeFiles/gnsslna_microstrip.dir/line.cpp.o"
+  "CMakeFiles/gnsslna_microstrip.dir/line.cpp.o.d"
+  "libgnsslna_microstrip.a"
+  "libgnsslna_microstrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_microstrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gnsslna_microstrip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nonlinear/blocker.cpp" "src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/blocker.cpp.o" "gcc" "src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/blocker.cpp.o.d"
+  "/root/repo/src/nonlinear/harmonic_balance.cpp" "src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/harmonic_balance.cpp.o" "gcc" "src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/harmonic_balance.cpp.o.d"
+  "/root/repo/src/nonlinear/power_series.cpp" "src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/power_series.cpp.o" "gcc" "src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/power_series.cpp.o.d"
+  "/root/repo/src/nonlinear/two_tone.cpp" "src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/two_tone.cpp.o" "gcc" "src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/two_tone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amplifier/CMakeFiles/gnsslna_amplifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/gnsslna_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gnsslna_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/microstrip/CMakeFiles/gnsslna_microstrip.dir/DependInfo.cmake"
+  "/root/repo/build/src/passives/CMakeFiles/gnsslna_passives.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/gnsslna_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/gnsslna_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

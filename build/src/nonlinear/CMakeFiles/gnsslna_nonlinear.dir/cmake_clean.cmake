@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_nonlinear.dir/blocker.cpp.o"
+  "CMakeFiles/gnsslna_nonlinear.dir/blocker.cpp.o.d"
+  "CMakeFiles/gnsslna_nonlinear.dir/harmonic_balance.cpp.o"
+  "CMakeFiles/gnsslna_nonlinear.dir/harmonic_balance.cpp.o.d"
+  "CMakeFiles/gnsslna_nonlinear.dir/power_series.cpp.o"
+  "CMakeFiles/gnsslna_nonlinear.dir/power_series.cpp.o.d"
+  "CMakeFiles/gnsslna_nonlinear.dir/two_tone.cpp.o"
+  "CMakeFiles/gnsslna_nonlinear.dir/two_tone.cpp.o.d"
+  "libgnsslna_nonlinear.a"
+  "libgnsslna_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_numeric.dir/least_squares.cpp.o"
+  "CMakeFiles/gnsslna_numeric.dir/least_squares.cpp.o.d"
+  "CMakeFiles/gnsslna_numeric.dir/spline.cpp.o"
+  "CMakeFiles/gnsslna_numeric.dir/spline.cpp.o.d"
+  "CMakeFiles/gnsslna_numeric.dir/stats.cpp.o"
+  "CMakeFiles/gnsslna_numeric.dir/stats.cpp.o.d"
+  "libgnsslna_numeric.a"
+  "libgnsslna_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

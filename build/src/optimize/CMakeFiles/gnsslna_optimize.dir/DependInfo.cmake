@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimize/bfgs.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/bfgs.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/bfgs.cpp.o.d"
+  "/root/repo/src/optimize/differential_evolution.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/differential_evolution.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/differential_evolution.cpp.o.d"
+  "/root/repo/src/optimize/goal_attainment.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/goal_attainment.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/goal_attainment.cpp.o.d"
+  "/root/repo/src/optimize/levenberg_marquardt.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/levenberg_marquardt.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/levenberg_marquardt.cpp.o.d"
+  "/root/repo/src/optimize/line_search.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/line_search.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/line_search.cpp.o.d"
+  "/root/repo/src/optimize/multi_objective.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/multi_objective.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/multi_objective.cpp.o.d"
+  "/root/repo/src/optimize/nelder_mead.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/nelder_mead.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/optimize/nsga2.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/nsga2.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/nsga2.cpp.o.d"
+  "/root/repo/src/optimize/particle_swarm.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/particle_swarm.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/particle_swarm.cpp.o.d"
+  "/root/repo/src/optimize/simulated_annealing.cpp" "src/optimize/CMakeFiles/gnsslna_optimize.dir/simulated_annealing.cpp.o" "gcc" "src/optimize/CMakeFiles/gnsslna_optimize.dir/simulated_annealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

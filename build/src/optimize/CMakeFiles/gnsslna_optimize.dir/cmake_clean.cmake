@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_optimize.dir/bfgs.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/bfgs.cpp.o.d"
+  "CMakeFiles/gnsslna_optimize.dir/differential_evolution.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/differential_evolution.cpp.o.d"
+  "CMakeFiles/gnsslna_optimize.dir/goal_attainment.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/goal_attainment.cpp.o.d"
+  "CMakeFiles/gnsslna_optimize.dir/levenberg_marquardt.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/levenberg_marquardt.cpp.o.d"
+  "CMakeFiles/gnsslna_optimize.dir/line_search.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/line_search.cpp.o.d"
+  "CMakeFiles/gnsslna_optimize.dir/multi_objective.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/multi_objective.cpp.o.d"
+  "CMakeFiles/gnsslna_optimize.dir/nelder_mead.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/gnsslna_optimize.dir/nsga2.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/nsga2.cpp.o.d"
+  "CMakeFiles/gnsslna_optimize.dir/particle_swarm.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/particle_swarm.cpp.o.d"
+  "CMakeFiles/gnsslna_optimize.dir/simulated_annealing.cpp.o"
+  "CMakeFiles/gnsslna_optimize.dir/simulated_annealing.cpp.o.d"
+  "libgnsslna_optimize.a"
+  "libgnsslna_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

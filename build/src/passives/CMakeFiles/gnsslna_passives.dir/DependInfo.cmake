@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passives/catalog.cpp" "src/passives/CMakeFiles/gnsslna_passives.dir/catalog.cpp.o" "gcc" "src/passives/CMakeFiles/gnsslna_passives.dir/catalog.cpp.o.d"
+  "/root/repo/src/passives/component.cpp" "src/passives/CMakeFiles/gnsslna_passives.dir/component.cpp.o" "gcc" "src/passives/CMakeFiles/gnsslna_passives.dir/component.cpp.o.d"
+  "/root/repo/src/passives/eseries.cpp" "src/passives/CMakeFiles/gnsslna_passives.dir/eseries.cpp.o" "gcc" "src/passives/CMakeFiles/gnsslna_passives.dir/eseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/gnsslna_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_passives.dir/catalog.cpp.o"
+  "CMakeFiles/gnsslna_passives.dir/catalog.cpp.o.d"
+  "CMakeFiles/gnsslna_passives.dir/component.cpp.o"
+  "CMakeFiles/gnsslna_passives.dir/component.cpp.o.d"
+  "CMakeFiles/gnsslna_passives.dir/eseries.cpp.o"
+  "CMakeFiles/gnsslna_passives.dir/eseries.cpp.o.d"
+  "libgnsslna_passives.a"
+  "libgnsslna_passives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_passives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnsslna_passives.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for gnsslna_passives.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/budget.cpp" "src/rf/CMakeFiles/gnsslna_rf.dir/budget.cpp.o" "gcc" "src/rf/CMakeFiles/gnsslna_rf.dir/budget.cpp.o.d"
+  "/root/repo/src/rf/metrics.cpp" "src/rf/CMakeFiles/gnsslna_rf.dir/metrics.cpp.o" "gcc" "src/rf/CMakeFiles/gnsslna_rf.dir/metrics.cpp.o.d"
+  "/root/repo/src/rf/noise.cpp" "src/rf/CMakeFiles/gnsslna_rf.dir/noise.cpp.o" "gcc" "src/rf/CMakeFiles/gnsslna_rf.dir/noise.cpp.o.d"
+  "/root/repo/src/rf/smith.cpp" "src/rf/CMakeFiles/gnsslna_rf.dir/smith.cpp.o" "gcc" "src/rf/CMakeFiles/gnsslna_rf.dir/smith.cpp.o.d"
+  "/root/repo/src/rf/sweep.cpp" "src/rf/CMakeFiles/gnsslna_rf.dir/sweep.cpp.o" "gcc" "src/rf/CMakeFiles/gnsslna_rf.dir/sweep.cpp.o.d"
+  "/root/repo/src/rf/touchstone.cpp" "src/rf/CMakeFiles/gnsslna_rf.dir/touchstone.cpp.o" "gcc" "src/rf/CMakeFiles/gnsslna_rf.dir/touchstone.cpp.o.d"
+  "/root/repo/src/rf/twoport.cpp" "src/rf/CMakeFiles/gnsslna_rf.dir/twoport.cpp.o" "gcc" "src/rf/CMakeFiles/gnsslna_rf.dir/twoport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnsslna_rf.dir/budget.cpp.o"
+  "CMakeFiles/gnsslna_rf.dir/budget.cpp.o.d"
+  "CMakeFiles/gnsslna_rf.dir/metrics.cpp.o"
+  "CMakeFiles/gnsslna_rf.dir/metrics.cpp.o.d"
+  "CMakeFiles/gnsslna_rf.dir/noise.cpp.o"
+  "CMakeFiles/gnsslna_rf.dir/noise.cpp.o.d"
+  "CMakeFiles/gnsslna_rf.dir/smith.cpp.o"
+  "CMakeFiles/gnsslna_rf.dir/smith.cpp.o.d"
+  "CMakeFiles/gnsslna_rf.dir/sweep.cpp.o"
+  "CMakeFiles/gnsslna_rf.dir/sweep.cpp.o.d"
+  "CMakeFiles/gnsslna_rf.dir/touchstone.cpp.o"
+  "CMakeFiles/gnsslna_rf.dir/touchstone.cpp.o.d"
+  "CMakeFiles/gnsslna_rf.dir/twoport.cpp.o"
+  "CMakeFiles/gnsslna_rf.dir/twoport.cpp.o.d"
+  "libgnsslna_rf.a"
+  "libgnsslna_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnsslna_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_amplifier.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_amplifier.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_amplifier.cpp.o.d"
+  "/root/repo/tests/test_characterize.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_characterize.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_extract.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_extract.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_extract.cpp.o.d"
+  "/root/repo/tests/test_goal_attainment.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_goal_attainment.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_goal_attainment.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_metrics_noise.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_metrics_noise.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_metrics_noise.cpp.o.d"
+  "/root/repo/tests/test_microstrip.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_microstrip.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_microstrip.cpp.o.d"
+  "/root/repo/tests/test_nonlinear.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_nonlinear.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_nonlinear.cpp.o.d"
+  "/root/repo/tests/test_numeric_misc.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_numeric_misc.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_numeric_misc.cpp.o.d"
+  "/root/repo/tests/test_optimize.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_optimize.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_optimize.cpp.o.d"
+  "/root/repo/tests/test_optimize_extra.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_optimize_extra.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_optimize_extra.cpp.o.d"
+  "/root/repo/tests/test_passives.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_passives.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_passives.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rf_extra.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_rf_extra.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_rf_extra.cpp.o.d"
+  "/root/repo/tests/test_touchstone.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_touchstone.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_touchstone.cpp.o.d"
+  "/root/repo/tests/test_twoport.cpp" "tests/CMakeFiles/gnsslna_tests.dir/test_twoport.cpp.o" "gcc" "tests/CMakeFiles/gnsslna_tests.dir/test_twoport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/gnsslna_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/gnsslna_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/passives/CMakeFiles/gnsslna_passives.dir/DependInfo.cmake"
+  "/root/repo/build/src/microstrip/CMakeFiles/gnsslna_microstrip.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gnsslna_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/gnsslna_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/gnsslna_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/gnsslna_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/amplifier/CMakeFiles/gnsslna_amplifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/nonlinear/CMakeFiles/gnsslna_nonlinear.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
