@@ -43,8 +43,8 @@ std::vector<Variant> variants() {
   return v;
 }
 
-void run(const char* title, const optimize::GoalProblem& problem,
-         int seeds) {
+void run(const char* title, const optimize::GoalProblem& problem, int seeds,
+         std::size_t threads) {
   bench::subheading(title);
   std::printf("%-26s %12s %12s %12s\n", "variant", "med gamma", "worst gamma",
               "med viol");
@@ -52,8 +52,10 @@ void run(const char* title, const optimize::GoalProblem& problem,
     std::vector<double> gammas, viols;
     for (int s = 0; s < seeds; ++s) {
       numeric::Rng rng(4000 + s);
+      optimize::ImprovedGoalOptions options = variant.options;
+      options.threads = threads;
       const optimize::GoalResult r =
-          optimize::improved_goal_attainment(problem, rng, variant.options);
+          optimize::improved_goal_attainment(problem, rng, options);
       gammas.push_back(r.attainment);
       viols.push_back(r.constraint_violation);
     }
@@ -65,9 +67,10 @@ void run(const char* title, const optimize::GoalProblem& problem,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::heading(
       "ABLATION A2 -- ingredients of the improved goal-attainment method");
+  const std::size_t threads = bench::parse_threads(argc, argv, 0);
 
   optimize::GoalProblem rastrigin;
   rastrigin.objectives = [](const std::vector<double>& x) {
@@ -81,12 +84,12 @@ int main() {
   rastrigin.constraints.push_back([](const std::vector<double>& x) {
     return -(x[0] + x[1] + 8.0);  // mild linear constraint
   });
-  run("bi-Rastrigin goal problem (5 seeds)", rastrigin, 5);
+  run("bi-Rastrigin goal problem (5 seeds)", rastrigin, 5, threads);
 
   const device::Phemt dev = device::Phemt::reference_device();
   amplifier::AmplifierConfig config;
   const optimize::GoalProblem lna =
       amplifier::make_goal_problem(dev, config, amplifier::DesignGoals{});
-  run("GNSS LNA design problem (3 seeds)", lna, 3);
+  run("GNSS LNA design problem (3 seeds)", lna, 3, threads);
   return 0;
 }

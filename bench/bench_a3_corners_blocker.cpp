@@ -14,11 +14,12 @@
 #include "bench_util.h"
 #include "nonlinear/blocker.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gnsslna;
   bench::heading(
       "EXTENSION A3 -- environmental corners + blocker desensitization\n"
       "(of the Table IV optimized design)");
+  const std::size_t threads = bench::parse_threads(argc, argv, 0);
 
   const device::Phemt dev = device::Phemt::reference_device();
   amplifier::AmplifierConfig config;
@@ -33,7 +34,7 @@ int main() {
               "pass");
   for (const amplifier::CornerRow& row : amplifier::corner_analysis(
            dev, config, out.snapped, options.goals,
-           amplifier::standard_corners(config.vdd))) {
+           amplifier::standard_corners(config.vdd), threads)) {
     std::printf("%-18s %8.3f %8.2f %9.2f %9.2f %7.3f %7.1f  %s\n",
                 row.corner.name.c_str(), row.report.nf_avg_db,
                 row.report.gt_min_db, row.report.s11_worst_db,

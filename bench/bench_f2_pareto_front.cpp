@@ -9,15 +9,20 @@
 
 #include "amplifier/objectives.h"
 #include "bench_util.h"
+#include "numeric/parallel.h"
 #include "optimize/goal_attainment.h"
 #include "optimize/multi_objective.h"
 #include "optimize/nsga2.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gnsslna;
   bench::heading(
       "FIG 2 -- NF vs transducer-gain Pareto front of the GNSS LNA\n"
       "(goal-anchor sweep, band-average NF vs min in-band GT)");
+  const std::size_t threads = bench::parse_threads(argc, argv, 0);
+  std::printf("threads: %zu requested -> %zu used (%zu hardware)\n", threads,
+              numeric::resolve_threads(threads),
+              numeric::hardware_threads());
 
   const device::Phemt dev = device::Phemt::reference_device();
   amplifier::AmplifierConfig config;
@@ -35,8 +40,11 @@ int main() {
   optimize::ImprovedGoalOptions opt;
   opt.de_generations = 80;
   opt.polish_evaluations = 4000;
+  opt.threads = threads;
+  const bench::Stopwatch sweep_clock;
   const std::vector<optimize::ParetoPoint> front =
       optimize::pareto_sweep(problem, rng, 8, opt);
+  std::printf("pareto_sweep wall time: %.2f s\n", sweep_clock.seconds());
 
   std::printf("\n%12s %14s %12s\n", "NF_avg [dB]", "GT_min [dB]", "gamma");
   std::vector<std::vector<double>> pts;
@@ -68,13 +76,36 @@ int main() {
   // NSGA-II returns a whole front in one run; goal attainment returns one
   // designer-targeted compromise per run.
   bench::subheading("NSGA-II cross-check (one run, whole front)");
-  numeric::Rng rng3(33);
   optimize::Nsga2Options nsga;
   nsga.population = 48;
   nsga.generations = 80;
+
+  // Timed serial-vs-parallel A/B of the identical run: the parallel
+  // evaluation layer must change wall-clock time only, never the front.
+  numeric::Rng rng_serial(33);
+  const bench::Stopwatch serial_clock;
+  const optimize::Nsga2Result evo_serial = optimize::nsga2(
+      problem.objectives, 2, problem.bounds, problem.constraints, rng_serial,
+      nsga);
+  const double t_serial = serial_clock.seconds();
+
+  nsga.threads = threads;
+  numeric::Rng rng3(33);
+  const bench::Stopwatch par_clock;
   const optimize::Nsga2Result evo = optimize::nsga2(
       problem.objectives, 2, problem.bounds, problem.constraints, rng3,
       nsga);
+  const double t_par = par_clock.seconds();
+
+  bool identical = evo.front.size() == evo_serial.front.size();
+  for (std::size_t i = 0; identical && i < evo.front.size(); ++i) {
+    identical = evo.front[i].x == evo_serial.front[i].x &&
+                evo.front[i].f == evo_serial.front[i].f;
+  }
+  std::printf("serial %.2f s, %zu threads %.2f s -> speedup %.2fx "
+              "(fronts bit-identical: %s)\n",
+              t_serial, numeric::resolve_threads(threads), t_par,
+              t_serial / t_par, identical ? "yes" : "NO");
   std::vector<std::vector<double>> evo_front;
   for (const optimize::Nsga2Individual& ind : evo.front) {
     evo_front.push_back(ind.f);

@@ -11,15 +11,17 @@
 #include "amplifier/yield.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gnsslna;
   bench::heading(
       "TABLE IV -- optimal operating point and passive elements\n"
       "(improved goal attainment; continuous vs E24-snapped design)");
+  const std::size_t threads = bench::parse_threads(argc, argv, 0);
 
   const device::Phemt dev = device::Phemt::reference_device();
   amplifier::AmplifierConfig config;
   amplifier::DesignFlowOptions options;
+  options.optimizer.threads = threads;
   numeric::Rng rng(54143);
   const amplifier::DesignOutcome out =
       amplifier::run_design_flow(dev, config, rng, options);
@@ -60,7 +62,7 @@ int main() {
   bench::subheading("production yield of the snapped design (Monte Carlo)");
   numeric::Rng yield_rng(99);
   const amplifier::YieldReport yield = amplifier::monte_carlo_yield(
-      dev, config, out.snapped, options.goals, 60, yield_rng);
+      dev, config, out.snapped, options.goals, 60, yield_rng, {}, threads);
   std::printf("pass rate %zu/%zu = %.0f%% | NF_avg p95 = %.3f dB | "
               "GT_min p5 = %.2f dB\n",
               yield.passes, yield.samples, 100.0 * yield.pass_rate,

@@ -1,7 +1,10 @@
 // Shared console-table helpers for the experiment benches.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace gnsslna::bench {
@@ -15,5 +18,32 @@ inline void heading(const std::string& title) {
 inline void subheading(const std::string& title) {
   std::printf("\n--- %s ---\n", title.c_str());
 }
+
+/// Parses `--threads N` from the command line; returns `fallback` when the
+/// flag is absent.  The value follows the library-wide convention
+/// (0 = hardware_concurrency, 1 = serial, k = at most k threads).
+inline std::size_t parse_threads(int argc, char** argv,
+                                 std::size_t fallback = 0) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      return static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+/// Wall-clock stopwatch for the speedup reports.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace gnsslna::bench

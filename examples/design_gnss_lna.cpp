@@ -2,8 +2,10 @@
 // essential passive elements with the improved goal-attainment method,
 // then E24 snapping and re-verification.
 //
-//   ./build/examples/design_gnss_lna [nf_goal_db] [gain_goal_db]
-// e.g.  ./build/examples/design_gnss_lna 0.7 16
+//   ./build/examples/design_gnss_lna [nf_goal_db] [gain_goal_db] [threads]
+// e.g.  ./build/examples/design_gnss_lna 0.7 16 4
+// threads: 0 = all hardware threads, 1 = serial (default).  The result is
+// bit-identical for any thread count.
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,8 +18,14 @@ int main(int argc, char** argv) {
   amplifier::DesignFlowOptions options;
   if (argc > 1) options.goals.nf_goal_db = std::atof(argv[1]);
   if (argc > 2) options.goals.gain_goal_db = std::atof(argv[2]);
+  if (argc > 3) {
+    options.optimizer.threads =
+        static_cast<std::size_t>(std::strtoul(argv[3], nullptr, 10));
+  }
   if (options.goals.nf_goal_db <= 0.0 || options.goals.gain_goal_db <= 0.0) {
-    std::fprintf(stderr, "usage: design_gnss_lna [nf_goal_db] [gain_goal_db]\n");
+    std::fprintf(stderr,
+                 "usage: design_gnss_lna [nf_goal_db] [gain_goal_db] "
+                 "[threads]\n");
     return 1;
   }
 

@@ -1,5 +1,7 @@
 #include "amplifier/corners.h"
 
+#include "numeric/parallel.h"
+
 namespace gnsslna::amplifier {
 
 std::vector<Corner> standard_corners(double vdd_nominal) {
@@ -16,34 +18,34 @@ std::vector<CornerRow> corner_analysis(const device::Phemt& device,
                                        const AmplifierConfig& config,
                                        const DesignVector& design,
                                        const DesignGoals& goals,
-                                       const std::vector<Corner>& corners) {
-  std::vector<CornerRow> rows;
-  rows.reserve(corners.size());
+                                       const std::vector<Corner>& corners,
+                                       std::size_t threads) {
   const std::vector<double> band = LnaDesign::default_band();
 
-  for (const Corner& corner : corners) {
-    AmplifierConfig cfg = config;
-    cfg.resolve();
-    cfg.t_ambient_k = corner.t_ambient_k;
-    cfg.vdd = corner.vdd;
+  return numeric::parallel_map(
+      threads, corners.size(), [&](std::size_t i) {
+        const Corner& corner = corners[i];
+        AmplifierConfig cfg = config;
+        cfg.resolve();
+        cfg.t_ambient_k = corner.t_ambient_k;
+        cfg.vdd = corner.vdd;
 
-    CornerRow row;
-    row.corner = corner;
-    try {
-      row.report = LnaDesign(device, cfg, design).evaluate(band);
-      row.meets_goals = row.report.nf_avg_db <= goals.nf_goal_db &&
-                        row.report.gt_min_db >= goals.gain_goal_db &&
-                        row.report.s11_worst_db <= goals.s11_goal_db &&
-                        row.report.s22_worst_db <= goals.s22_goal_db &&
-                        row.report.mu_min >= goals.mu_margin &&
-                        row.report.id_a <= goals.id_max_a;
-    } catch (const std::exception&) {
-      row.meets_goals = false;
-      row.report = BandReport{};
-    }
-    rows.push_back(std::move(row));
-  }
-  return rows;
+        CornerRow row;
+        row.corner = corner;
+        try {
+          row.report = LnaDesign(device, cfg, design).evaluate(band);
+          row.meets_goals = row.report.nf_avg_db <= goals.nf_goal_db &&
+                            row.report.gt_min_db >= goals.gain_goal_db &&
+                            row.report.s11_worst_db <= goals.s11_goal_db &&
+                            row.report.s22_worst_db <= goals.s22_goal_db &&
+                            row.report.mu_min >= goals.mu_margin &&
+                            row.report.id_a <= goals.id_max_a;
+        } catch (const std::exception&) {
+          row.meets_goals = false;
+          row.report = BandReport{};
+        }
+        return row;
+      });
 }
 
 }  // namespace gnsslna::amplifier

@@ -32,11 +32,15 @@ struct CornerRow {
   bool meets_goals = false;
 };
 
-/// Evaluates a design at every corner and checks the goals.
+/// Evaluates a design at every corner and checks the goals.  Corners are
+/// independent, so they fan out across `threads` (0 = hardware_concurrency,
+/// 1 = serial); the rows come back in corner order and are bit-identical
+/// for any thread count.
 std::vector<CornerRow> corner_analysis(const device::Phemt& device,
                                        const AmplifierConfig& config,
                                        const DesignVector& design,
                                        const DesignGoals& goals,
-                                       const std::vector<Corner>& corners);
+                                       const std::vector<Corner>& corners,
+                                       std::size_t threads = 1);
 
 }  // namespace gnsslna::amplifier

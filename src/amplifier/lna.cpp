@@ -224,9 +224,9 @@ rf::SParams LnaDesign::s_params(double frequency_hz) const {
   return circuit::s_params(build_netlist(), frequency_hz);
 }
 
-rf::SweepData LnaDesign::s_sweep(
-    const std::vector<double>& frequencies_hz) const {
-  return circuit::s_sweep(build_netlist(), frequencies_hz);
+rf::SweepData LnaDesign::s_sweep(const std::vector<double>& frequencies_hz,
+                                 std::size_t threads) const {
+  return circuit::s_sweep(build_netlist(), frequencies_hz, threads);
 }
 
 double LnaDesign::noise_figure_db(double frequency_hz) const {
@@ -238,39 +238,56 @@ std::vector<double> LnaDesign::default_band() {
   return rf::linear_grid(rf::kGnssBandLowHz, rf::kGnssBandHighHz, 7);
 }
 
-BandReport LnaDesign::evaluate(const std::vector<double>& band_hz) const {
+BandReport LnaDesign::evaluate(const std::vector<double>& band_hz,
+                               std::size_t threads) const {
   const circuit::Netlist nl = build_netlist();
   BandReport rep;
   rep.id_a = bias_.id_a;
 
+  struct PointFigures {
+    double nf = 0.0, gt = 0.0, s11 = 0.0, s22 = 0.0;
+  };
+  const std::vector<PointFigures> points = rf::sweep_map(
+      band_hz,
+      [&](double f) {
+        const rf::SParams s = circuit::s_params(nl, f);
+        PointFigures p;
+        p.gt = rf::db20(s.s21);
+        p.s11 = rf::db20(s.s11);
+        p.s22 = rf::db20(s.s22);
+        p.nf = circuit::noise_analysis(nl, 0, 1, f).noise_figure_db;
+        return p;
+      },
+      threads);
+
+  // Grid-ordered reduction keeps the sums bit-identical per thread count.
   double nf_sum = 0.0, gt_sum = 0.0;
   rep.nf_max_db = -1e9;
   rep.gt_min_db = 1e9;
   rep.s11_worst_db = -1e9;
   rep.s22_worst_db = -1e9;
-  for (const double f : band_hz) {
-    const rf::SParams s = circuit::s_params(nl, f);
-    const double gt = rf::db20(s.s21);
-    const double s11 = rf::db20(s.s11);
-    const double s22 = rf::db20(s.s22);
-    const double nf = circuit::noise_analysis(nl, 0, 1, f).noise_figure_db;
-    nf_sum += nf;
-    gt_sum += gt;
-    rep.nf_max_db = std::max(rep.nf_max_db, nf);
-    rep.gt_min_db = std::min(rep.gt_min_db, gt);
-    rep.s11_worst_db = std::max(rep.s11_worst_db, s11);
-    rep.s22_worst_db = std::max(rep.s22_worst_db, s22);
+  for (const PointFigures& p : points) {
+    nf_sum += p.nf;
+    gt_sum += p.gt;
+    rep.nf_max_db = std::max(rep.nf_max_db, p.nf);
+    rep.gt_min_db = std::min(rep.gt_min_db, p.gt);
+    rep.s11_worst_db = std::max(rep.s11_worst_db, p.s11);
+    rep.s22_worst_db = std::max(rep.s22_worst_db, p.s22);
   }
   rep.nf_avg_db = nf_sum / static_cast<double>(band_hz.size());
   rep.gt_avg_db = gt_sum / static_cast<double>(band_hz.size());
 
   // Stability on an extended grid.
+  const std::vector<double> mu_grid = rf::linear_grid(0.5e9, 3.5e9, 9);
+  const std::vector<double> mus = rf::sweep_map(
+      mu_grid,
+      [&](double f) {
+        const rf::SParams s = circuit::s_params(nl, f);
+        return std::min(rf::mu_source(s), rf::mu_load(s));
+      },
+      threads);
   rep.mu_min = 1e9;
-  for (const double f : rf::linear_grid(0.5e9, 3.5e9, 9)) {
-    const rf::SParams s = circuit::s_params(nl, f);
-    rep.mu_min = std::min(rep.mu_min,
-                          std::min(rf::mu_source(s), rf::mu_load(s)));
-  }
+  for (const double mu : mus) rep.mu_min = std::min(rep.mu_min, mu);
   return rep;
 }
 

@@ -38,15 +38,20 @@ class LnaDesign {
   /// Two-port S-parameters at a frequency.
   rf::SParams s_params(double frequency_hz) const;
 
-  /// Swept S-parameters.
-  rf::SweepData s_sweep(const std::vector<double>& frequencies_hz) const;
+  /// Swept S-parameters.  Frequency points fan out across `threads`
+  /// (0 = hardware_concurrency, 1 = serial); bit-identical for any count.
+  rf::SweepData s_sweep(const std::vector<double>& frequencies_hz,
+                        std::size_t threads = 1) const;
 
   /// Spot noise figure [dB].
   double noise_figure_db(double frequency_hz) const;
 
   /// Band evaluation over the given in-band grid; stability is also
-  /// checked on an extended grid (0.5-3.5 GHz).
-  BandReport evaluate(const std::vector<double>& band_hz) const;
+  /// checked on an extended grid (0.5-3.5 GHz).  Per-frequency analyses
+  /// fan out across `threads`; the report is reduced in grid order, so it
+  /// is bit-identical for any thread count.
+  BandReport evaluate(const std::vector<double>& band_hz,
+                      std::size_t threads = 1) const;
 
   /// Default 7-point evaluation grid across 1.1-1.7 GHz.
   static std::vector<double> default_band();

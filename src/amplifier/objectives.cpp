@@ -1,6 +1,9 @@
 #include "amplifier/objectives.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
 
 namespace gnsslna::amplifier {
 
@@ -24,36 +27,63 @@ BandReport infeasible_report() {
 
 /// Memoizes the BandReport of the most recent design point so the
 /// objective and every constraint share one evaluation.
+///
+/// The memo slot is per thread (keyed by a per-instance id): the closures
+/// holding one cache may be evaluated concurrently by parallel_map, and a
+/// slot shared across threads would race — one thread could read the
+/// report computed for another thread's design point.  Recomputation is
+/// pure, so per-thread slots keep results bit-identical for any thread
+/// count while preserving the objective-then-constraints memo hit.
 class ReportCache {
  public:
   ReportCache(device::Phemt device, AmplifierConfig config,
               std::vector<double> band)
       : device_(std::move(device)),
         config_(std::move(config)),
-        band_(std::move(band)) {
+        band_(std::move(band)),
+        id_(next_id()) {
     config_.resolve();
   }
 
-  const BandReport& at(const std::vector<double>& x) {
-    if (x != last_x_) {
-      last_x_ = x;
+  const BandReport& at(const std::vector<double>& x) const {
+    Slot& slot = local_slot();
+    if (!slot.valid || x != slot.x) {
+      slot.valid = true;
+      slot.x = x;
       try {
         const LnaDesign lna(device_, config_,
                             DesignVector::from_vector(x));
-        last_report_ = lna.evaluate(band_);
+        slot.report = lna.evaluate(band_);
       } catch (const std::exception&) {
-        last_report_ = infeasible_report();
+        slot.report = infeasible_report();
       }
     }
-    return last_report_;
+    return slot.report;
   }
 
  private:
+  struct Slot {
+    bool valid = false;
+    std::vector<double> x;
+    BandReport report;
+  };
+
+  static std::uint64_t next_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Slot& local_slot() const {
+    // Keyed by the monotonically unique id (not `this`): an address can be
+    // reused by a later cache, which would alias a stale slot.
+    thread_local std::unordered_map<std::uint64_t, Slot> slots;
+    return slots[id_];
+  }
+
   device::Phemt device_;
   AmplifierConfig config_;
   std::vector<double> band_;
-  std::vector<double> last_x_;
-  BandReport last_report_;
+  std::uint64_t id_;
 };
 
 std::vector<double> band_or_default(std::vector<double> band_hz) {

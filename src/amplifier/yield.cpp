@@ -2,15 +2,27 @@
 
 #include <algorithm>
 
+#include "numeric/parallel.h"
 #include "numeric/stats.h"
 
 namespace gnsslna::amplifier {
+
+namespace {
+
+struct TrialOutcome {
+  double nf_avg_db = 0.0;
+  double gt_min_db = 0.0;
+  bool pass = false;
+};
+
+}  // namespace
 
 YieldReport monte_carlo_yield(const device::Phemt& device,
                               const AmplifierConfig& config,
                               const DesignVector& design,
                               const DesignGoals& goals, std::size_t n,
-                              numeric::Rng& rng, ToleranceModel tolerances) {
+                              numeric::Rng& rng, ToleranceModel tolerances,
+                              std::size_t threads) {
   if (n == 0) {
     throw std::invalid_argument("monte_carlo_yield: n must be >= 1");
   }
@@ -18,59 +30,72 @@ YieldReport monte_carlo_yield(const device::Phemt& device,
   base.resolve();
   const std::vector<double> band = LnaDesign::default_band();
 
+  // One fork advances the caller's generator; every trial then derives its
+  // own counter-based stream from that snapshot, so trial i sees the same
+  // perturbations no matter which thread runs it or how many run at once.
+  const numeric::Rng root = rng.fork();
+
+  const std::vector<TrialOutcome> trials = numeric::parallel_map(
+      threads, n, [&](std::size_t i) {
+        numeric::Rng trial_rng = root.split(i);
+        // Uniform within +-tol models a binned-and-sorted component
+        // population; Gaussian models the etch/bias errors.
+        const auto uniform_tol = [&](double nominal, double rel) {
+          return nominal * (1.0 + rel * (2.0 * trial_rng.uniform() - 1.0));
+        };
+
+        DesignVector d = design;
+        d.l_shunt_h = uniform_tol(d.l_shunt_h, tolerances.lc_relative);
+        d.c_mid_f = uniform_tol(d.c_mid_f, tolerances.lc_relative);
+        d.c_out_sh_f = uniform_tol(d.c_out_sh_f, tolerances.lc_relative);
+        d.l_sdeg_h = uniform_tol(d.l_sdeg_h, tolerances.lc_relative);
+        d.c_in_f = uniform_tol(d.c_in_f, tolerances.lc_relative);
+        d.r_fb_ohm = uniform_tol(d.r_fb_ohm, 0.01);  // 1% thick film
+        d.l_in_m += trial_rng.normal(0.0, tolerances.length_sigma_m);
+        d.l_in2_m += trial_rng.normal(0.0, tolerances.length_sigma_m);
+        d.l_out_m += trial_rng.normal(0.0, tolerances.length_sigma_m);
+        d.l_out2_m += trial_rng.normal(0.0, tolerances.length_sigma_m);
+        d.vgs += trial_rng.normal(0.0, tolerances.vbias_sigma);
+        d.vds += trial_rng.normal(0.0, tolerances.vbias_sigma);
+
+        AmplifierConfig cfg = base;
+        cfg.substrate.epsilon_r =
+            uniform_tol(cfg.substrate.epsilon_r, tolerances.er_relative);
+        cfg.substrate.height_m =
+            uniform_tol(cfg.substrate.height_m, tolerances.height_relative);
+        cfg.w50_m = base.w50_m;  // the board is etched once: width is fixed
+
+        TrialOutcome out;
+        BandReport rep;
+        try {
+          rep = LnaDesign(device, cfg,
+                          DesignVector::from_vector(
+                              DesignVector::bounds().clamp(d.to_vector())))
+                    .evaluate(band);
+        } catch (const std::exception&) {
+          out.nf_avg_db = 50.0;
+          out.gt_min_db = -50.0;
+          return out;
+        }
+        out.nf_avg_db = rep.nf_avg_db;
+        out.gt_min_db = rep.gt_min_db;
+        out.pass = rep.nf_avg_db <= goals.nf_goal_db &&
+                   rep.gt_min_db >= goals.gain_goal_db &&
+                   rep.s11_worst_db <= goals.s11_goal_db &&
+                   rep.s22_worst_db <= goals.s22_goal_db &&
+                   rep.mu_min >= goals.mu_margin;
+        return out;
+      });
+
+  // Index-ordered reduction: identical statistics for any thread count.
   std::vector<double> nf_samples, gt_samples;
   nf_samples.reserve(n);
   gt_samples.reserve(n);
   std::size_t passes = 0;
-
-  // Uniform within +-tol models a binned-and-sorted component population;
-  // Gaussian models the etch/bias errors.
-  const auto uniform_tol = [&](double nominal, double rel) {
-    return nominal * (1.0 + rel * (2.0 * rng.uniform() - 1.0));
-  };
-
-  for (std::size_t i = 0; i < n; ++i) {
-    DesignVector d = design;
-    d.l_shunt_h = uniform_tol(d.l_shunt_h, tolerances.lc_relative);
-    d.c_mid_f = uniform_tol(d.c_mid_f, tolerances.lc_relative);
-    d.c_out_sh_f = uniform_tol(d.c_out_sh_f, tolerances.lc_relative);
-    d.l_sdeg_h = uniform_tol(d.l_sdeg_h, tolerances.lc_relative);
-    d.c_in_f = uniform_tol(d.c_in_f, tolerances.lc_relative);
-    d.r_fb_ohm = uniform_tol(d.r_fb_ohm, 0.01);  // 1% thick film
-    d.l_in_m += rng.normal(0.0, tolerances.length_sigma_m);
-    d.l_in2_m += rng.normal(0.0, tolerances.length_sigma_m);
-    d.l_out_m += rng.normal(0.0, tolerances.length_sigma_m);
-    d.l_out2_m += rng.normal(0.0, tolerances.length_sigma_m);
-    d.vgs += rng.normal(0.0, tolerances.vbias_sigma);
-    d.vds += rng.normal(0.0, tolerances.vbias_sigma);
-
-    AmplifierConfig cfg = base;
-    cfg.substrate.epsilon_r =
-        uniform_tol(cfg.substrate.epsilon_r, tolerances.er_relative);
-    cfg.substrate.height_m =
-        uniform_tol(cfg.substrate.height_m, tolerances.height_relative);
-    cfg.w50_m = base.w50_m;  // the board is etched once: width is fixed
-
-    BandReport rep;
-    try {
-      rep = LnaDesign(device, cfg,
-                      DesignVector::from_vector(
-                          DesignVector::bounds().clamp(d.to_vector())))
-                .evaluate(band);
-    } catch (const std::exception&) {
-      nf_samples.push_back(50.0);
-      gt_samples.push_back(-50.0);
-      continue;
-    }
-    nf_samples.push_back(rep.nf_avg_db);
-    gt_samples.push_back(rep.gt_min_db);
-
-    const bool pass = rep.nf_avg_db <= goals.nf_goal_db &&
-                      rep.gt_min_db >= goals.gain_goal_db &&
-                      rep.s11_worst_db <= goals.s11_goal_db &&
-                      rep.s22_worst_db <= goals.s22_goal_db &&
-                      rep.mu_min >= goals.mu_margin;
-    if (pass) ++passes;
+  for (const TrialOutcome& t : trials) {
+    nf_samples.push_back(t.nf_avg_db);
+    gt_samples.push_back(t.gt_min_db);
+    if (t.pass) ++passes;
   }
 
   YieldReport rep;

@@ -29,12 +29,16 @@ struct YieldReport {
 };
 
 /// Runs n Monte-Carlo samples; "pass" means all four goals and the
-/// stability margin hold.
+/// stability margin hold.  Trial i draws its perturbations from the
+/// counter-based stream Rng::split(i) of a generator forked once from rng,
+/// so the estimate is reproducible per seed and bit-identical for any
+/// thread count (0 = hardware_concurrency(), 1 = serial).
 YieldReport monte_carlo_yield(const device::Phemt& device,
                               const AmplifierConfig& config,
                               const DesignVector& design,
                               const DesignGoals& goals, std::size_t n,
                               numeric::Rng& rng,
-                              ToleranceModel tolerances = {});
+                              ToleranceModel tolerances = {},
+                              std::size_t threads = 1);
 
 }  // namespace gnsslna::amplifier

@@ -69,13 +69,11 @@ rf::SParams s_params(const Netlist& netlist, double frequency_hz) {
 }
 
 rf::SweepData s_sweep(const Netlist& netlist,
-                      const std::vector<double>& frequencies_hz) {
-  rf::SweepData sweep;
-  sweep.reserve(frequencies_hz.size());
-  for (const double f : frequencies_hz) {
-    sweep.push_back(s_params(netlist, f));
-  }
-  return sweep;
+                      const std::vector<double>& frequencies_hz,
+                      std::size_t threads) {
+  return rf::sweep_map(
+      frequencies_hz, [&](double f) { return s_params(netlist, f); },
+      threads);
 }
 
 namespace {

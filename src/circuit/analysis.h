@@ -26,9 +26,12 @@ numeric::ComplexMatrix s_matrix(const Netlist& netlist, double frequency_hz);
 /// Two-port convenience (requires exactly 2 ports, equal z0).
 rf::SParams s_params(const Netlist& netlist, double frequency_hz);
 
-/// Swept two-port S-parameters.
+/// Swept two-port S-parameters.  Frequency points fan out across `threads`
+/// (0 = hardware_concurrency, 1 = serial); the sweep is bit-identical for
+/// any thread count.
 rf::SweepData s_sweep(const Netlist& netlist,
-                      const std::vector<double>& frequencies_hz);
+                      const std::vector<double>& frequencies_hz,
+                      std::size_t threads = 1);
 
 /// Result of a spot noise analysis.
 struct NoiseResult {

@@ -1,6 +1,7 @@
 #include "extract/three_step.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -36,7 +37,8 @@ ExtractionResult three_step_extract(const device::FetModel& prototype,
                                     numeric::Rng& rng,
                                     ThreeStepOptions options) {
   const optimize::Bounds bounds = candidate_bounds(prototype);
-  std::size_t evals = 0;
+  // DE evaluates its population concurrently when options.threads != 1.
+  std::atomic<std::size_t> evals{0};
 
   // ---- Step 1: global search on the Huber-robust criterion.
   const optimize::ObjectiveFn robust = robust_criterion(
@@ -44,6 +46,7 @@ ExtractionResult three_step_extract(const device::FetModel& prototype,
   optimize::DifferentialEvolutionOptions de;
   de.max_generations = options.de_generations;
   de.population = options.de_population;
+  de.threads = options.threads;
   const optimize::Result global = optimize::differential_evolution(
       [&](const std::vector<double>& x) {
         ++evals;
@@ -80,7 +83,8 @@ ExtractionResult three_step_extract(const device::FetModel& prototype,
                                           std::move(w), options.lm);
   }
 
-  return finish(prototype, local.x, data, extrinsics, evals, local.converged);
+  return finish(prototype, local.x, data, extrinsics, evals.load(),
+                local.converged);
 }
 
 std::string strategy_name(ExtractionStrategy strategy) {
@@ -112,7 +116,7 @@ ExtractionResult extract_with_strategy(ExtractionStrategy strategy,
   }
 
   const optimize::Bounds bounds = candidate_bounds(prototype);
-  std::size_t evals = 0;
+  std::atomic<std::size_t> evals{0};
   const optimize::ResidualFn residuals =
       extraction_residuals(prototype, data, extrinsics, options.weights);
   const optimize::ResidualFn counted = [&](const std::vector<double>& x) {
@@ -131,6 +135,7 @@ ExtractionResult extract_with_strategy(ExtractionStrategy strategy,
       optimize::DifferentialEvolutionOptions de;
       de.max_generations = options.de_generations;
       de.population = options.de_population;
+      de.threads = options.threads;
       const optimize::Result r =
           optimize::differential_evolution(ssq, bounds, rng, de);
       return finish(prototype, r.x, data, extrinsics, evals, r.converged);

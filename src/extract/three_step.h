@@ -35,6 +35,9 @@ struct ThreeStepOptions {
   int irls_iterations = 3;
   double irls_tuning = 1.345;  ///< Huber tuning constant (95% efficiency)
   ObjectiveWeights weights = {};
+  std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
+                            ///< Fans out the population stages (DE); the
+                            ///< LM/IRLS refinement stays sequential.
 };
 
 struct ExtractionResult {

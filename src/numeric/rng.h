@@ -77,7 +77,24 @@ class Rng {
   /// Derives an independent child generator (for per-trial seeding).
   Rng fork() { return Rng(next_u64()); }
 
+  /// Counter-based derived stream: an independent child generator that is a
+  /// pure function of the current state and the stream index.  Unlike
+  /// fork(), split() does not advance the parent, so split(i) yields the
+  /// same stream no matter how many other streams were split before it or
+  /// which thread asks — the primitive behind per-candidate reproducibility
+  /// in the parallel evaluation paths (see numeric/parallel.h).
+  Rng split(std::uint64_t stream) const {
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (const std::uint64_t word : state_) h = mix64(h ^ word);
+    return Rng(mix64(h + 0x9E3779B97F4A7C15ULL * (stream + 1)));
+  }
+
  private:
+  static std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }

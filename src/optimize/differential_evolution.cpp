@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numeric/parallel.h"
+
 namespace gnsslna::optimize {
 
 Result differential_evolution(const ObjectiveFn& fn, const Bounds& bounds,
@@ -15,10 +17,6 @@ Result differential_evolution(const ObjectiveFn& fn, const Bounds& bounds,
                              : std::max<std::size_t>(10 * n, 20);
 
   Result result;
-  const auto eval = [&](const std::vector<double>& x) {
-    ++result.evaluations;
-    return fn(x);
-  };
 
   // Reflect an out-of-bounds coordinate back into the box.
   const auto repair = [&](double v, std::size_t i) {
@@ -30,19 +28,23 @@ Result differential_evolution(const ObjectiveFn& fn, const Bounds& bounds,
   };
 
   std::vector<std::vector<double>> pop(np);
-  std::vector<double> fitness(np);
+  for (std::size_t i = 0; i < np; ++i) pop[i] = bounds.sample(rng);
+  std::vector<double> fitness = numeric::parallel_map(
+      options.threads, np, [&](std::size_t i) { return fn(pop[i]); });
+  result.evaluations += np;
   std::size_t best = 0;
-  for (std::size_t i = 0; i < np; ++i) {
-    pop[i] = bounds.sample(rng);
-    fitness[i] = eval(pop[i]);
+  for (std::size_t i = 1; i < np; ++i) {
     if (fitness[i] < fitness[best]) best = i;
   }
 
   double last_best = fitness[best];
   std::size_t stall = 0;
+  std::vector<std::vector<double>> trials(np);
 
   for (std::size_t gen = 0; gen < options.max_generations; ++gen) {
     ++result.iterations;
+    // All trial vectors come from the generation-start population; every
+    // RNG draw happens here, on the calling thread, in index order.
     for (std::size_t i = 0; i < np; ++i) {
       // Pick three distinct partners different from i.
       std::size_t a, b, c;
@@ -53,18 +55,26 @@ Result differential_evolution(const ObjectiveFn& fn, const Bounds& bounds,
       const double f = options.dither
                            ? options.weight + 0.2 * (rng.uniform() - 0.5) * 2.0
                            : options.weight;
-      std::vector<double> trial = pop[i];
+      std::vector<double>& trial = trials[i];
+      trial = pop[i];
       const std::size_t forced = rng.uniform_index(n);
       for (std::size_t j = 0; j < n; ++j) {
         if (j == forced || rng.bernoulli(options.crossover)) {
           trial[j] = repair(pop[a][j] + f * (pop[b][j] - pop[c][j]), j);
         }
       }
-      const double ft = eval(trial);
-      if (ft <= fitness[i]) {
-        pop[i] = std::move(trial);
-        fitness[i] = ft;
-        if (ft < fitness[best]) best = i;
+    }
+
+    const std::vector<double> ft = numeric::parallel_map(
+        options.threads, np, [&](std::size_t i) { return fn(trials[i]); });
+    result.evaluations += np;
+
+    for (std::size_t i = 0; i < np; ++i) {
+      if (ft[i] <= fitness[i]) {
+        pop[i] = std::move(trials[i]);
+        trials[i].clear();
+        fitness[i] = ft[i];
+        if (ft[i] < fitness[best]) best = i;
       }
     }
 

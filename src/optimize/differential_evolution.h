@@ -3,6 +3,12 @@
 // DE/rand/1/bin with reflection-at-bounds repair and optional dithered F.
 // The global-search stage of the paper's three-step identification, and the
 // global stage of the improved goal-attainment method.
+//
+// Generation-synchronous: every generation builds all trial vectors from the
+// population frozen at the generation start (all RNG draws on the calling
+// thread, in index order), evaluates the batch — in parallel when
+// options.threads != 1 — and then applies selection in index order.  Results
+// are therefore bit-identical for any thread count.
 #pragma once
 
 #include "optimize/problem.h"
@@ -22,6 +28,9 @@ struct DifferentialEvolutionOptions {
                                       ///< (0 disables stall detection:
                                       ///< DE routinely plateaus before a
                                       ///< breakthrough on rough landscapes)
+  std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
+                            ///< With threads != 1 the objective must be
+                            ///< safe to call concurrently.
 };
 
 /// Minimizes fn over the box.  Deterministic for a given rng seed.

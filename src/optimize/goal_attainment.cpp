@@ -1,8 +1,11 @@
 #include "optimize/goal_attainment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+
+#include "numeric/parallel.h"
 
 #include "optimize/differential_evolution.h"
 #include "optimize/multi_objective.h"
@@ -111,7 +114,9 @@ GoalResult improved_goal_attainment(const GoalProblem& problem,
                                     numeric::Rng& rng,
                                     ImprovedGoalOptions options) {
   problem.validate();
-  std::size_t evals = 0;
+  // The scalarized objective runs concurrently inside the DE stage when
+  // options.threads != 1, so the evaluation counter must be atomic.
+  std::atomic<std::size_t> evals{0};
 
   // --- Ingredient 1: adaptive weight normalization.  Sample the box to
   // estimate each objective's dynamic range and rescale the user weights so
@@ -164,6 +169,7 @@ GoalResult improved_goal_attainment(const GoalProblem& problem,
     DifferentialEvolutionOptions de;
     de.max_generations = options.de_generations;
     de.population = options.de_population;
+    de.threads = options.threads;
     const Result global = differential_evolution(
         make_scalar(options.rho_start, weights), problem.bounds, rng, de);
     x = global.x;
@@ -193,7 +199,7 @@ GoalResult improved_goal_attainment(const GoalProblem& problem,
     converged = local.converged;
   }
 
-  return finalize(problem, std::move(x), evals, converged);
+  return finalize(problem, std::move(x), evals.load(), converged);
 }
 
 std::vector<ParetoPoint> pareto_sweep(const GoalProblem& problem,
@@ -208,15 +214,24 @@ std::vector<ParetoPoint> pareto_sweep(const GoalProblem& problem,
   }
 
   // Endpoint scouting: strongly skewed weights approximate the two
-  // single-objective optima and span the reachable objective range.
-  const auto solve_skewed = [&](double skew) {
+  // single-objective optima and span the reachable objective range.  The
+  // two scouts are independent, so they fan out as a pair; the child
+  // generators are forked on the calling thread first so the streams (and
+  // therefore the results) do not depend on the thread count.
+  numeric::Rng child_a = rng.fork();
+  numeric::Rng child_b = rng.fork();
+  const auto solve_skewed = [&](double skew, numeric::Rng& child) {
     GoalProblem sub = problem;
     sub.weights = {problem.weights[0] * skew, problem.weights[1] / skew};
-    numeric::Rng child = rng.fork();
     return improved_goal_attainment(sub, child, options);
   };
-  const GoalResult end_a = solve_skewed(100.0);  // f2 matters most
-  const GoalResult end_b = solve_skewed(0.01);   // f1 matters most
+  std::vector<GoalResult> ends(2);
+  numeric::parallel_for(options.threads, 2, [&](std::size_t i) {
+    ends[i] = i == 0 ? solve_skewed(100.0, child_a)   // f2 matters most
+                     : solve_skewed(0.01, child_b);   // f1 matters most
+  });
+  const GoalResult& end_a = ends[0];
+  const GoalResult& end_b = ends[1];
 
   // Anchor sweep (the textbook way to trace a Pareto front with goal
   // attainment): slide the goal point along the segment joining the two
@@ -229,16 +244,26 @@ std::vector<ParetoPoint> pareto_sweep(const GoalProblem& problem,
       points.push_back({end->x, end->objective_values, end->attainment});
     }
   }
-  for (std::size_t k = 0; k < n_points; ++k) {
-    const double t = static_cast<double>(k) / static_cast<double>(n_points - 1);
-    GoalProblem sub = problem;
-    sub.goals = {
-        end_a.objective_values[0] +
-            t * (end_b.objective_values[0] - end_a.objective_values[0]),
-        end_a.objective_values[1] +
-            t * (end_b.objective_values[1] - end_a.objective_values[1])};
-    numeric::Rng child = rng.fork();
-    const GoalResult r = improved_goal_attainment(sub, child, options);
+  // Anchor runs are independent optimizations: fork every child stream on
+  // the calling thread in anchor order, fan the runs out, then collect the
+  // feasible results in anchor order — identical output for any thread
+  // count.
+  std::vector<numeric::Rng> children;
+  children.reserve(n_points);
+  for (std::size_t k = 0; k < n_points; ++k) children.push_back(rng.fork());
+  const std::vector<GoalResult> anchors = numeric::parallel_map(
+      options.threads, n_points, [&](std::size_t k) {
+        const double t =
+            static_cast<double>(k) / static_cast<double>(n_points - 1);
+        GoalProblem sub = problem;
+        sub.goals = {
+            end_a.objective_values[0] +
+                t * (end_b.objective_values[0] - end_a.objective_values[0]),
+            end_a.objective_values[1] +
+                t * (end_b.objective_values[1] - end_a.objective_values[1])};
+        return improved_goal_attainment(sub, children[k], options);
+      });
+  for (const GoalResult& r : anchors) {
     if (r.constraint_violation > 1e-6) continue;  // infeasible anchor
     points.push_back({r.x, r.objective_values, r.attainment});
   }

@@ -87,6 +87,13 @@ struct ImprovedGoalOptions {
   double rho_end = 1000.0;
   int rho_stages = 4;
   double penalty_mu = 1e3;
+  std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
+                            ///< Fans out the DE seeding stage, and in
+                            ///< pareto_sweep the independent anchor runs;
+                            ///< results are bit-identical for any thread
+                            ///< count.  With threads != 1 the objectives
+                            ///< and constraints must be safe to call
+                            ///< concurrently.
 };
 
 /// The improved method (see file comment).  Deterministic per rng seed.

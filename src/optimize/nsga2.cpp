@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "numeric/parallel.h"
 #include "optimize/multi_objective.h"
 
 namespace gnsslna::optimize {
@@ -141,8 +142,9 @@ Nsga2Result nsga2(const VectorObjectiveFn& objectives,
                         : 1.0 / static_cast<double>(n);
 
   Nsga2Result result;
-  const auto evaluate = [&](Individual& ind) {
-    ++result.evaluations;
+  // Pure per-individual evaluation (no counters, no shared writes), so a
+  // whole population can fan out through the pool at once.
+  const auto evaluate_one = [&](Individual& ind) {
     ind.f_raw = objectives(ind.x);
     if (ind.f_raw.size() != n_objectives) {
       throw std::invalid_argument("nsga2: objective count mismatch");
@@ -153,6 +155,11 @@ Nsga2Result nsga2(const VectorObjectiveFn& objectives,
     }
     ind.f = ind.f_raw;
     for (double& v : ind.f) v += options.constraint_penalty * ind.violation;
+  };
+  const auto evaluate_all = [&](std::vector<Individual>& batch) {
+    numeric::parallel_for(options.threads, batch.size(),
+                          [&](std::size_t i) { evaluate_one(batch[i]); });
+    result.evaluations += batch.size();
   };
 
   const auto assign_ranks = [&](std::vector<Individual>& pop) {
@@ -178,12 +185,11 @@ Nsga2Result nsga2(const VectorObjectiveFn& objectives,
     }
   };
 
-  // Initial population.
+  // Initial population: genomes sampled serially (RNG order unchanged),
+  // evaluations batched.
   std::vector<Individual> pop(np);
-  for (Individual& ind : pop) {
-    ind.x = bounds.sample(rng);
-    evaluate(ind);
-  }
+  for (Individual& ind : pop) ind.x = bounds.sample(rng);
+  evaluate_all(pop);
   assign_ranks(pop);
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
@@ -220,11 +226,10 @@ Nsga2Result nsga2(const VectorObjectiveFn& objectives,
                                         options.eta_mutation, rng);
         }
       }
-      evaluate(c1);
-      evaluate(c2);
       offspring.push_back(std::move(c1));
       if (offspring.size() < np) offspring.push_back(std::move(c2));
     }
+    evaluate_all(offspring);
 
     // Environmental selection from the merged population.
     std::vector<Individual> merged = std::move(pop);

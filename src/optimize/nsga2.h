@@ -22,6 +22,14 @@ struct Nsga2Options {
   double constraint_penalty = 1e3;   ///< added per unit violation to all
                                      ///< objectives (simple feasibility
                                      ///< pressure)
+  std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
+                            ///< Offspring genomes are generated on the
+                            ///< calling thread (RNG order unchanged), only
+                            ///< the objective/constraint evaluations fan
+                            ///< out, so results are bit-identical for any
+                            ///< thread count.  With threads != 1 the
+                            ///< objectives and constraints must be safe to
+                            ///< call concurrently.
 };
 
 struct Nsga2Individual {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numeric/parallel.h"
+
 namespace gnsslna::optimize {
 
 Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
@@ -14,10 +16,6 @@ Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
                              : std::max<std::size_t>(8 * n, 24);
 
   Result result;
-  const auto eval = [&](const std::vector<double>& x) {
-    ++result.evaluations;
-    return fn(x);
-  };
 
   const std::vector<double> widths = bounds.width();
   std::vector<double> vmax(n);
@@ -26,7 +24,6 @@ Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
   }
 
   std::vector<std::vector<double>> pos(ns), vel(ns), pbest(ns);
-  std::vector<double> pbest_f(ns);
   std::vector<double> gbest;
   double gbest_f = std::numeric_limits<double>::infinity();
 
@@ -37,7 +34,11 @@ Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
       vel[i][j] = rng.uniform(-vmax[j], vmax[j]);
     }
     pbest[i] = pos[i];
-    pbest_f[i] = eval(pos[i]);
+  }
+  std::vector<double> pbest_f = numeric::parallel_map(
+      options.threads, ns, [&](std::size_t i) { return fn(pos[i]); });
+  result.evaluations += ns;
+  for (std::size_t i = 0; i < ns; ++i) {
     if (pbest_f[i] < gbest_f) {
       gbest_f = pbest_f[i];
       gbest = pos[i];
@@ -51,6 +52,8 @@ Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
         (options.inertia_end - options.inertia_start) *
             (static_cast<double>(iter) /
              static_cast<double>(std::max<std::size_t>(options.max_iterations - 1, 1)));
+    // Velocity/position updates read the iteration-start global best; all
+    // RNG draws happen here, on the calling thread, in index order.
     for (std::size_t i = 0; i < ns; ++i) {
       for (std::size_t j = 0; j < n; ++j) {
         const double r1 = rng.uniform();
@@ -69,12 +72,16 @@ Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
           vel[i][j] = 0.0;
         }
       }
-      const double f = eval(pos[i]);
-      if (f < pbest_f[i]) {
-        pbest_f[i] = f;
+    }
+    const std::vector<double> f = numeric::parallel_map(
+        options.threads, ns, [&](std::size_t i) { return fn(pos[i]); });
+    result.evaluations += ns;
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (f[i] < pbest_f[i]) {
+        pbest_f[i] = f[i];
         pbest[i] = pos[i];
-        if (f < gbest_f) {
-          gbest_f = f;
+        if (f[i] < gbest_f) {
+          gbest_f = f[i];
           gbest = pos[i];
         }
       }

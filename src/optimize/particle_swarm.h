@@ -3,6 +3,12 @@
 // Global-best PSO with inertia damping and velocity clamping; one of the
 // baseline meta-heuristics the extraction-robustness study (Table II)
 // compares against differential evolution.
+//
+// Iteration-synchronous: every particle's velocity update reads the global
+// best frozen at the iteration start (all RNG draws on the calling thread,
+// in index order), the batch of new positions is evaluated — in parallel
+// when options.threads != 1 — and personal/global bests are updated in index
+// order afterwards.  Results are bit-identical for any thread count.
 #pragma once
 
 #include "optimize/problem.h"
@@ -17,6 +23,9 @@ struct ParticleSwarmOptions {
   double cognitive = 1.5;            ///< c1
   double social = 1.5;               ///< c2
   double max_velocity_fraction = 0.25;  ///< of box width
+  std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
+                            ///< With threads != 1 the objective must be
+                            ///< safe to call concurrently.
 };
 
 Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numeric/parallel.h"
+
 namespace gnsslna::optimize {
 
-Result simulated_annealing(const ObjectiveFn& fn, const Bounds& bounds,
-                           numeric::Rng& rng,
-                           SimulatedAnnealingOptions options) {
-  bounds.validate();
+namespace {
+
+/// One annealing chain — exactly the pre-restart algorithm.
+Result anneal_chain(const ObjectiveFn& fn, const Bounds& bounds,
+                    numeric::Rng& rng, SimulatedAnnealingOptions options) {
   const std::size_t n = bounds.dimension();
 
   Result result;
@@ -94,6 +97,44 @@ Result simulated_annealing(const ObjectiveFn& fn, const Bounds& bounds,
   result.value = best_f;
   result.converged = true;
   return result;
+}
+
+}  // namespace
+
+Result simulated_annealing(const ObjectiveFn& fn, const Bounds& bounds,
+                           numeric::Rng& rng,
+                           SimulatedAnnealingOptions options) {
+  bounds.validate();
+  if (options.restarts <= 1) {
+    return anneal_chain(fn, bounds, rng, options);
+  }
+
+  // Independent chains on counter-based streams derived from the caller's
+  // generator: chain r sees the same stream no matter how many threads run.
+  const std::size_t restarts = options.restarts;
+  SimulatedAnnealingOptions chain_options = options;
+  chain_options.max_evaluations =
+      std::max<std::size_t>(options.max_evaluations / restarts, 64);
+  const numeric::Rng root = rng.fork();
+
+  const std::vector<Result> chains = numeric::parallel_map(
+      options.threads, restarts, [&](std::size_t r) {
+        numeric::Rng chain_rng = root.split(r);
+        return anneal_chain(fn, bounds, chain_rng, chain_options);
+      });
+
+  std::size_t winner = 0;
+  std::size_t total_evaluations = 0;
+  std::size_t total_iterations = 0;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    if (chains[r].value < chains[winner].value) winner = r;
+    total_evaluations += chains[r].evaluations;
+    total_iterations += chains[r].iterations;
+  }
+  Result best = chains[winner];
+  best.evaluations = total_evaluations;
+  best.iterations = total_iterations;
+  return best;
 }
 
 }  // namespace gnsslna::optimize

@@ -2,6 +2,13 @@
 //
 // Gaussian-neighbourhood annealing with geometric cooling and automatic
 // initial-temperature calibration from the early acceptance statistics.
+//
+// A single chain (restarts = 1, the default) is inherently sequential and
+// runs exactly as before.  With restarts > 1 the evaluation budget is split
+// into independent chains seeded from counter-based Rng::split streams; the
+// chains fan out across options.threads and the best chain (ties broken by
+// lowest restart index) wins, so results are bit-identical for any thread
+// count.
 #pragma once
 
 #include "optimize/problem.h"
@@ -15,6 +22,11 @@ struct SimulatedAnnealingOptions {
   double initial_step_fraction = 0.2; ///< of box width
   double final_step_fraction = 1e-3;
   double initial_acceptance = 0.8;    ///< target early acceptance rate
+  std::size_t restarts = 1;  ///< independent chains; budget split evenly
+  std::size_t threads = 1;   ///< 0 = hardware_concurrency(), 1 = serial.
+                             ///< Only restarts fan out; with threads != 1
+                             ///< and restarts > 1 the objective must be
+                             ///< safe to call concurrently.
 };
 
 Result simulated_annealing(const ObjectiveFn& fn, const Bounds& bounds,

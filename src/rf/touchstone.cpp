@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -194,7 +195,11 @@ void write_touchstone(std::ostream& out, const SweepData& s,
                                                                     : "MA";
   out << "! gnsslna two-port S-parameter export\n";
   out << "# Hz S " << fmt_name << " R " << z0 << "\n";
-  out << std::scientific << std::setprecision(9);
+  // max_digits10 makes RI output exactly round-trippable: a written double
+  // parses back to the identical bit pattern (MA/DB go through
+  // transcendentals and cannot promise that).
+  out << std::scientific
+      << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const SParams& p : s) {
     const auto [a11, b11] = encode(format, p.s11);
     const auto [a21, b21] = encode(format, p.s21);

@@ -2,12 +2,15 @@
 // families of inputs, swept with parameterized gtest.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <numbers>
 
 #include "circuit/analysis.h"
 #include "device/models.h"
 #include "microstrip/line.h"
 #include "numeric/rng.h"
+#include "optimize/nsga2.h"
 #include "rf/metrics.h"
 #include "rf/noise.h"
 #include "rf/units.h"
@@ -181,6 +184,98 @@ TEST_P(NoiseParamsSweep, SourcePullNeverBeatsFmin) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NoiseParamsSweep, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Non-dominated sorting invariants on random objective clouds: the rank
+// labels must be exactly consistent with the Pareto dominance relation.
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  bool strictly = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strictly = true;
+  }
+  return strictly;
+}
+
+std::vector<std::vector<double>> random_cloud(numeric::Rng& rng,
+                                              std::size_t n,
+                                              std::size_t objectives) {
+  std::vector<std::vector<double>> pts(n);
+  for (auto& p : pts) {
+    p.resize(objectives);
+    for (double& v : p) v = rng.uniform(-1.0, 1.0);
+  }
+  return pts;
+}
+
+class DominanceSortSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominanceSortSweep, RanksAgreeWithPairwiseDominance) {
+  numeric::Rng rng(5000 + GetParam());
+  const std::size_t objectives = 2 + rng.uniform_index(3);  // 2..4
+  const std::vector<std::vector<double>> pts =
+      random_cloud(rng, 40, objectives);
+  const std::vector<std::size_t> rank = optimize::non_dominated_rank(pts);
+  ASSERT_EQ(rank.size(), pts.size());
+
+  std::size_t max_rank = 0;
+  for (const std::size_t r : rank) max_rank = std::max(max_rank, r);
+
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    // (a) Dominance strictly lowers rank: if i dominates j then
+    // rank[i] < rank[j]; same-front members never dominate each other.
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (dominates(pts[i], pts[j])) {
+        EXPECT_LT(rank[i], rank[j]) << i << " dominates " << j;
+      }
+    }
+    // (b) Fronts are tight: every point of rank r > 0 is dominated by at
+    // least one point of rank r - 1 (else it would belong to r - 1).
+    if (rank[i] > 0) {
+      bool covered = false;
+      for (std::size_t j = 0; j < pts.size() && !covered; ++j) {
+        covered = rank[j] == rank[i] - 1 && dominates(pts[j], pts[i]);
+      }
+      EXPECT_TRUE(covered) << "point " << i << " rank " << rank[i];
+    }
+  }
+  // (c) Every front level up to the maximum is populated.
+  for (std::size_t r = 0; r <= max_rank; ++r) {
+    EXPECT_NE(std::count(rank.begin(), rank.end(), r), 0) << "front " << r;
+  }
+}
+
+TEST_P(DominanceSortSweep, CrowdingDistanceInvariants) {
+  numeric::Rng rng(6000 + GetParam());
+  const std::size_t objectives = 2 + rng.uniform_index(2);  // 2..3
+  std::vector<std::vector<double>> pts = random_cloud(rng, 25, objectives);
+  const std::vector<double> d = optimize::crowding_distance(pts);
+  ASSERT_EQ(d.size(), pts.size());
+
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < objectives; ++k) {
+    // The extreme point of every objective must be a boundary point.
+    std::size_t lo = 0, hi = 0;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (pts[i][k] < pts[lo][k]) lo = i;
+      if (pts[i][k] > pts[hi][k]) hi = i;
+    }
+    EXPECT_EQ(d[lo], inf) << "objective " << k;
+    EXPECT_EQ(d[hi], inf) << "objective " << k;
+  }
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d[i], 0.0) << i;  // distances are sums of non-negative spans
+  }
+
+  // Tiny fronts are all boundary.
+  const std::vector<std::vector<double>> pair = {pts[0], pts[1]};
+  for (const double v : optimize::crowding_distance(pair)) {
+    EXPECT_EQ(v, inf);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceSortSweep, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace gnsslna

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "rf/units.h"
 
 namespace gnsslna::rf {
@@ -123,6 +125,44 @@ TEST(Touchstone, RejectsNonAscendingFrequencies) {
 
 TEST(Touchstone, WriteRejectsEmptySweep) {
   EXPECT_THROW(write_touchstone_string({}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Golden regression: the committed preamplifier export must round-trip
+// read -> write -> read with every double bit-stable.  The RI writer emits
+// max_digits10 significant digits, so a parsed value survives re-export
+// exactly; any loss here is a real writer/parser regression.
+
+TEST(Touchstone, GoldenFileRoundTripsBitStable) {
+  std::ifstream in(std::string(GNSSLNA_SOURCE_DIR) +
+                   "/fig3_preamplifier.s2p");
+  ASSERT_TRUE(in.good()) << "golden file missing";
+  const TouchstoneFile first = read_touchstone(in);
+  ASSERT_FALSE(first.s.empty());
+
+  const std::string rewritten =
+      write_touchstone_string(first.s, first.noise,
+                              TouchstoneFormat::kRealImaginary);
+  const TouchstoneFile second = read_touchstone_string(rewritten);
+
+  ASSERT_EQ(second.s.size(), first.s.size());
+  for (std::size_t i = 0; i < first.s.size(); ++i) {
+    EXPECT_EQ(second.s[i].frequency_hz, first.s[i].frequency_hz) << i;
+    EXPECT_EQ(second.s[i].s11, first.s[i].s11) << i;
+    EXPECT_EQ(second.s[i].s21, first.s[i].s21) << i;
+    EXPECT_EQ(second.s[i].s12, first.s[i].s12) << i;
+    EXPECT_EQ(second.s[i].s22, first.s[i].s22) << i;
+    EXPECT_EQ(second.s[i].z0, first.s[i].z0) << i;
+  }
+  // The golden export carries no noise block (the noise encoding goes
+  // through dB/polar transcendentals and makes no bit-stability promise).
+  ASSERT_TRUE(first.noise.empty());
+  EXPECT_TRUE(second.noise.empty());
+
+  // Idempotence: a second rewrite of the reparsed data is byte-identical.
+  EXPECT_EQ(write_touchstone_string(second.s, second.noise,
+                                    TouchstoneFormat::kRealImaginary),
+            rewritten);
 }
 
 }  // namespace
