@@ -12,7 +12,10 @@
 #include "amplifier/design_flow.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "ABLATION A1 -- optimizing with vs without passive dispersion\n"
@@ -55,5 +58,7 @@ int main() {
               blind_real.nf_avg_db - aware_real.nf_avg_db,
               blind_real.gt_min_db - aware_real.gt_min_db,
               blind_real.s11_worst_db - aware_real.s11_worst_db);
+  json.add("bench_a1_dispersion_ablation:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

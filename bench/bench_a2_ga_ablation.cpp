@@ -68,6 +68,9 @@ void run(const char* title, const optimize::GoalProblem& problem, int seeds,
 }  // namespace
 
 int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   bench::heading(
       "ABLATION A2 -- ingredients of the improved goal-attainment method");
   const std::size_t threads = bench::parse_threads(argc, argv, 0);
@@ -91,5 +94,7 @@ int main(int argc, char** argv) {
   const optimize::GoalProblem lna =
       amplifier::make_goal_problem(dev, config, amplifier::DesignGoals{});
   run("GNSS LNA design problem (3 seeds)", lna, 3, threads);
+  json.add("bench_a2_ga_ablation:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

@@ -15,6 +15,9 @@
 #include "nonlinear/blocker.h"
 
 int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "EXTENSION A3 -- environmental corners + blocker desensitization\n"
@@ -59,5 +62,7 @@ int main(int argc, char** argv) {
     std::printf("1 dB desensitization at blocker power %+.1f dBm\n",
                 sweep.p1db_desense_dbm);
   }
+  json.add("bench_a3_corners_blocker:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

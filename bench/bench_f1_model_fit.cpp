@@ -11,7 +11,10 @@
 #include "extract/uncertainty.h"
 #include "rf/units.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "FIG 1 -- measured vs modelled S-parameters of the extracted pHEMT\n"
@@ -68,5 +71,7 @@ int main() {
               unc.residual_sigma, unc.worst_correlation,
               unc.parameters[unc.worst_pair_i].name.c_str(),
               unc.parameters[unc.worst_pair_j].name.c_str());
+  json.add("bench_f1_model_fit:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

@@ -15,6 +15,9 @@
 #include "optimize/nsga2.h"
 
 int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "FIG 2 -- NF vs transducer-gain Pareto front of the GNSS LNA\n"
@@ -45,6 +48,8 @@ int main(int argc, char** argv) {
   const std::vector<optimize::ParetoPoint> front =
       optimize::pareto_sweep(problem, rng, 8, opt);
   std::printf("pareto_sweep wall time: %.2f s\n", sweep_clock.seconds());
+  json.add("bench_f2_pareto_front:pareto_sweep", 1,
+           sweep_clock.seconds() * 1e9);
 
   std::printf("\n%12s %14s %12s\n", "NF_avg [dB]", "GT_min [dB]", "gamma");
   std::vector<std::vector<double>> pts;
@@ -106,6 +111,8 @@ int main(int argc, char** argv) {
               "(fronts bit-identical: %s)\n",
               t_serial, numeric::resolve_threads(threads), t_par,
               t_serial / t_par, identical ? "yes" : "NO");
+  json.add("bench_f2_pareto_front:nsga2_serial", 1, t_serial * 1e9);
+  json.add("bench_f2_pareto_front:nsga2_parallel", 1, t_par * 1e9);
   std::vector<std::vector<double>> evo_front;
   for (const optimize::Nsga2Individual& ind : evo.front) {
     evo_front.push_back(ind.f);
@@ -123,5 +130,7 @@ int main(int argc, char** argv) {
   std::printf("(the goal-anchor sweep needs one full optimization per "
               "point but lands each point exactly where the designer "
               "aims it)\n");
+  json.add("bench_f2_pareto_front:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

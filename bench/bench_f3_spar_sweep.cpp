@@ -14,7 +14,10 @@
 
 #include <fstream>
 
-int main() {
+int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "FIG 3 -- S-parameters of the optimized GNSS preamplifier, 1.0-1.8 GHz");
@@ -53,5 +56,7 @@ int main() {
     rf::write_touchstone(s2p, sweep);
     std::printf("\nTouchstone export written to fig3_preamplifier.s2p\n");
   }
+  json.add("bench_f3_spar_sweep:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

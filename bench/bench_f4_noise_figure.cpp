@@ -11,7 +11,10 @@
 #include "circuit/analysis.h"
 #include "rf/units.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "FIG 4 -- noise figure of the optimized preamplifier vs device Fmin");
@@ -38,5 +41,7 @@ int main() {
       "over the intrinsic Fmin is dominated by the shunt-feedback resistor\n"
       "(the price of broadband match + stability), plus matching loss,\n"
       "bias-network noise, and the residual Gamma_opt mismatch.\n");
+  json.add("bench_f4_noise_figure:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

@@ -12,7 +12,10 @@
 #include "nonlinear/power_series.h"
 #include "nonlinear/two_tone.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "FIG 5 -- two-tone third-order intermodulation check\n"
@@ -50,5 +53,7 @@ int main() {
   std::printf("power-series check : device IIP3 %+.1f dBm, "
               "P1dB(in) %+.1f dBm (gm3 = %.3e)\n",
               ps.iip3_dbm, ps.p_1db_in_dbm, ps.gm3);
+  json.add("bench_f5_im3:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

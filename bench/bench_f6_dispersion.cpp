@@ -15,7 +15,10 @@
 #include "passives/catalog.h"
 #include "rf/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "FIG 6 -- frequency dispersion of the passive elements (Q, ESR, eps_eff)");
@@ -61,5 +64,7 @@ int main() {
               tee.junction_capacitance() * 1e15,
               tee.arm_inductance_main() * 1e9,
               tee.arm_inductance_branch() * 1e9);
+  json.add("bench_f6_dispersion:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

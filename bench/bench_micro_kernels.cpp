@@ -1,9 +1,27 @@
 // Micro-benchmarks (google-benchmark) of the kernels every experiment
 // leans on: the analytic FET S-parameter evaluation, the MNA assembly +
-// LU solve of the full LNA netlist, the spot noise analysis, and one
-// optimizer objective evaluation.  These bound the cost model used to
+// LU solve of the full LNA netlist, the spot noise analysis, one
+// optimizer objective evaluation, and the full band-evaluation kernel in
+// its optimizer shape (one design parameter moves per point, evaluated
+// through the compiled netlist plan).  These bound the cost model used to
 // budget the optimization runs.
+//
+// Extra modes on top of the usual google-benchmark flags:
+//   --json <path>   also write {name, iterations, ns/op, bytes/op} records
+//                   in the bench_util JSON format (BENCH_kernels.json is a
+//                   committed snapshot of this output);
+//   --perf-smoke <baseline.json>
+//                   skip google-benchmark entirely: time the band-
+//                   evaluation kernel directly and exit non-zero when it
+//                   is more than 25% slower than the committed baseline.
+//                   Setting GNSSLNA_SKIP_PERF_SMOKE skips the check (for
+//                   sanitizer builds, loaded CI hosts, foreign machines).
+#define GNSSLNA_BENCH_COUNT_ALLOCS
+#include "bench_util.h"
+
 #include <benchmark/benchmark.h>
+
+#include <ctime>
 
 #include "amplifier/objectives.h"
 #include "circuit/analysis.h"
@@ -13,14 +31,39 @@ namespace {
 
 using namespace gnsslna;
 
+bench::JsonRecorder g_json;
+
+/// Wraps the hot loop: runs `fn` under the benchmark state, counts heap
+/// bytes across the whole run, and files one JSON record.
+template <typename Fn>
+void run_counted(benchmark::State& state, const char* name, Fn&& fn) {
+  const std::uint64_t bytes0 = bench::alloc_bytes();
+  const bench::Stopwatch sw;
+  for (auto _ : state) {
+    fn();
+  }
+  const double elapsed_ns = sw.seconds() * 1e9;
+  const std::uint64_t bytes = bench::alloc_bytes() - bytes0;
+  const double iters =
+      state.iterations() > 0 ? static_cast<double>(state.iterations()) : 1.0;
+  const double per_op = static_cast<double>(bytes) / iters;
+  state.counters["bytes_per_op"] = per_op;
+  if (g_json.enabled()) {
+    // google-benchmark calls each bench several times (calibration +
+    // measurement); add() replaces by name, keeping the last (longest) run.
+    g_json.add(name, static_cast<std::uint64_t>(state.iterations()),
+               elapsed_ns / iters, per_op);
+  }
+}
+
 void BM_FetSParams(benchmark::State& state) {
   const device::Phemt dev = device::Phemt::reference_device();
   const device::Bias bias{-0.3, 2.0};
   double f = 1.1e9;
-  for (auto _ : state) {
+  run_counted(state, "BM_FetSParams", [&] {
     benchmark::DoNotOptimize(dev.s_params(bias, f));
     f = f < 1.7e9 ? f + 1e6 : 1.1e9;
-  }
+  });
 }
 BENCHMARK(BM_FetSParams);
 
@@ -29,9 +72,9 @@ void BM_LnaNetlistSParams(benchmark::State& state) {
   amplifier::AmplifierConfig config;
   const amplifier::LnaDesign lna(dev, config, amplifier::DesignVector{});
   const circuit::Netlist nl = lna.build_netlist();
-  for (auto _ : state) {
+  run_counted(state, "BM_LnaNetlistSParams", [&] {
     benchmark::DoNotOptimize(circuit::s_params(nl, 1.575e9));
-  }
+  });
 }
 BENCHMARK(BM_LnaNetlistSParams);
 
@@ -40,9 +83,9 @@ void BM_LnaNoiseAnalysis(benchmark::State& state) {
   amplifier::AmplifierConfig config;
   const amplifier::LnaDesign lna(dev, config, amplifier::DesignVector{});
   const circuit::Netlist nl = lna.build_netlist();
-  for (auto _ : state) {
+  run_counted(state, "BM_LnaNoiseAnalysis", [&] {
     benchmark::DoNotOptimize(circuit::noise_analysis(nl, 0, 1, 1.575e9));
-  }
+  });
 }
 BENCHMARK(BM_LnaNoiseAnalysis);
 
@@ -52,25 +95,163 @@ void BM_DesignObjectiveEvaluation(benchmark::State& state) {
   const optimize::GoalProblem problem =
       amplifier::make_goal_problem(dev, config, amplifier::DesignGoals{});
   std::vector<double> x = amplifier::DesignVector{}.to_vector();
-  for (auto _ : state) {
+  run_counted(state, "BM_DesignObjectiveEvaluation", [&] {
     benchmark::DoNotOptimize(problem.objectives(x));
     x[2] += 1e-5;  // defeat the report cache
     if (x[2] > 0.039) x[2] = 0.001;
-  }
+  });
 }
 BENCHMARK(BM_DesignObjectiveEvaluation);
+
+/// Advances one microstrip length within its bounds: the optimizer-realistic
+/// "next design point" step both band-evaluation benches share.
+void step_design(amplifier::DesignVector& d) {
+  d.l_in_m += 1e-5;
+  if (d.l_in_m > 0.039) d.l_in_m = 0.001;
+}
 
 void BM_BandEvaluation(benchmark::State& state) {
   const device::Phemt dev = device::Phemt::reference_device();
   amplifier::AmplifierConfig config;
-  const amplifier::LnaDesign lna(dev, config, amplifier::DesignVector{});
-  const std::vector<double> band = amplifier::LnaDesign::default_band();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(lna.evaluate(band));
-  }
+  amplifier::BandEvaluator evaluator(dev, config);
+  amplifier::DesignVector d;
+  run_counted(state, "BM_BandEvaluation", [&] {
+    benchmark::DoNotOptimize(evaluator.evaluate(d));
+    step_design(d);
+  });
 }
 BENCHMARK(BM_BandEvaluation);
 
+void BM_BandEvaluationLegacy(benchmark::State& state) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  config.use_eval_plan = false;  // per-call assembly + double factorization
+  const std::vector<double> band = amplifier::LnaDesign::default_band();
+  amplifier::DesignVector d;
+  run_counted(state, "BM_BandEvaluationLegacy", [&] {
+    const amplifier::LnaDesign lna(dev, config, d);
+    benchmark::DoNotOptimize(lna.evaluate(band));
+    step_design(d);
+  });
+}
+BENCHMARK(BM_BandEvaluationLegacy);
+
+/// Thread CPU time [s]: immune to descheduling on loaded hosts (the gate
+/// below also normalizes away frequency scaling via a reference kernel).
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+/// Times the band-evaluation kernel directly (no google-benchmark): the
+/// same BandEvaluator workload as BM_BandEvaluation, min-of-3 batches.
+double time_band_evaluation_ns() {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  amplifier::BandEvaluator evaluator(dev, config);
+  amplifier::DesignVector d;
+  evaluator.evaluate(d);  // warm up: builds netlist + plan
+  double best = 1e300;
+  for (int batch = 0; batch < 3; ++batch) {
+    const int iters = 400;
+    const double t0 = thread_cpu_seconds();
+    for (int i = 0; i < iters; ++i) {
+      step_design(d);
+      (void)evaluator.evaluate(d);
+    }
+    best = std::min(best, (thread_cpu_seconds() - t0) * 1e9 / iters);
+  }
+  return best;
+}
+
+/// The host-speed reference: the analytic FET S-parameter kernel, which
+/// the compiled plan does not touch.  Its ratio to the band evaluation
+/// cancels uniform host slowdown (frequency scaling, shared CPU).
+double time_fet_reference_ns() {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const device::Bias bias{-0.3, 2.0};
+  double f = 1.1e9;
+  rf::SParams sink{};
+  double best = 1e300;
+  for (int batch = 0; batch < 3; ++batch) {
+    const int iters = 100000;
+    const double t0 = thread_cpu_seconds();
+    for (int i = 0; i < iters; ++i) {
+      sink = dev.s_params(bias, f);
+      f = f < 1.7e9 ? f + 1e6 : 1.1e9;
+    }
+    best = std::min(best, (thread_cpu_seconds() - t0) * 1e9 / iters);
+  }
+  // Defeat dead-code elimination of the timing loop.
+  if (sink.frequency_hz < 0.0) std::printf("impossible\n");
+  return best;
+}
+
+int perf_smoke(const std::string& baseline_path) {
+  if (std::getenv("GNSSLNA_SKIP_PERF_SMOKE") != nullptr) {
+    std::printf("[perf_smoke] skipped (GNSSLNA_SKIP_PERF_SMOKE set)\n");
+    return 0;
+  }
+  const auto entries = bench::load_bench_json(baseline_path);
+  const double baseline_ns =
+      bench::bench_json_ns(entries, "BM_BandEvaluation");
+  const double baseline_ref_ns =
+      bench::bench_json_ns(entries, "BM_FetSParams");
+  if (baseline_ns <= 0.0 || baseline_ref_ns <= 0.0) {
+    std::fprintf(stderr,
+                 "[perf_smoke] missing BM_BandEvaluation/BM_FetSParams "
+                 "entries in %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  const double now_ns = time_band_evaluation_ns();
+  const double ref_ns = time_fet_reference_ns();
+  const double limit_ns = 1.25 * baseline_ns;
+  // Normalized check: compare band/reference ratios so a uniformly slower
+  // (or faster) host cancels out; only a regression of the band kernel
+  // itself moves the ratio.
+  const double ratio = now_ns / ref_ns;
+  const double ratio_limit = 1.25 * baseline_ns / baseline_ref_ns;
+  std::printf("[perf_smoke] band evaluation: %.0f ns/op (baseline %.0f, "
+              "limit %.0f); vs FET reference kernel: %.0fx (limit %.0fx)\n",
+              now_ns, baseline_ns, limit_ns, ratio, ratio_limit);
+  if (now_ns > limit_ns && ratio > ratio_limit) {
+    std::fprintf(stderr,
+                 "[perf_smoke] FAIL: band-evaluation kernel regressed "
+                 ">25%% vs committed baseline (absolute AND "
+                 "host-normalized)\n");
+    return 1;
+  }
+  std::printf("[perf_smoke] OK\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out our own flags before google-benchmark sees the command line.
+  std::vector<char*> args;
+  std::string json_path, smoke_baseline;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--perf-smoke") == 0) {
+      smoke = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') smoke_baseline = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (smoke) {
+    return perf_smoke(smoke_baseline.empty() ? "BENCH_kernels.json"
+                                             : smoke_baseline);
+  }
+  g_json = bench::JsonRecorder(json_path);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  if (g_json.enabled()) g_json.write();
+  return 0;
+}

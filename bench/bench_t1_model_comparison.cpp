@@ -16,7 +16,10 @@
 #include "bench_util.h"
 #include "extract/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "TABLE I -- pHEMT model extraction: comparison among several models\n"
@@ -50,5 +53,7 @@ int main() {
   std::printf("\nbest-fitting model: %s (RMS |dS| = %.3e)\n",
               rows[best].result.model_name.c_str(),
               rows[best].result.error.rms_s);
+  json.add("bench_t1_model_comparison:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

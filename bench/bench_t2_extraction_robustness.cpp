@@ -33,7 +33,10 @@ gnsslna::device::Phemt random_specimen(gnsslna::numeric::Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "TABLE II -- extraction robustness: three-step vs single methods\n"
@@ -99,5 +102,7 @@ int main() {
       "tail error; DE alone is robust but imprecise; LM alone lives or\n"
       "dies by its start; the IRLS step strips the outlier bias that a\n"
       "plain L2 polish keeps.\n");
+  json.add("bench_t2_extraction_robustness:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

@@ -70,7 +70,10 @@ optimize::GoalProblem rastrigin_problem() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   bench::heading(
       "TABLE III -- standard vs improved goal attainment\n"
       "(median over seeds; gamma = attainment factor, lower is better)");
@@ -92,5 +95,7 @@ int main() {
   std::printf(
       "\nexpected shape: improved gamma <= standard gamma, with smaller\n"
       "spread across starts and near-zero constraint violation.\n");
+  json.add("bench_t3_goal_attainment:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

@@ -12,6 +12,9 @@
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
+  gnsslna::bench::JsonRecorder json(
+      gnsslna::bench::parse_json_path(argc, argv));
+  const gnsslna::bench::Stopwatch total_clock;
   using namespace gnsslna;
   bench::heading(
       "TABLE IV -- optimal operating point and passive elements\n"
@@ -67,5 +70,7 @@ int main(int argc, char** argv) {
               "GT_min p5 = %.2f dB\n",
               yield.passes, yield.samples, 100.0 * yield.pass_rate,
               yield.nf_avg_p95_db, yield.gt_min_p5_db);
+  json.add("bench_t4_final_design:total", 1, total_clock.seconds() * 1e9);
+  json.write();
   return 0;
 }

@@ -1,11 +1,23 @@
-// Shared console-table helpers for the experiment benches.
+// Shared console-table helpers for the experiment benches, plus a tiny
+// machine-readable results channel: every bench accepts `--json <path>`
+// and appends its headline numbers (name, iterations, ns/op and — where
+// cheap to count — heap bytes per op) to a flat JSON file.  The committed
+// BENCH_kernels.json baseline and the perf_smoke regression gate both
+// speak this format.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
+
+#if defined(GNSSLNA_BENCH_COUNT_ALLOCS)
+#include <new>
+#endif
 
 namespace gnsslna::bench {
 
@@ -46,4 +58,149 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Parses `--json <path>` from the command line; empty string when absent.
+inline std::string parse_json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// One bench measurement destined for the JSON results file.
+struct BenchRecord {
+  std::string name;
+  std::uint64_t iterations = 0;
+  double ns_per_op = 0.0;
+  double bytes_per_op = -1.0;  ///< heap bytes per op; -1 = not measured
+};
+
+/// Collects BenchRecords and writes them as
+///   {"benchmarks": [{"name": ..., "iterations": ..., "ns_per_op": ...,
+///                    "bytes_per_op": ...}, ...]}
+/// No-op (and no file) when constructed with an empty path.
+class JsonRecorder {
+ public:
+  explicit JsonRecorder(std::string path = {}) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Adds (or, for a name already recorded, replaces) one measurement.
+  void add(const std::string& name, std::uint64_t iterations, double ns_per_op,
+           double bytes_per_op = -1.0) {
+    for (BenchRecord& r : records_) {
+      if (r.name == name) {
+        r = {name, iterations, ns_per_op, bytes_per_op};
+        return;
+      }
+    }
+    records_.push_back({name, iterations, ns_per_op, bytes_per_op});
+  }
+
+  /// Writes the file; returns false (with a note on stderr) on I/O error.
+  bool write() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"iterations\": %llu, "
+                   "\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f}%s\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.iterations), r.ns_per_op,
+                   r.bytes_per_op, i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
+
+/// Forgiving reader for the JsonRecorder format (and hand-edited baselines
+/// in the same shape): scans for `"name": "..."` / `"ns_per_op": <num>`
+/// pairs in order, ignoring everything else.  Returns name -> ns/op.
+inline std::vector<std::pair<std::string, double>> load_bench_json(
+    const std::string& path) {
+  std::vector<std::pair<std::string, double>> out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+
+  std::string pending_name;
+  std::size_t pos = 0;
+  const auto find_key = [&](const char* key, std::size_t from) {
+    return text.find(key, from);
+  };
+  while (true) {
+    const std::size_t n = find_key("\"name\"", pos);
+    if (n == std::string::npos) break;
+    const std::size_t q1 = text.find('"', text.find(':', n) + 1);
+    if (q1 == std::string::npos) break;
+    const std::size_t q2 = text.find('"', q1 + 1);
+    if (q2 == std::string::npos) break;
+    pending_name = text.substr(q1 + 1, q2 - q1 - 1);
+    const std::size_t v = find_key("\"ns_per_op\"", q2);
+    if (v == std::string::npos) break;
+    const std::size_t colon = text.find(':', v);
+    if (colon == std::string::npos) break;
+    out.emplace_back(pending_name,
+                     std::strtod(text.c_str() + colon + 1, nullptr));
+    pos = colon + 1;
+  }
+  return out;
+}
+
+/// Looks up one name in a load_bench_json() result; NaN-free: returns
+/// `fallback` when missing.
+inline double bench_json_ns(
+    const std::vector<std::pair<std::string, double>>& entries,
+    const std::string& name, double fallback = -1.0) {
+  for (const auto& [n, ns] : entries) {
+    if (n == name) return ns;
+  }
+  return fallback;
+}
+
+#if defined(GNSSLNA_BENCH_COUNT_ALLOCS)
+/// Heap bytes allocated on this thread since program start.  Only
+/// meaningful in translation units compiled with
+/// GNSSLNA_BENCH_COUNT_ALLOCS, which must appear in exactly ONE
+/// executable's main TU (the operator new replacement below is a program-
+/// wide definition).
+inline thread_local std::uint64_t g_alloc_bytes = 0;
+
+inline std::uint64_t alloc_bytes() { return g_alloc_bytes; }
+#endif
+
 }  // namespace gnsslna::bench
+
+#if defined(GNSSLNA_BENCH_COUNT_ALLOCS)
+// Counting replacements for the usual allocation entry points.  One add
+// per allocation keeps the timing impact far below measurement noise.
+void* operator new(std::size_t n) {
+  gnsslna::bench::g_alloc_bytes += n;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  gnsslna::bench::g_alloc_bytes += n;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif

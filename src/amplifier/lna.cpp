@@ -33,6 +33,28 @@ circuit::YBlockFn line_y(microstrip::Line line) {
   };
 }
 
+/// The linearized-FET element and noise closures.  The bias-dependent
+/// small-signal extraction (finite-difference Angelov derivatives) is
+/// hoisted out of the per-frequency closures: it is a pure function of the
+/// bias, so capturing the result once per design point returns exactly the
+/// values Phemt::s_params / Phemt::noise would.
+struct FetClosures {
+  circuit::YBlockFn y;
+  circuit::NoiseParamsFn np;
+};
+
+FetClosures fet_closures(const device::Phemt& dev, const device::Bias& bias) {
+  const device::IntrinsicParams ip = dev.small_signal(bias);
+  const device::ExtrinsicParams ex = dev.extrinsics();
+  const device::NoiseTemperatures nt = dev.temperatures();
+  return {[ip, ex](double f) {
+            return rf::y_from_s(device::fet_s_params(ip, ex, f));
+          },
+          [ip, ex, nt](double f) {
+            return device::pospieszalski_noise(ip, ex, nt, f);
+          }};
+}
+
 }  // namespace
 
 LnaDesign::LnaDesign(const device::Phemt& device, AmplifierConfig config,
@@ -43,7 +65,12 @@ LnaDesign::LnaDesign(const device::Phemt& device, AmplifierConfig config,
 }
 
 circuit::Netlist LnaDesign::build_netlist() const {
+  return build_netlist(nullptr);
+}
+
+circuit::Netlist LnaDesign::build_netlist(DesignBindings* bindings) const {
   using circuit::NodeId;
+  DesignBindings b;
   circuit::Netlist nl;
 
   const NodeId n_in = nl.add_node("in");
@@ -59,12 +86,12 @@ circuit::Netlist LnaDesign::build_netlist() const {
 
   // --- Input DC block.
   if (config_.dispersive_passives) {
-    nl.add_lossy_impedance(
+    b.cin = nl.add_lossy_impedance(
         n_in, n1, z_of(passives::make_capacitor(design_.c_in_f,
                                                 config_.package)),
         config_.t_ambient_k, "Cin");
   } else {
-    nl.add_capacitor(n_in, n1, design_.c_in_f, "Cin");
+    b.cin.element = nl.add_capacitor(n_in, n1, design_.c_in_f, "Cin");
   }
 
   // --- Input shunt inductor (single-stub element + gate DC return) at the
@@ -72,7 +99,7 @@ circuit::Netlist LnaDesign::build_netlist() const {
   // stub must sit a line-length away from the gate — a shunt element AT
   // the load can never complete a single-stub match.
   if (config_.dispersive_passives) {
-    nl.add_lossy_impedance(
+    b.lshunt = nl.add_lossy_impedance(
         n1, n_g2, z_of(passives::make_inductor(design_.l_shunt_h,
                                                config_.package)),
         config_.t_ambient_k, "Lshunt");
@@ -81,64 +108,56 @@ circuit::Netlist LnaDesign::build_netlist() const {
         z_of(passives::make_capacitor(config_.c_gate_dec_f, config_.package)),
         config_.t_ambient_k, "Cgdec");
   } else {
-    nl.add_inductor(n1, n_g2, design_.l_shunt_h, "Lshunt");
+    b.lshunt.element = nl.add_inductor(n1, n_g2, design_.l_shunt_h, "Lshunt");
     nl.add_capacitor(n_g2, circuit::kGround, config_.c_gate_dec_f, "Cgdec");
   }
   nl.add_resistor(n_g2, circuit::kGround, config_.r_gate_bias,
                   config_.t_ambient_k, "Rgbias");
 
   // --- Input double-stub match: line 1, shunt C_mid, line 2 to the gate.
-  circuit::add_passive_twoport(
+  b.tlin1 = circuit::add_passive_twoport(
       nl, n1, n_mid, circuit::kGround,
       line_y(microstrip::Line(config_.substrate, config_.w50_m,
                               design_.l_in_m)),
       config_.t_ambient_k, "TLin1");
   if (config_.dispersive_passives) {
-    nl.add_lossy_impedance(
+    b.cmid = nl.add_lossy_impedance(
         n_mid, circuit::kGround,
         z_of(passives::make_capacitor(design_.c_mid_f, config_.package)),
         config_.t_ambient_k, "Cmid");
   } else {
-    nl.add_capacitor(n_mid, circuit::kGround, design_.c_mid_f, "Cmid");
+    b.cmid.element =
+        nl.add_capacitor(n_mid, circuit::kGround, design_.c_mid_f, "Cmid");
   }
-  circuit::add_passive_twoport(
+  b.tlin2 = circuit::add_passive_twoport(
       nl, n_mid, n2, circuit::kGround,
       line_y(microstrip::Line(config_.substrate, config_.w50_m,
                               design_.l_in2_m)),
       config_.t_ambient_k, "TLin2");
 
-  // --- The pHEMT with source degeneration.  The Pospieszalski noise
-  // temperatures scale with the ambient (first-order thermal model).
-  const device::Bias bias{design_.vgs, design_.vds};
-  device::Phemt dev = device_;  // value copy captured by the closures
-  if (config_.t_ambient_k != 290.0) {
-    const double scale = config_.t_ambient_k / 290.0;
-    device::NoiseTemperatures t = dev.temperatures();
-    t.tg_k *= scale;
-    t.td_k *= scale;
-    dev = device::Phemt(dev.iv_model().clone(), dev.caps(), dev.extrinsics(),
-                        t);
-  }
-  circuit::add_noisy_three_terminal(
-      nl, n2, n3, n_s,
-      [dev, bias](double f) {
-        return rf::y_from_s(dev.s_params(bias, f));
-      },
-      [dev, bias](double f) { return dev.noise(bias, f); }, "Q1");
+  // --- The pHEMT with source degeneration.  The bias-dependent
+  // small-signal extraction is hoisted into the closures (see
+  // fet_closures); the Pospieszalski noise temperatures scale with the
+  // ambient (first-order thermal model).
+  FetClosures fet = fet_closures(adjusted_device(), device::Bias{design_.vgs,
+                                                                 design_.vds});
+  b.q1 = circuit::add_noisy_three_terminal(nl, n2, n3, n_s, std::move(fet.y),
+                                           std::move(fet.np), "Q1");
   if (config_.dispersive_passives) {
-    nl.add_lossy_impedance(
+    b.lsdeg = nl.add_lossy_impedance(
         n_s, circuit::kGround,
         z_of(passives::make_inductor(design_.l_sdeg_h, config_.package)),
         config_.t_ambient_k, "Lsdeg");
   } else {
-    nl.add_inductor(n_s, circuit::kGround, design_.l_sdeg_h, "Lsdeg");
+    b.lsdeg.element =
+        nl.add_inductor(n_s, circuit::kGround, design_.l_sdeg_h, "Lsdeg");
   }
 
   // --- Resistive shunt feedback drain -> gate (with its DC block).
   {
     const NodeId n_fb = nl.add_node("fb");
-    nl.add_resistor(n3, n_fb, design_.r_fb_ohm, config_.t_ambient_k,
-                    "Rfb");
+    b.rfb = nl.add_resistor(n3, n_fb, design_.r_fb_ohm, config_.t_ambient_k,
+                            "Rfb");
     if (config_.dispersive_passives) {
       nl.add_lossy_impedance(
           n_fb, n2,
@@ -184,24 +203,25 @@ circuit::Netlist LnaDesign::build_netlist() const {
   }
   // Vdd is RF ground: the drain resistor appears from the decoupled node
   // to ground and contributes its full thermal noise.
-  nl.add_resistor(n_b2, circuit::kGround, bias_.r_drain,
-                  config_.t_ambient_k, "Rdrain");
+  b.rdrain = nl.add_resistor(n_b2, circuit::kGround, bias_.r_drain,
+                             config_.t_ambient_k, "Rdrain");
 
   // --- Output match: line 1, shunt C, line 2, DC block.
-  circuit::add_passive_twoport(
+  b.tlout1 = circuit::add_passive_twoport(
       nl, n4, n5, circuit::kGround,
       line_y(microstrip::Line(config_.substrate, config_.w50_m,
                               design_.l_out_m)),
       config_.t_ambient_k, "TLout1");
   if (config_.dispersive_passives) {
-    nl.add_lossy_impedance(
+    b.coutsh = nl.add_lossy_impedance(
         n5, circuit::kGround,
         z_of(passives::make_capacitor(design_.c_out_sh_f, config_.package)),
         config_.t_ambient_k, "Coutsh");
   } else {
-    nl.add_capacitor(n5, circuit::kGround, design_.c_out_sh_f, "Coutsh");
+    b.coutsh.element =
+        nl.add_capacitor(n5, circuit::kGround, design_.c_out_sh_f, "Coutsh");
   }
-  circuit::add_passive_twoport(
+  b.tlout2 = circuit::add_passive_twoport(
       nl, n5, n6, circuit::kGround,
       line_y(microstrip::Line(config_.substrate, config_.w50_m,
                               design_.l_out2_m)),
@@ -217,7 +237,125 @@ circuit::Netlist LnaDesign::build_netlist() const {
 
   nl.add_port(n_in, rf::kZ0, "RFin");
   nl.add_port(n_out, rf::kZ0, "RFout");
+  if (bindings) *bindings = b;
   return nl;
+}
+
+device::Phemt LnaDesign::adjusted_device() const {
+  device::Phemt dev = device_;
+  if (config_.t_ambient_k != 290.0) {
+    const double scale = config_.t_ambient_k / 290.0;
+    device::NoiseTemperatures t = dev.temperatures();
+    t.tg_k *= scale;
+    t.td_k *= scale;
+    dev = device::Phemt(dev.iv_model().clone(), dev.caps(), dev.extrinsics(),
+                        t);
+  }
+  return dev;
+}
+
+void LnaDesign::rebind_netlist(circuit::Netlist& nl, const DesignBindings& b,
+                               const DesignVector* previous) const {
+  const double t = config_.t_ambient_k;
+  // An element whose governing parameter did not move since `previous`
+  // already holds exactly the closure this design would install (the
+  // builders are pure functions of the parameter), so skipping it keeps
+  // the netlist bit-identical while leaving its revision — and therefore
+  // its tabulated values in any compiled plan — untouched.
+  const auto changed = [&](double DesignVector::* m) {
+    return previous == nullptr || previous->*m != design_.*m;
+  };
+  if (config_.dispersive_passives) {
+    if (changed(&DesignVector::c_in_f)) {
+      nl.set_lossy_impedance(
+          b.cin,
+          z_of(passives::make_capacitor(design_.c_in_f, config_.package)), t);
+    }
+    if (changed(&DesignVector::l_shunt_h)) {
+      nl.set_lossy_impedance(
+          b.lshunt,
+          z_of(passives::make_inductor(design_.l_shunt_h, config_.package)), t);
+    }
+    if (changed(&DesignVector::c_mid_f)) {
+      nl.set_lossy_impedance(
+          b.cmid,
+          z_of(passives::make_capacitor(design_.c_mid_f, config_.package)), t);
+    }
+    if (changed(&DesignVector::l_sdeg_h)) {
+      nl.set_lossy_impedance(
+          b.lsdeg,
+          z_of(passives::make_inductor(design_.l_sdeg_h, config_.package)), t);
+    }
+    if (changed(&DesignVector::c_out_sh_f)) {
+      nl.set_lossy_impedance(
+          b.coutsh,
+          z_of(passives::make_capacitor(design_.c_out_sh_f, config_.package)),
+          t);
+    }
+  } else {
+    if (changed(&DesignVector::c_in_f)) {
+      nl.set_capacitor(b.cin.element, design_.c_in_f);
+    }
+    if (changed(&DesignVector::l_shunt_h)) {
+      nl.set_inductor(b.lshunt.element, design_.l_shunt_h);
+    }
+    if (changed(&DesignVector::c_mid_f)) {
+      nl.set_capacitor(b.cmid.element, design_.c_mid_f);
+    }
+    if (changed(&DesignVector::l_sdeg_h)) {
+      nl.set_inductor(b.lsdeg.element, design_.l_sdeg_h);
+    }
+    if (changed(&DesignVector::c_out_sh_f)) {
+      nl.set_capacitor(b.coutsh.element, design_.c_out_sh_f);
+    }
+  }
+  if (changed(&DesignVector::r_fb_ohm)) {
+    nl.set_resistor(b.rfb, design_.r_fb_ohm, t);
+  }
+
+  // The bias network (r_drain, id) and the FET small-signal/noise closures
+  // are pure functions of the operating point.
+  const bool bias_changed =
+      changed(&DesignVector::vgs) || changed(&DesignVector::vds);
+  if (bias_changed) {
+    nl.set_resistor(b.rdrain, bias_.r_drain, t);
+  }
+
+  if (changed(&DesignVector::l_in_m)) {
+    circuit::rebind_passive_twoport(
+        nl, b.tlin1,
+        line_y(microstrip::Line(config_.substrate, config_.w50_m,
+                                design_.l_in_m)),
+        t);
+  }
+  if (changed(&DesignVector::l_in2_m)) {
+    circuit::rebind_passive_twoport(
+        nl, b.tlin2,
+        line_y(microstrip::Line(config_.substrate, config_.w50_m,
+                                design_.l_in2_m)),
+        t);
+  }
+  if (changed(&DesignVector::l_out_m)) {
+    circuit::rebind_passive_twoport(
+        nl, b.tlout1,
+        line_y(microstrip::Line(config_.substrate, config_.w50_m,
+                                design_.l_out_m)),
+        t);
+  }
+  if (changed(&DesignVector::l_out2_m)) {
+    circuit::rebind_passive_twoport(
+        nl, b.tlout2,
+        line_y(microstrip::Line(config_.substrate, config_.w50_m,
+                                design_.l_out2_m)),
+        t);
+  }
+
+  if (bias_changed) {
+    FetClosures fet = fet_closures(adjusted_device(),
+                                   device::Bias{design_.vgs, design_.vds});
+    circuit::rebind_noisy_three_terminal(nl, b.q1, std::move(fet.y),
+                                         std::move(fet.np));
+  }
 }
 
 rf::SParams LnaDesign::s_params(double frequency_hz) const {
@@ -238,29 +376,22 @@ std::vector<double> LnaDesign::default_band() {
   return rf::linear_grid(rf::kGnssBandLowHz, rf::kGnssBandHighHz, 7);
 }
 
-BandReport LnaDesign::evaluate(const std::vector<double>& band_hz,
-                               std::size_t threads) const {
-  const circuit::Netlist nl = build_netlist();
+std::vector<double> LnaDesign::stability_grid() {
+  return rf::linear_grid(0.5e9, 3.5e9, 9);
+}
+
+namespace {
+
+/// Per-point band figures; reduced in grid order so the report is
+/// bit-identical at any thread count.
+struct PointFigures {
+  double nf = 0.0, gt = 0.0, s11 = 0.0, s22 = 0.0;
+};
+
+BandReport reduce_report(const std::vector<PointFigures>& points,
+                         const std::vector<double>& mus, double id_a) {
   BandReport rep;
-  rep.id_a = bias_.id_a;
-
-  struct PointFigures {
-    double nf = 0.0, gt = 0.0, s11 = 0.0, s22 = 0.0;
-  };
-  const std::vector<PointFigures> points = rf::sweep_map(
-      band_hz,
-      [&](double f) {
-        const rf::SParams s = circuit::s_params(nl, f);
-        PointFigures p;
-        p.gt = rf::db20(s.s21);
-        p.s11 = rf::db20(s.s11);
-        p.s22 = rf::db20(s.s22);
-        p.nf = circuit::noise_analysis(nl, 0, 1, f).noise_figure_db;
-        return p;
-      },
-      threads);
-
-  // Grid-ordered reduction keeps the sums bit-identical per thread count.
+  rep.id_a = id_a;
   double nf_sum = 0.0, gt_sum = 0.0;
   rep.nf_max_db = -1e9;
   rep.gt_min_db = 1e9;
@@ -274,21 +405,111 @@ BandReport LnaDesign::evaluate(const std::vector<double>& band_hz,
     rep.s11_worst_db = std::max(rep.s11_worst_db, p.s11);
     rep.s22_worst_db = std::max(rep.s22_worst_db, p.s22);
   }
-  rep.nf_avg_db = nf_sum / static_cast<double>(band_hz.size());
-  rep.gt_avg_db = gt_sum / static_cast<double>(band_hz.size());
+  rep.nf_avg_db = nf_sum / static_cast<double>(points.size());
+  rep.gt_avg_db = gt_sum / static_cast<double>(points.size());
+  rep.mu_min = 1e9;
+  for (const double mu : mus) rep.mu_min = std::min(rep.mu_min, mu);
+  return rep;
+}
 
-  // Stability on an extended grid.
-  const std::vector<double> mu_grid = rf::linear_grid(0.5e9, 3.5e9, 9);
+}  // namespace
+
+BandReport LnaDesign::evaluate(const std::vector<double>& band_hz,
+                               std::size_t threads) const {
+  if (config_.use_eval_plan) {
+    // Transient compiled plan over (band + stability grid): one LU per
+    // frequency shared by the S and noise solves, every element evaluated
+    // once per frequency.
+    const circuit::Netlist nl = build_netlist();
+    std::vector<double> grid = band_hz;
+    const std::vector<double> mu_grid = stability_grid();
+    grid.insert(grid.end(), mu_grid.begin(), mu_grid.end());
+    circuit::CompiledNetlist plan(nl, std::move(grid));
+    return evaluate_from_plan(plan, band_hz.size(), threads);
+  }
+
+  // Legacy per-call path (use_eval_plan == false): assembles and factors
+  // per analysis.  Kept as the equivalence reference for tests/benches.
+  const circuit::Netlist nl = build_netlist();
+  const std::vector<PointFigures> points = rf::sweep_map(
+      band_hz,
+      [&](double f) {
+        const rf::SParams s = circuit::s_params(nl, f);
+        PointFigures p;
+        p.gt = rf::db20(s.s21);
+        p.s11 = rf::db20(s.s11);
+        p.s22 = rf::db20(s.s22);
+        p.nf = circuit::noise_analysis(nl, 0, 1, f).noise_figure_db;
+        return p;
+      },
+      threads);
+
   const std::vector<double> mus = rf::sweep_map(
-      mu_grid,
+      stability_grid(),
       [&](double f) {
         const rf::SParams s = circuit::s_params(nl, f);
         return std::min(rf::mu_source(s), rf::mu_load(s));
       },
       threads);
-  rep.mu_min = 1e9;
-  for (const double mu : mus) rep.mu_min = std::min(rep.mu_min, mu);
-  return rep;
+  return reduce_report(points, mus, bias_.id_a);
+}
+
+BandReport LnaDesign::evaluate_from_plan(circuit::CompiledNetlist& plan,
+                                         std::size_t band_points,
+                                         std::size_t threads) const {
+  const std::vector<PointFigures> points = numeric::parallel_map(
+      threads, band_points, [&](std::size_t i) {
+        const circuit::CompiledNetlist::SAndNoise sn =
+            plan.s_and_noise_at(i, 0, 1);
+        PointFigures p;
+        p.gt = rf::db20(sn.s.s21);
+        p.s11 = rf::db20(sn.s.s11);
+        p.s22 = rf::db20(sn.s.s22);
+        p.nf = sn.noise.noise_figure_db;
+        return p;
+      });
+
+  const std::size_t mu_points = plan.size() - band_points;
+  const std::vector<double> mus = numeric::parallel_map(
+      threads, mu_points, [&](std::size_t i) {
+        const rf::SParams s = plan.s_params_at(band_points + i);
+        return std::min(rf::mu_source(s), rf::mu_load(s));
+      });
+  return reduce_report(points, mus, bias_.id_a);
+}
+
+BandEvaluator::BandEvaluator(const device::Phemt& device,
+                             AmplifierConfig config,
+                             std::vector<double> band_hz)
+    : device_(device),
+      config_(std::move(config)),
+      band_hz_(band_hz.empty() ? LnaDesign::default_band()
+                               : std::move(band_hz)) {
+  config_.resolve();
+}
+
+BandReport BandEvaluator::evaluate(const DesignVector& design) {
+  const LnaDesign lna(device_, config_, design);  // config already resolved
+  if (!built_) {
+    DesignBindings bindings;
+    circuit::Netlist nl = lna.build_netlist(&bindings);
+    std::vector<double> grid = band_hz_;
+    const std::vector<double> mu_grid = LnaDesign::stability_grid();
+    grid.insert(grid.end(), mu_grid.begin(), mu_grid.end());
+    circuit::CompiledNetlist plan(nl, std::move(grid));
+    // Commit to the members only once everything built, so a throwing
+    // design leaves the evaluator reusable.
+    netlist_ = std::move(nl);
+    bindings_ = bindings;
+    plan_ = std::move(plan);
+    last_ = design;
+    built_ = true;
+  } else {
+    lna.rebind_netlist(netlist_, bindings_, &last_);
+    plan_.sync(netlist_);
+    last_ = design;
+  }
+  return lna.evaluate_from_plan(plan_, band_hz_.size(), /*threads=*/1);
 }
 
 }  // namespace gnsslna::amplifier

@@ -10,6 +10,7 @@
 
 #include "amplifier/topology.h"
 #include "circuit/analysis.h"
+#include "circuit/compiled.h"
 
 namespace gnsslna::amplifier {
 
@@ -26,6 +27,16 @@ struct BandReport {
   double id_a = 0.0;         ///< DC drain current
 };
 
+/// Handles to the elements of an LNA netlist that depend on the design
+/// vector (or its derived bias network).  Everything else — decoupling,
+/// bias line, tee parasitics, blocking caps — is fixed by the config, so a
+/// compiled plan never needs to re-tabulate it between design points.
+struct DesignBindings {
+  circuit::ElementRef cin, lshunt, cmid, lsdeg, rfb, coutsh, rdrain;
+  circuit::ElementRef tlin1, tlin2, tlout1, tlout2;
+  circuit::ElementRef q1;
+};
+
 class LnaDesign {
  public:
   /// The config is resolved (w50 synthesized) on construction.
@@ -34,6 +45,21 @@ class LnaDesign {
 
   /// Builds a fresh netlist (cheap; closures only).
   circuit::Netlist build_netlist() const;
+
+  /// Like build_netlist(), also returning handles to the design-dependent
+  /// elements so they can later be rebound in place.
+  circuit::Netlist build_netlist(DesignBindings* bindings) const;
+
+  /// Rebinds the design-dependent elements of a netlist previously built
+  /// by build_netlist(&bindings) — possibly for a different design vector —
+  /// to THIS design's values.  The rebound netlist is bit-identical to
+  /// build_netlist() on this design; topology is untouched.  When
+  /// `previous` is the design the netlist is currently bound to (same
+  /// device and config), elements whose parameters are unchanged are
+  /// skipped entirely, so a subsequent CompiledNetlist::sync() re-tabulates
+  /// only what the design step actually moved.
+  void rebind_netlist(circuit::Netlist& netlist, const DesignBindings& bindings,
+                      const DesignVector* previous = nullptr) const;
 
   /// Two-port S-parameters at a frequency.
   rf::SParams s_params(double frequency_hz) const;
@@ -53,8 +79,19 @@ class LnaDesign {
   BandReport evaluate(const std::vector<double>& band_hz,
                       std::size_t threads = 1) const;
 
+  /// Reduces a band report from an already-synced compiled plan whose grid
+  /// is `band_points` in-band frequencies followed by stability_grid().
+  /// Shared by evaluate() and BandEvaluator; bit-identical to the legacy
+  /// per-call path.
+  BandReport evaluate_from_plan(circuit::CompiledNetlist& plan,
+                                std::size_t band_points,
+                                std::size_t threads = 1) const;
+
   /// Default 7-point evaluation grid across 1.1-1.7 GHz.
   static std::vector<double> default_band();
+
+  /// Extended 0.5-3.5 GHz grid the mu stability check runs on.
+  static std::vector<double> stability_grid();
 
   const DesignVector& design() const { return design_; }
   const AmplifierConfig& config() const { return config_; }
@@ -62,10 +99,47 @@ class LnaDesign {
   const BiasNetwork& bias() const { return bias_; }
 
  private:
+  device::Phemt adjusted_device() const;
+
   device::Phemt device_;
   AmplifierConfig config_;
   DesignVector design_;
   BiasNetwork bias_;
+};
+
+/// Reusable band evaluator for optimizer loops: keeps one netlist and one
+/// compiled evaluation plan alive across design points, rebinding only the
+/// elements the design vector changes — fixed elements (and their
+/// dispersion curves) are tabulated once for the whole run, and every
+/// frequency shares a single LU factorization between the S-parameter and
+/// noise solves.  Reports are bit-identical to LnaDesign::evaluate().
+/// NOT thread-safe: hold one instance per thread (see
+/// objectives.cpp::ReportCache).
+class BandEvaluator {
+ public:
+  /// Band defaults to LnaDesign::default_band() when empty.
+  BandEvaluator(const device::Phemt& device, AmplifierConfig config,
+                std::vector<double> band_hz = {});
+
+  /// Evaluates one design point.  Throws like LnaDesign for infeasible
+  /// designs (bias unreachable etc.); the evaluator stays usable.
+  BandReport evaluate(const DesignVector& design);
+
+  /// Element/noise tables refreshed by the last evaluate() (diagnostics
+  /// and cache-invalidation tests).
+  std::size_t last_retabulated() const {
+    return plan_.last_sync_retabulated();
+  }
+
+ private:
+  device::Phemt device_;
+  AmplifierConfig config_;
+  std::vector<double> band_hz_;
+  bool built_ = false;
+  DesignVector last_;  ///< design the netlist is currently bound to
+  circuit::Netlist netlist_;
+  DesignBindings bindings_;
+  circuit::CompiledNetlist plan_;
 };
 
 }  // namespace gnsslna::amplifier

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 namespace gnsslna::amplifier {
@@ -51,9 +52,20 @@ class ReportCache {
       slot.valid = true;
       slot.x = x;
       try {
-        const LnaDesign lna(device_, config_,
-                            DesignVector::from_vector(x));
-        slot.report = lna.evaluate(band_);
+        if (config_.use_eval_plan) {
+          // Persistent per-thread evaluator: the netlist skeleton, the
+          // fixed-element tables, and all solver workspaces live across
+          // design points; only the design-dependent elements re-stamp.
+          if (!slot.evaluator) {
+            slot.evaluator =
+                std::make_unique<BandEvaluator>(device_, config_, band_);
+          }
+          slot.report = slot.evaluator->evaluate(DesignVector::from_vector(x));
+        } else {
+          const LnaDesign lna(device_, config_,
+                              DesignVector::from_vector(x));
+          slot.report = lna.evaluate(band_);
+        }
       } catch (const std::exception&) {
         slot.report = infeasible_report();
       }
@@ -66,6 +78,7 @@ class ReportCache {
     bool valid = false;
     std::vector<double> x;
     BandReport report;
+    std::unique_ptr<BandEvaluator> evaluator;
   };
 
   static std::uint64_t next_id() {

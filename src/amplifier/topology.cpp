@@ -1,5 +1,6 @@
 #include "amplifier/topology.h"
 
+#include <cstdlib>
 #include <numbers>
 #include <stdexcept>
 
@@ -53,6 +54,12 @@ const std::vector<std::string>& DesignVector::names() {
 
 void AmplifierConfig::resolve() {
   substrate.validate();
+  // Escape hatch for plan-on/off A/B runs of the full benches: results
+  // are bit-identical either way (see tests/test_compiled.cpp), only the
+  // evaluation cost changes.
+  if (std::getenv("GNSSLNA_NO_EVAL_PLAN") != nullptr) {
+    use_eval_plan = false;
+  }
   const double f_centre =
       0.5 * (rf::kGnssBandLowHz + rf::kGnssBandHighHz);
   if (w50_m <= 0.0) {

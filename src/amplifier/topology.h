@@ -92,6 +92,13 @@ struct AmplifierConfig {
   double t_ambient_k = 290.0;       ///< physical temperature of the board;
                                     ///< passive thermal noise and the device
                                     ///< noise temperatures scale with it
+  bool use_eval_plan = true;        ///< evaluate through the compiled
+                                    ///< netlist plan (bit-identical to the
+                                    ///< legacy per-call path; false only
+                                    ///< for equivalence tests/benches).
+                                    ///< resolve() forces false when the
+                                    ///< GNSSLNA_NO_EVAL_PLAN env var is set
+                                    ///< (plan on/off A/B of full benches)
 
   /// Resolves w50_m / l_bias_m if unset (synthesized at band centre).
   void resolve();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "circuit/compiled.h"
 #include "rf/units.h"
 
 namespace gnsslna::circuit {
@@ -36,14 +37,24 @@ numeric::ComplexMatrix s_matrix(const Netlist& netlist, double frequency_hz) {
   const numeric::LuDecomposition<Complex> lu(
       netlist.assemble_terminated(frequency_hz));
 
-  numeric::ComplexMatrix s(ports.size(), ports.size());
+  // Hoist sqrt(z0) out of the loops and solve every port excitation in one
+  // multi-RHS call (one buffer pair for all columns, identical per-column
+  // substitution arithmetic).
+  std::vector<double> sqrt_z0(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    sqrt_z0[i] = std::sqrt(ports[i].z0);
+  }
+  numeric::ComplexMatrix rhs(n, ports.size());
   for (std::size_t k = 0; k < ports.size(); ++k) {
     // Norton excitation for a_k = 1: current 2/sqrt(z0_k) into the node.
-    std::vector<Complex> rhs(n, Complex{0.0, 0.0});
-    rhs[ports[k].node - 1] = Complex{2.0 / std::sqrt(ports[k].z0), 0.0};
-    const std::vector<Complex> v = lu.solve(rhs);
+    rhs(ports[k].node - 1, k) = Complex{2.0 / sqrt_z0[k], 0.0};
+  }
+  const numeric::ComplexMatrix v = lu.solve(rhs);
+
+  numeric::ComplexMatrix s(ports.size(), ports.size());
+  for (std::size_t k = 0; k < ports.size(); ++k) {
     for (std::size_t i = 0; i < ports.size(); ++i) {
-      s(i, k) = v[ports[i].node - 1] / std::sqrt(ports[i].z0) -
+      s(i, k) = v(ports[i].node - 1, k) / sqrt_z0[i] -
                 (i == k ? Complex{1.0, 0.0} : Complex{0.0, 0.0});
     }
   }
@@ -71,9 +82,12 @@ rf::SParams s_params(const Netlist& netlist, double frequency_hz) {
 rf::SweepData s_sweep(const Netlist& netlist,
                       const std::vector<double>& frequencies_hz,
                       std::size_t threads) {
-  return rf::sweep_map(
-      frequencies_hz, [&](double f) { return s_params(netlist, f); },
-      threads);
+  // One compiled plan for the whole sweep: every element is evaluated once
+  // per frequency and each frequency owns its workspace slot, so the grid
+  // fans out safely.  Results are bit-identical to per-call s_params.
+  CompiledNetlist plan(netlist, frequencies_hz);
+  return numeric::parallel_map(threads, frequencies_hz.size(),
+                               [&](std::size_t i) { return plan.s_params_at(i); });
 }
 
 namespace {
@@ -99,10 +113,19 @@ NoiseResult noise_core(const Netlist& netlist, std::size_t input_port,
   }
   const numeric::LuDecomposition<Complex> lu(std::move(y));
 
-  // Transfer from a unit current injection to the output node voltage.
+  // Reciprocity: ONE transpose solve with the output unit vector yields
+  // the transfer from EVERY unit current injection to the output node
+  // voltage, h = w[from] - w[to] with Y^T w = e_out — replacing one full
+  // solve per injection.
+  std::vector<Complex> e_out(n, Complex{0.0, 0.0});
+  e_out[out.node - 1] = Complex{1.0, 0.0};
+  std::vector<Complex> w, work;
+  lu.solve_transposed_into(e_out, w, work);
   const auto transfer = [&](NodeId from, NodeId to) -> Complex {
-    const std::vector<Complex> v = solve_injection(lu, n, from, to);
-    return v[out.node - 1];
+    const Complex vf =
+        from == kGround ? Complex{0.0, 0.0} : w[from - 1];
+    const Complex vt = to == kGround ? Complex{0.0, 0.0} : w[to - 1];
+    return vf - vt;
   };
 
   // Contribution of the netlist's registered noise groups.
@@ -186,11 +209,14 @@ NoiseResult noise_analysis_source_pull(const Netlist& netlist,
 std::vector<double> noise_figure_sweep(
     const Netlist& netlist, std::size_t input_port, std::size_t output_port,
     const std::vector<double>& frequencies_hz) {
+  // Compiled plan: shares the S/noise factorization machinery and reuses
+  // workspaces across the grid; bit-identical to per-call noise_analysis.
+  CompiledNetlist plan(netlist, frequencies_hz);
   std::vector<double> nf;
   nf.reserve(frequencies_hz.size());
-  for (const double f : frequencies_hz) {
+  for (std::size_t i = 0; i < frequencies_hz.size(); ++i) {
     nf.push_back(
-        noise_analysis(netlist, input_port, output_port, f).noise_figure_db);
+        plan.noise_at(i, input_port, output_port).noise_figure_db);
   }
   return nf;
 }

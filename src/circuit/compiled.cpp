@@ -1,0 +1,340 @@
+#include "circuit/compiled.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/units.h"
+
+namespace gnsslna::circuit {
+
+CompiledNetlist::CompiledNetlist(const Netlist& netlist,
+                                 std::vector<double> grid_hz)
+    : grid_(std::move(grid_hz)) {
+  for (const double f : grid_) {
+    if (f <= 0.0) {
+      throw std::invalid_argument(
+          "CompiledNetlist: grid frequencies must be > 0");
+    }
+  }
+  ports_ = netlist.ports();
+  unknowns_ = netlist.node_count() - 1;
+
+  stamps_.resize(netlist.stamps_.size());
+  for (std::size_t si = 0; si < stamps_.size(); ++si) {
+    const Netlist::Stamp& st = netlist.stamps_[si];
+    StampTable& t = stamps_[si];
+    t.frequency_independent = st.frequency_independent;
+    // Legacy bump order: (out_p,in_p,+) (out_p,in_n,-) (out_n,in_p,-)
+    // (out_n,in_n,+), ground-touching terms skipped.
+    const NodeId rows[4] = {st.out_p, st.out_p, st.out_n, st.out_n};
+    const NodeId cols[4] = {st.in_p, st.in_n, st.in_p, st.in_n};
+    const double signs[4] = {1.0, -1.0, -1.0, 1.0};
+    for (int b = 0; b < 4; ++b) {
+      if (rows[b] == kGround || cols[b] == kGround) continue;
+      t.bumps.push_back({static_cast<std::uint32_t>(rows[b] - 1),
+                         static_cast<std::uint32_t>(cols[b] - 1), signs[b]});
+    }
+    tabulate_stamp(si, netlist);
+  }
+
+  twoports_.resize(netlist.twoports_.size());
+  for (std::size_t ti = 0; ti < twoports_.size(); ++ti) {
+    const Netlist::TwoPortStamp& tp = netlist.twoports_[ti];
+    TwoPortTable& t = twoports_[ti];
+    t.t1 = tp.t1;
+    t.t2 = tp.t2;
+    t.common = tp.common;
+    tabulate_twoport(ti, netlist);
+  }
+
+  noise_.resize(netlist.noise_groups_.size());
+  for (std::size_t gi = 0; gi < noise_.size(); ++gi) {
+    noise_[gi].injections = netlist.noise_groups_[gi].injections;
+    tabulate_noise(gi, netlist);
+  }
+  last_sync_retabulated_ =
+      stamps_.size() + twoports_.size() + noise_.size();
+
+  // Preallocate every per-frequency workspace up front so the solve path
+  // never allocates.
+  std::size_t max_injections = 1;
+  for (const NoiseTable& g : noise_) {
+    max_injections = std::max(max_injections, g.injections.size());
+  }
+  slots_.resize(grid_.size());
+  for (FreqSlot& s : slots_) {
+    s.y = numeric::ComplexMatrix(unknowns_, unknowns_);
+    s.rhs.resize(unknowns_);
+    s.sol.resize(unknowns_);
+    s.work.resize(unknowns_);
+    s.h.resize(max_injections);
+  }
+}
+
+void CompiledNetlist::tabulate_stamp(std::size_t si, const Netlist& netlist) {
+  const Netlist::Stamp& st = netlist.stamps_[si];
+  StampTable& t = stamps_[si];
+  t.revision = st.revision;
+  if (grid_.empty()) return;
+  if (t.frequency_independent) {
+    t.values.assign(1, st.value(grid_[0]));
+    return;
+  }
+  t.values.resize(grid_.size());
+  for (std::size_t k = 0; k < grid_.size(); ++k) {
+    t.values[k] = st.value(grid_[k]);
+  }
+}
+
+void CompiledNetlist::tabulate_twoport(std::size_t ti,
+                                       const Netlist& netlist) {
+  const Netlist::TwoPortStamp& tp = netlist.twoports_[ti];
+  TwoPortTable& t = twoports_[ti];
+  t.revision = tp.revision;
+  t.values.resize(grid_.size());
+  for (std::size_t k = 0; k < grid_.size(); ++k) {
+    t.values[k] = tp.y(grid_[k]);
+  }
+}
+
+void CompiledNetlist::tabulate_noise(std::size_t gi, const Netlist& netlist) {
+  const NoiseGroup& g = netlist.noise_groups_[gi];
+  NoiseTable& t = noise_[gi];
+  t.revision = g.revision;
+  t.csd.resize(grid_.size());
+  const std::size_t k = g.injections.size();
+  for (std::size_t fi = 0; fi < grid_.size(); ++fi) {
+    t.csd[fi] = g.csd(grid_[fi]);
+    if (t.csd[fi].rows() != k || t.csd[fi].cols() != k) {
+      throw std::invalid_argument("noise_analysis: CSD size mismatch in '" +
+                                  g.label + "'");
+    }
+  }
+}
+
+void CompiledNetlist::check_structure(const Netlist& netlist) const {
+  if (netlist.node_count() - 1 != unknowns_ ||
+      netlist.stamps_.size() != stamps_.size() ||
+      netlist.twoports_.size() != twoports_.size() ||
+      netlist.noise_groups_.size() != noise_.size() ||
+      netlist.ports().size() != ports_.size()) {
+    throw std::invalid_argument(
+        "CompiledNetlist::sync: netlist structure changed");
+  }
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (netlist.ports()[p].node != ports_[p].node ||
+        netlist.ports()[p].z0 != ports_[p].z0) {
+      throw std::invalid_argument(
+          "CompiledNetlist::sync: netlist ports changed");
+    }
+  }
+}
+
+void CompiledNetlist::sync(const Netlist& netlist) {
+  check_structure(netlist);
+  std::size_t matrix_changes = 0, noise_changes = 0;
+  for (std::size_t si = 0; si < stamps_.size(); ++si) {
+    if (netlist.stamps_[si].revision != stamps_[si].revision) {
+      tabulate_stamp(si, netlist);
+      matrix_changes++;
+    }
+  }
+  for (std::size_t ti = 0; ti < twoports_.size(); ++ti) {
+    if (netlist.twoports_[ti].revision != twoports_[ti].revision) {
+      tabulate_twoport(ti, netlist);
+      matrix_changes++;
+    }
+  }
+  for (std::size_t gi = 0; gi < noise_.size(); ++gi) {
+    if (netlist.noise_groups_[gi].revision != noise_[gi].revision) {
+      tabulate_noise(gi, netlist);
+      noise_changes++;
+    }
+  }
+  if (matrix_changes > 0) {
+    for (FreqSlot& s : slots_) s.lu_valid = false;
+  }
+  last_sync_retabulated_ = matrix_changes + noise_changes;
+}
+
+CompiledNetlist::FreqSlot& CompiledNetlist::slot_with_lu(std::size_t fi) {
+  if (fi >= slots_.size()) {
+    throw std::out_of_range("CompiledNetlist: grid index out of range");
+  }
+  FreqSlot& s = slots_[fi];
+  if (s.lu_valid) return s;
+
+  // Re-assemble from the tables with the exact additions, in the exact
+  // order, of Netlist::assemble + assemble_terminated.
+  numeric::ComplexMatrix& y = s.y;
+  y.fill(Complex{0.0, 0.0});
+  for (const StampTable& t : stamps_) {
+    const Complex v =
+        t.frequency_independent ? t.values[0] : t.values[fi];
+    for (const Bump& b : t.bumps) {
+      if (b.sign > 0.0) {
+        y(b.row, b.col) += v;
+      } else {
+        y(b.row, b.col) -= v;
+      }
+    }
+  }
+  const auto bump = [&](NodeId row, NodeId col, Complex v) {
+    if (row == kGround || col == kGround) return;
+    y(row - 1, col - 1) += v;
+  };
+  for (const TwoPortTable& t : twoports_) {
+    const rf::YParams& yp = t.values[fi];
+    const Complex y11 = yp.y11, y12 = yp.y12, y21 = yp.y21, y22 = yp.y22;
+    const NodeId a = t.t1, b = t.t2, c = t.common;
+    bump(a, a, y11);
+    bump(a, b, y12);
+    bump(a, c, -(y11 + y12));
+    bump(b, a, y21);
+    bump(b, b, y22);
+    bump(b, c, -(y21 + y22));
+    bump(c, a, -(y11 + y21));
+    bump(c, b, -(y12 + y22));
+    bump(c, c, y11 + y12 + y21 + y22);
+  }
+  for (const Port& p : ports_) {
+    y(p.node - 1, p.node - 1) += Complex{1.0 / p.z0, 0.0};
+  }
+
+  s.lu.refactor(y);
+  s.lu_valid = true;
+  return s;
+}
+
+numeric::ComplexMatrix CompiledNetlist::s_matrix_at(std::size_t fi) {
+  if (ports_.empty()) {
+    throw std::invalid_argument("s_matrix: not enough ports");
+  }
+  FreqSlot& s = slot_with_lu(fi);
+  const std::size_t k = ports_.size();
+  std::vector<double> sqrt_z0(k);
+  for (std::size_t i = 0; i < k; ++i) sqrt_z0[i] = std::sqrt(ports_[i].z0);
+
+  numeric::ComplexMatrix out(k, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::fill(s.rhs.begin(), s.rhs.end(), Complex{0.0, 0.0});
+    s.rhs[ports_[j].node - 1] = Complex{2.0 / sqrt_z0[j], 0.0};
+    s.lu.solve_into(s.rhs, s.sol);
+    for (std::size_t i = 0; i < k; ++i) {
+      out(i, j) = s.sol[ports_[i].node - 1] / sqrt_z0[i] -
+                  (i == j ? Complex{1.0, 0.0} : Complex{0.0, 0.0});
+    }
+  }
+  return out;
+}
+
+rf::SParams CompiledNetlist::s_params_at(std::size_t fi) {
+  if (ports_.size() != 2) {
+    throw std::invalid_argument("s_params: netlist must have exactly 2 ports");
+  }
+  if (ports_[0].z0 != ports_[1].z0) {
+    throw std::invalid_argument("s_params: ports must share one z0");
+  }
+  FreqSlot& s = slot_with_lu(fi);
+  const double sqrt_z0[2] = {std::sqrt(ports_[0].z0),
+                             std::sqrt(ports_[1].z0)};
+  Complex sm[2][2];
+  for (std::size_t j = 0; j < 2; ++j) {
+    std::fill(s.rhs.begin(), s.rhs.end(), Complex{0.0, 0.0});
+    s.rhs[ports_[j].node - 1] = Complex{2.0 / sqrt_z0[j], 0.0};
+    s.lu.solve_into(s.rhs, s.sol);
+    for (std::size_t i = 0; i < 2; ++i) {
+      sm[i][j] = s.sol[ports_[i].node - 1] / sqrt_z0[i] -
+                 (i == j ? Complex{1.0, 0.0} : Complex{0.0, 0.0});
+    }
+  }
+  rf::SParams out;
+  out.frequency_hz = grid_[fi];
+  out.z0 = ports_[0].z0;
+  out.s11 = sm[0][0];
+  out.s12 = sm[0][1];
+  out.s21 = sm[1][0];
+  out.s22 = sm[1][1];
+  return out;
+}
+
+NoiseResult CompiledNetlist::noise_from_slot(FreqSlot& s, std::size_t fi,
+                                             std::size_t input_port,
+                                             std::size_t output_port,
+                                             double t_source_k) {
+  const Port& in = ports_[input_port];
+  const Port& out = ports_[output_port];
+  const Complex y_source{1.0 / in.z0, 0.0};
+
+  // Reciprocity, exactly as in the legacy noise_core: one transpose solve
+  // with e_out gives the transfer from every injection to the output node.
+  std::fill(s.rhs.begin(), s.rhs.end(), Complex{0.0, 0.0});
+  s.rhs[out.node - 1] = Complex{1.0, 0.0};
+  s.lu.solve_transposed_into(s.rhs, s.sol, s.work);
+  const std::vector<Complex>& w = s.sol;
+  const auto transfer = [&](NodeId from, NodeId to) -> Complex {
+    const Complex vf = from == kGround ? Complex{0.0, 0.0} : w[from - 1];
+    const Complex vt = to == kGround ? Complex{0.0, 0.0} : w[to - 1];
+    return vf - vt;
+  };
+
+  // Contribution of the netlist's registered noise groups; loop structure
+  // and accumulation order mirror the legacy noise_core exactly.
+  double psd_network = 0.0;
+  for (const NoiseTable& group : noise_) {
+    const std::size_t k = group.injections.size();
+    const numeric::ComplexMatrix& csd = group.csd[fi];
+    for (std::size_t j = 0; j < k; ++j) {
+      s.h[j] = transfer(group.injections[j].first, group.injections[j].second);
+    }
+    Complex acc{0.0, 0.0};
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        acc += s.h[i] * csd(i, j) * std::conj(s.h[j]);
+      }
+    }
+    psd_network += acc.real();
+  }
+
+  const Complex h_src = transfer(in.node, kGround);
+  const double psd_source = 4.0 * rf::kBoltzmann * t_source_k *
+                            std::max(y_source.real(), 0.0) *
+                            std::norm(h_src);
+  if (psd_source <= 0.0) {
+    throw std::domain_error(
+        "noise_analysis: source noise does not reach the output (no signal "
+        "path, or a lossless source?)");
+  }
+
+  NoiseResult r;
+  r.source_noise_psd = psd_source;
+  r.output_noise_psd = psd_source + psd_network;
+  r.noise_factor = r.output_noise_psd / r.source_noise_psd;
+  r.noise_figure_db = rf::db_from_ratio(r.noise_factor);
+  return r;
+}
+
+NoiseResult CompiledNetlist::noise_at(std::size_t fi, std::size_t input_port,
+                                      std::size_t output_port,
+                                      double t_source_k) {
+  if (ports_.size() < 2) {
+    throw std::invalid_argument("noise_analysis: not enough ports");
+  }
+  if (input_port >= ports_.size() || output_port >= ports_.size() ||
+      input_port == output_port) {
+    throw std::invalid_argument("noise_analysis: bad port indices");
+  }
+  FreqSlot& s = slot_with_lu(fi);
+  return noise_from_slot(s, fi, input_port, output_port, t_source_k);
+}
+
+CompiledNetlist::SAndNoise CompiledNetlist::s_and_noise_at(
+    std::size_t fi, std::size_t input_port, std::size_t output_port,
+    double t_source_k) {
+  SAndNoise out;
+  out.s = s_params_at(fi);
+  out.noise = noise_at(fi, input_port, output_port, t_source_k);
+  return out;
+}
+
+}  // namespace gnsslna::circuit

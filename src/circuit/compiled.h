@@ -1,0 +1,142 @@
+// Compiled evaluation plan for repeated netlist analyses on a fixed
+// frequency grid.
+//
+// A CompiledNetlist is built once from a Netlist and a grid.  It
+//   (a) flattens the element callbacks into a stamp table: every element's
+//       admittance / Y-block and every noise group's CSD is evaluated once
+//       per grid frequency and stored (frequency-independent stamps are
+//       evaluated exactly once).  Optimizer loops that mutate a few
+//       elements through Netlist::set_*_fn re-tabulate only those elements
+//       on sync() — revision counters drive the invalidation;
+//   (b) shares ONE LU factorization per frequency between the S-parameter
+//       port solves and all noise-injection solves.  This is exact, not
+//       approximate: with every port terminated in its z0, the S-parameter
+//       system matrix and the (standard, z0-source) noise system matrix
+//       are assembled from identical additions in identical order, so the
+//       legacy double factorization in analysis.cpp computed the same
+//       factors twice;
+//   (c) reuses per-frequency workspaces (assembled matrix, LU storage,
+//       RHS/solution buffers) across evaluations and syncs — zero
+//       steady-state heap allocation in the solve path.
+//
+// Determinism contract: every result is bit-identical to the legacy
+// per-call analyses (circuit::s_matrix / s_params / noise_analysis) on the
+// same Netlist — the tables hold the exact values the callbacks return,
+// re-assembly performs the same floating-point additions in the same
+// order, and the factorization/substitution arithmetic is unchanged.
+// Thread safety: distinct frequency indices may be evaluated concurrently
+// (each index owns its workspace slot), which is exactly the access
+// pattern of numeric::parallel_for over the grid.  sync() and concurrent
+// evaluation must not overlap, and one index must not be evaluated from
+// two threads at once.
+#pragma once
+
+#include <vector>
+
+#include "circuit/analysis.h"
+#include "circuit/netlist.h"
+
+namespace gnsslna::circuit {
+
+class CompiledNetlist {
+ public:
+  CompiledNetlist() = default;
+
+  /// Compiles `netlist` over the grid: tabulates every element and noise
+  /// group at every grid frequency.  The netlist is not retained; pass the
+  /// same (possibly mutated) netlist to sync() later.
+  CompiledNetlist(const Netlist& netlist, std::vector<double> grid_hz);
+
+  /// Re-tabulates exactly the elements and noise groups whose revision
+  /// changed since construction / the previous sync (see
+  /// Netlist::set_admittance_fn etc.).  The netlist must be structurally
+  /// identical to the compiled one (same nodes, elements, ports).  Cached
+  /// factorizations are invalidated when anything changed.
+  void sync(const Netlist& netlist);
+
+  const std::vector<double>& grid() const { return grid_; }
+  std::size_t size() const { return grid_.size(); }
+  const std::vector<Port>& ports() const { return ports_; }
+
+  /// Full N-port S-matrix at grid index fi; bit-identical to
+  /// circuit::s_matrix(netlist, grid()[fi]).
+  numeric::ComplexMatrix s_matrix_at(std::size_t fi);
+
+  /// Two-port S-parameters at grid index fi (requires exactly 2 ports of
+  /// equal z0); bit-identical to circuit::s_params.
+  rf::SParams s_params_at(std::size_t fi);
+
+  /// Standard (z0-source) noise analysis at grid index fi; bit-identical
+  /// to circuit::noise_analysis.
+  NoiseResult noise_at(std::size_t fi, std::size_t input_port,
+                       std::size_t output_port, double t_source_k = rf::kT0);
+
+  struct SAndNoise {
+    rf::SParams s;
+    NoiseResult noise;
+  };
+
+  /// Combined solve: S-parameters and noise analysis from the single
+  /// shared factorization at grid index fi.
+  SAndNoise s_and_noise_at(std::size_t fi, std::size_t input_port,
+                           std::size_t output_port,
+                           double t_source_k = rf::kT0);
+
+  /// Number of element/noise tables refreshed by the last sync() (or by
+  /// construction); exposed for cache-invalidation tests and benches.
+  std::size_t last_sync_retabulated() const { return last_sync_retabulated_; }
+
+ private:
+  // One (row, col, sign) addition of an element value into the assembled
+  // (ground-eliminated) matrix; order matches Netlist::assemble exactly.
+  struct Bump {
+    std::uint32_t row, col;
+    double sign;  // +1 / -1 for stamps; twoports store explicit terms
+  };
+
+  struct StampTable {
+    std::vector<Bump> bumps;           // <= 4, legacy bump order
+    bool frequency_independent = false;
+    std::uint64_t revision = 0;
+    std::vector<Complex> values;       // 1 entry if frequency-independent
+  };
+
+  struct TwoPortTable {
+    NodeId t1, t2, common;
+    std::uint64_t revision = 0;
+    std::vector<rf::YParams> values;   // one per grid frequency
+  };
+
+  struct NoiseTable {
+    std::vector<std::pair<NodeId, NodeId>> injections;
+    std::uint64_t revision = 0;
+    std::vector<numeric::ComplexMatrix> csd;  // one per grid frequency
+  };
+
+  struct FreqSlot {
+    bool lu_valid = false;
+    numeric::ComplexMatrix y;                    // assembly workspace
+    numeric::LuDecomposition<Complex> lu;
+    std::vector<Complex> rhs, sol, work, h;      // solve workspaces
+  };
+
+  void tabulate_stamp(std::size_t si, const Netlist& netlist);
+  void tabulate_twoport(std::size_t ti, const Netlist& netlist);
+  void tabulate_noise(std::size_t gi, const Netlist& netlist);
+  void check_structure(const Netlist& netlist) const;
+  FreqSlot& slot_with_lu(std::size_t fi);
+  NoiseResult noise_from_slot(FreqSlot& s, std::size_t fi,
+                              std::size_t input_port, std::size_t output_port,
+                              double t_source_k);
+
+  std::vector<double> grid_;
+  std::vector<Port> ports_;
+  std::size_t unknowns_ = 0;  // node_count - 1
+  std::vector<StampTable> stamps_;
+  std::vector<TwoPortTable> twoports_;
+  std::vector<NoiseTable> noise_;
+  std::vector<FreqSlot> slots_;
+  std::size_t last_sync_retabulated_ = 0;
+};
+
+}  // namespace gnsslna::circuit

@@ -11,6 +11,7 @@
 // noise_analysis.h consumes those registrations.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -39,6 +40,7 @@ struct NoiseGroup {
   std::vector<std::pair<NodeId, NodeId>> injections;  ///< (from, to) node pairs
   std::function<numeric::ComplexMatrix(double)> csd;
   std::string label;
+  std::uint64_t revision = 0;  ///< bumped by Netlist::set_noise_csd
 };
 
 /// External port definition.
@@ -46,6 +48,24 @@ struct Port {
   NodeId node = kGround;
   double z0 = rf::kZ0;
   std::string label;
+};
+
+inline constexpr std::size_t kNoNoiseGroup = static_cast<std::size_t>(-1);
+
+/// Stable handle to a stamped element.  Elements are identified by their
+/// position in assembly order (all 4-node stamps first, then all two-port
+/// blocks), which CompiledNetlist relies on for bit-identical re-assembly.
+struct ElementId {
+  enum class Kind : std::uint8_t { kStamp, kTwoPort };
+  Kind kind = Kind::kStamp;
+  std::size_t index = static_cast<std::size_t>(-1);
+};
+
+/// Handle pair for elements that register their own noise (resistors,
+/// lossy impedances, noisy/passive two-ports).
+struct ElementRef {
+  ElementId element;
+  std::size_t noise_group = kNoNoiseGroup;
 };
 
 class Netlist {
@@ -62,45 +82,82 @@ class Netlist {
   NodeId find_node(const std::string& label) const;
 
   /// Adds a noiseless two-terminal admittance between nodes a and b.
-  void add_admittance(NodeId a, NodeId b, AdmittanceFn y,
-                      std::string label = {});
+  /// `frequency_independent` marks y as constant over frequency, letting a
+  /// CompiledNetlist tabulate it with a single evaluation.
+  ElementId add_admittance(NodeId a, NodeId b, AdmittanceFn y,
+                           std::string label = {},
+                           bool frequency_independent = false);
 
   /// Adds an ideal resistor; registers its thermal noise at temperature_k.
-  void add_resistor(NodeId a, NodeId b, double ohms,
-                    double temperature_k = rf::kT0, std::string label = {});
+  ElementRef add_resistor(NodeId a, NodeId b, double ohms,
+                          double temperature_k = rf::kT0,
+                          std::string label = {});
 
   /// Adds a dispersive one-port (passives::Component adapter): admittance
   /// 1/z(f); its ESR's thermal noise is registered at temperature_k.
-  void add_lossy_impedance(NodeId a, NodeId b,
-                           std::function<Complex(double)> impedance,
-                           double temperature_k = rf::kT0,
-                           std::string label = {});
+  ElementRef add_lossy_impedance(NodeId a, NodeId b,
+                                 std::function<Complex(double)> impedance,
+                                 double temperature_k = rf::kT0,
+                                 std::string label = {});
 
   /// Adds an ideal capacitor (noiseless).
-  void add_capacitor(NodeId a, NodeId b, double farads,
-                     std::string label = {});
+  ElementId add_capacitor(NodeId a, NodeId b, double farads,
+                          std::string label = {});
 
   /// Adds an ideal inductor (noiseless).
-  void add_inductor(NodeId a, NodeId b, double henries,
-                    std::string label = {});
+  ElementId add_inductor(NodeId a, NodeId b, double henries,
+                         std::string label = {});
 
   /// Voltage-controlled current source: current gm * (v(cp) - v(cn))
   /// flows from np to nn (into np out of nn inside the source).
-  void add_vccs(NodeId np, NodeId nn, NodeId cp, NodeId cn,
-                std::function<Complex(double)> gm, std::string label = {});
+  ElementId add_vccs(NodeId np, NodeId nn, NodeId cp, NodeId cn,
+                     std::function<Complex(double)> gm,
+                     std::string label = {});
 
   /// Stamps a grounded two-port (port1 node, port2 node, common ground).
-  void add_twoport(NodeId p1, NodeId p2, YBlockFn y, std::string label = {});
+  ElementId add_twoport(NodeId p1, NodeId p2, YBlockFn y,
+                        std::string label = {});
 
   /// Stamps a three-terminal element whose grounded-common-terminal
   /// behaviour is the given 2x2 Y-block (e.g. a common-source FET placed
   /// with an arbitrary source node): the 2x2 block is expanded to the
   /// indefinite 3x3 admittance matrix.
-  void add_three_terminal(NodeId t1, NodeId t2, NodeId common, YBlockFn y,
-                          std::string label = {});
+  ElementId add_three_terminal(NodeId t1, NodeId t2, NodeId common,
+                               YBlockFn y, std::string label = {});
 
-  /// Registers a correlated noise-current group.
-  void add_noise_group(NoiseGroup group);
+  /// Registers a correlated noise-current group.  Returns its index.
+  std::size_t add_noise_group(NoiseGroup group);
+
+  /// Replaces the value function of an existing 4-node stamp (admittance /
+  /// R / L / C / VCCS) in place, preserving topology.  Bumps the element's
+  /// revision so compiled plans re-tabulate exactly this element.
+  void set_admittance_fn(ElementId id, AdmittanceFn y);
+
+  /// Replaces the Y-block of an existing two-port element in place.
+  void set_twoport_fn(ElementId id, YBlockFn y);
+
+  /// Replaces the CSD function of an existing noise group in place.
+  void set_noise_csd(std::size_t group,
+                     std::function<numeric::ComplexMatrix(double)> csd);
+
+  /// Value-level rebinds: update an existing element to a new component
+  /// value, constructing exactly the closures the matching add_* overload
+  /// would (so a rebound netlist is bit-identical to a freshly built one).
+  void set_capacitor(ElementId id, double farads);
+  void set_inductor(ElementId id, double henries);
+  void set_resistor(const ElementRef& ref, double ohms,
+                    double temperature_k = rf::kT0);
+  void set_lossy_impedance(const ElementRef& ref,
+                           std::function<Complex(double)> impedance,
+                           double temperature_k = rf::kT0);
+
+  /// Monotonic per-element change counter (starts at 0, bumped by the
+  /// set_* mutators); compiled plans use it for cache invalidation.
+  std::uint64_t element_revision(ElementId id) const;
+  std::uint64_t noise_revision(std::size_t group) const;
+
+  std::size_t stamp_count() const { return stamps_.size(); }
+  std::size_t twoport_count() const { return twoports_.size(); }
 
   /// Declares an external port at a node.  Returns the port index.
   std::size_t add_port(NodeId node, double z0 = rf::kZ0,
@@ -117,6 +174,8 @@ class Netlist {
   numeric::ComplexMatrix assemble_terminated(double frequency_hz) const;
 
  private:
+  friend class CompiledNetlist;
+
   struct Stamp {
     // Generic 4-node stamp: adds value(f) at (rows x cols) combinations
     // with the standard +/- sign pattern.  Two-terminal elements use
@@ -124,11 +183,14 @@ class Netlist {
     NodeId out_p, out_n, in_p, in_n;
     AdmittanceFn value;
     std::string label;
+    bool frequency_independent = false;
+    std::uint64_t revision = 0;
   };
   struct TwoPortStamp {
     NodeId t1, t2, common;
     YBlockFn y;
     std::string label;
+    std::uint64_t revision = 0;
   };
 
   void check_node(NodeId n, const char* who) const;

@@ -32,34 +32,27 @@ numeric::ComplexMatrix noise_correlation_y(const rf::YParams& y,
   return t * ca * t.adjoint();
 }
 
-void add_noisy_three_terminal(Netlist& netlist, NodeId t1, NodeId t2,
-                              NodeId common, YBlockFn y, NoiseParamsFn np,
-                              std::string label) {
+ElementRef add_noisy_three_terminal(Netlist& netlist, NodeId t1, NodeId t2,
+                                    NodeId common, YBlockFn y, NoiseParamsFn np,
+                                    std::string label) {
   if (!y || !np) {
     throw std::invalid_argument(
         "add_noisy_three_terminal: null parameter function");
   }
-  netlist.add_three_terminal(t1, t2, common, y, label);
+  ElementRef ref;
+  ref.element = netlist.add_three_terminal(t1, t2, common, y, label);
 
   NoiseGroup ng;
   ng.injections = {{t1, common}, {t2, common}};
   ng.csd = [y, np](double f) { return noise_correlation_y(y(f), np(f)); };
   ng.label = label.empty() ? "device-noise" : label + "-noise";
-  netlist.add_noise_group(std::move(ng));
+  ref.noise_group = netlist.add_noise_group(std::move(ng));
+  return ref;
 }
 
-void add_passive_twoport(Netlist& netlist, NodeId t1, NodeId t2,
-                         NodeId common, YBlockFn y, double temperature_k,
-                         std::string label) {
-  if (!y) {
-    throw std::invalid_argument("add_passive_twoport: null Y function");
-  }
-  netlist.add_three_terminal(t1, t2, common, y, label);
-  if (temperature_k <= 0.0) return;
-
-  NoiseGroup ng;
-  ng.injections = {{t1, common}, {t2, common}};
-  ng.csd = [y, temperature_k](double f) {
+std::function<numeric::ComplexMatrix(double)> passive_twoport_csd(
+    YBlockFn y, double temperature_k) {
+  return [y = std::move(y), temperature_k](double f) {
     const rf::YParams yp = y(f);
     numeric::ComplexMatrix m(2, 2);
     m(0, 0) = yp.y11;
@@ -74,8 +67,51 @@ void add_passive_twoport(Netlist& netlist, NodeId t1, NodeId t2,
     }
     return cy;
   };
+}
+
+ElementRef add_passive_twoport(Netlist& netlist, NodeId t1, NodeId t2,
+                               NodeId common, YBlockFn y, double temperature_k,
+                               std::string label) {
+  if (!y) {
+    throw std::invalid_argument("add_passive_twoport: null Y function");
+  }
+  ElementRef ref;
+  ref.element = netlist.add_three_terminal(t1, t2, common, y, label);
+  if (temperature_k <= 0.0) return ref;
+
+  NoiseGroup ng;
+  ng.injections = {{t1, common}, {t2, common}};
+  ng.csd = passive_twoport_csd(y, temperature_k);
   ng.label = label.empty() ? "passive-noise" : label + "-noise";
-  netlist.add_noise_group(std::move(ng));
+  ref.noise_group = netlist.add_noise_group(std::move(ng));
+  return ref;
+}
+
+void rebind_noisy_three_terminal(Netlist& netlist, const ElementRef& ref,
+                                 YBlockFn y, NoiseParamsFn np) {
+  if (!y || !np) {
+    throw std::invalid_argument(
+        "rebind_noisy_three_terminal: null parameter function");
+  }
+  netlist.set_twoport_fn(ref.element, y);
+  if (ref.noise_group != kNoNoiseGroup) {
+    netlist.set_noise_csd(ref.noise_group, [y = std::move(y),
+                                            np = std::move(np)](double f) {
+      return noise_correlation_y(y(f), np(f));
+    });
+  }
+}
+
+void rebind_passive_twoport(Netlist& netlist, const ElementRef& ref,
+                            YBlockFn y, double temperature_k) {
+  if (!y) {
+    throw std::invalid_argument("rebind_passive_twoport: null Y function");
+  }
+  netlist.set_twoport_fn(ref.element, y);
+  if (ref.noise_group != kNoNoiseGroup) {
+    netlist.set_noise_csd(ref.noise_group,
+                          passive_twoport_csd(std::move(y), temperature_k));
+  }
 }
 
 }  // namespace gnsslna::circuit

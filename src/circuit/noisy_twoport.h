@@ -31,18 +31,34 @@ numeric::ComplexMatrix noise_correlation_y(const rf::YParams& y,
                                            const rf::NoiseParams& np);
 
 /// Stamps a three-terminal noisy two-port: the Y-block (common-terminal
-/// grounded convention) plus its correlated noise current pair.
-void add_noisy_three_terminal(Netlist& netlist, NodeId t1, NodeId t2,
-                              NodeId common, YBlockFn y, NoiseParamsFn np,
-                              std::string label = {});
+/// grounded convention) plus its correlated noise current pair.  Returns
+/// handles to the stamped element and its noise group for later in-place
+/// rebinding via Netlist::set_twoport_fn / set_noise_csd.
+ElementRef add_noisy_three_terminal(Netlist& netlist, NodeId t1, NodeId t2,
+                                    NodeId common, YBlockFn y, NoiseParamsFn np,
+                                    std::string label = {});
 
 /// Stamps a PASSIVE two-port at uniform physical temperature: the Y-block
 /// plus its thermal noise per Twiss' theorem, CY = 2 k T (Y + Y^H)
 /// (one-sided; reduces to 4kTG for a plain resistor).  Used for lossy
-/// transmission lines and matching sections.
-void add_passive_twoport(Netlist& netlist, NodeId t1, NodeId t2,
-                         NodeId common, YBlockFn y,
-                         double temperature_k = rf::kT0,
-                         std::string label = {});
+/// transmission lines and matching sections.  Returns handles as above
+/// (noise_group == kNoNoiseGroup when temperature_k <= 0).
+ElementRef add_passive_twoport(Netlist& netlist, NodeId t1, NodeId t2,
+                               NodeId common, YBlockFn y,
+                               double temperature_k = rf::kT0,
+                               std::string label = {});
+
+/// Builds the Twiss thermal CSD function, CY(f) = 2 k T (Y(f) + Y(f)^H)
+/// with tiny negative diagonal round-off clamped (one-sided convention).
+std::function<numeric::ComplexMatrix(double)> passive_twoport_csd(
+    YBlockFn y, double temperature_k);
+
+/// In-place rebinds of elements previously stamped by the add_* functions
+/// above: replace the Y-block (and the derived noise CSD) while keeping
+/// the topology, constructing exactly the closures the add_* call would.
+void rebind_noisy_three_terminal(Netlist& netlist, const ElementRef& ref,
+                                 YBlockFn y, NoiseParamsFn np);
+void rebind_passive_twoport(Netlist& netlist, const ElementRef& ref,
+                            YBlockFn y, double temperature_k = rf::kT0);
 
 }  // namespace gnsslna::circuit

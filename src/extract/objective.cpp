@@ -98,8 +98,24 @@ optimize::ResidualFn extraction_residuals(
       const double model = dev.drain_current({p.vgs, p.vds});
       r.push_back(weights.dc_weight * (model - p.ids) / dc_scale);
     }
+    // RF points arrive as per-bias frequency sweeps: hoist the (finite-
+    // difference, hence costly) small-signal extraction out of the
+    // frequency loop and redo it only when the bias actually moves.
+    // fet_s_params(small_signal(bias), ...) IS Phemt::s_params, so the
+    // residuals are unchanged to the last bit.
+    const device::ExtrinsicParams ex = dev.extrinsics();
+    device::IntrinsicParams ip;
+    device::Bias ip_bias;
+    bool ip_valid = false;
     for (const RfPoint& p : data.rf) {
-      const rf::SParams s = dev.s_params(p.bias, p.s.frequency_hz, p.s.z0);
+      if (!ip_valid || p.bias.vgs != ip_bias.vgs ||
+          p.bias.vds != ip_bias.vds) {
+        ip = dev.small_signal(p.bias);
+        ip_bias = p.bias;
+        ip_valid = true;
+      }
+      const rf::SParams s =
+          device::fet_s_params(ip, ex, p.s.frequency_hz, p.s.z0);
       const auto push = [&](rf::Complex model, rf::Complex meas) {
         r.push_back(weights.rf_weight * (model.real() - meas.real()));
         r.push_back(weights.rf_weight * (model.imag() - meas.imag()));
@@ -151,9 +167,22 @@ FitError evaluate_fit(const device::FetModel& prototype,
     err.rms_dc_rel = std::sqrt(s / static_cast<double>(data.dc.size()));
   }
   if (!data.rf.empty()) {
+    // Same bias-group hoisting as extraction_residuals: one small-signal
+    // extraction per bias, not per (bias, frequency) point.
+    const device::ExtrinsicParams ex = dev.extrinsics();
+    device::IntrinsicParams ip;
+    device::Bias ip_bias;
+    bool ip_valid = false;
     double s = 0.0;
     for (const RfPoint& p : data.rf) {
-      const rf::SParams m = dev.s_params(p.bias, p.s.frequency_hz, p.s.z0);
+      if (!ip_valid || p.bias.vgs != ip_bias.vgs ||
+          p.bias.vds != ip_bias.vds) {
+        ip = dev.small_signal(p.bias);
+        ip_bias = p.bias;
+        ip_valid = true;
+      }
+      const rf::SParams m =
+          device::fet_s_params(ip, ex, p.s.frequency_hz, p.s.z0);
       s += std::norm(m.s11 - p.s.s11) + std::norm(m.s21 - p.s.s21) +
            std::norm(m.s12 - p.s.s12) + std::norm(m.s22 - p.s.s22);
     }

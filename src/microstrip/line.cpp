@@ -85,14 +85,17 @@ double Line::epsilon_eff(double frequency_hz) const {
   return er - (er - eeff0_) / (1.0 + p);
 }
 
-double Line::z0(double frequency_hz) const {
+double Line::z0_from_eeff(double ef) const {
   // Edwards/Owens dispersion relation: ties Z0(f) to eps_eff(f); accurate
   // to ~1% below ~10 GHz on thin substrates, ample at L-band.
-  const double ef = epsilon_eff(frequency_hz);
   return z0_static_ * (ef - 1.0) / (eeff0_ - 1.0) * std::sqrt(eeff0_ / ef);
 }
 
-double Line::alpha_conductor(double frequency_hz) const {
+double Line::z0(double frequency_hz) const {
+  return z0_from_eeff(epsilon_eff(frequency_hz));
+}
+
+double Line::alpha_conductor_from(double frequency_hz, double z0_f) const {
   if (frequency_hz <= 0.0) {
     throw std::invalid_argument("Line::alpha_conductor: frequency must be > 0");
   }
@@ -107,18 +110,25 @@ double Line::alpha_conductor(double frequency_hz) const {
                                                               skin_depth,
                                                           2));
   // Simple wide-strip attenuation Rs / (Z0 w); adequate for w/h ~ 2 lines.
-  return rs * rough / (z0(frequency_hz) * width_m_);
+  return rs * rough / (z0_f * width_m_);
 }
 
-double Line::alpha_dielectric(double frequency_hz) const {
+double Line::alpha_conductor(double frequency_hz) const {
+  return alpha_conductor_from(frequency_hz, z0(frequency_hz));
+}
+
+double Line::alpha_dielectric_from(double frequency_hz, double ef) const {
   const double er = substrate_.epsilon_r;
-  const double ef = epsilon_eff(frequency_hz);
   const double lambda0 = rf::kC0 / frequency_hz;
   // Standard mixed-media dielectric loss, in dB/m, converted to Np/m.
   const double alpha_db_per_m = 27.3 * (er / (er - 1.0)) *
                                 ((ef - 1.0) / std::sqrt(ef)) *
                                 substrate_.tan_delta / lambda0;
   return alpha_db_per_m / 8.685889638;
+}
+
+double Line::alpha_dielectric(double frequency_hz) const {
+  return alpha_dielectric_from(frequency_hz, epsilon_eff(frequency_hz));
 }
 
 double Line::alpha(double frequency_hz) const {
@@ -138,13 +148,31 @@ double Line::electrical_length(double frequency_hz) const {
   return beta(frequency_hz) * length_m_;
 }
 
+Line::Propagation Line::propagation(double frequency_hz) const {
+  // Evaluate the Kirschning-Jansen curve once and derive everything from
+  // it; each expression below is the body of the matching public accessor,
+  // so the values are bit-identical to calling them individually.
+  const double ef = epsilon_eff(frequency_hz);
+  Propagation p;
+  p.frequency_hz = frequency_hz;
+  p.z0_ohm = z0_from_eeff(ef);
+  p.alpha_np_m = alpha_conductor_from(frequency_hz, p.z0_ohm) +
+                 alpha_dielectric_from(frequency_hz, ef);
+  p.beta_rad_m = 2.0 * kPi * frequency_hz * std::sqrt(ef) / rf::kC0;
+  return p;
+}
+
 rf::AbcdParams Line::abcd(double frequency_hz) const {
-  const std::complex<double> gamma{alpha(frequency_hz), beta(frequency_hz)};
+  return abcd_from(propagation(frequency_hz));
+}
+
+rf::AbcdParams Line::abcd_from(const Propagation& p) const {
+  const std::complex<double> gamma{p.alpha_np_m, p.beta_rad_m};
   const std::complex<double> gl = gamma * length_m_;
-  const std::complex<double> zc{z0(frequency_hz), 0.0};
+  const std::complex<double> zc{p.z0_ohm, 0.0};
   const std::complex<double> ch = std::cosh(gl);
   const std::complex<double> sh = std::sinh(gl);
-  return {frequency_hz, ch, zc * sh, sh / zc, ch};
+  return {p.frequency_hz, ch, zc * sh, sh / zc, ch};
 }
 
 rf::SParams Line::s_params(double frequency_hz, double z0_ref) const {

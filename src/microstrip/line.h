@@ -21,6 +21,17 @@ namespace gnsslna::microstrip {
 /// A microstrip line of physical width and length on a given substrate.
 class Line {
  public:
+  /// Per-unit-length propagation data at one frequency.  Depends only on
+  /// (substrate, width, frequency) — NOT on length — so a table of these
+  /// can be shared by all lines of one width while an optimizer varies
+  /// their lengths.  Values are exactly what alpha()/beta()/z0() return.
+  struct Propagation {
+    double frequency_hz = 0.0;
+    double alpha_np_m = 0.0;  ///< total attenuation [Np/m]
+    double beta_rad_m = 0.0;  ///< phase constant [rad/m]
+    double z0_ohm = 0.0;      ///< dispersive characteristic impedance [ohm]
+  };
+
   /// Constructs a line; width and length in metres, both > 0.
   Line(const Substrate& substrate, double width_m, double length_m);
 
@@ -54,8 +65,18 @@ class Line {
   /// Electrical length [rad] at f.
   double electrical_length(double frequency_hz) const;
 
+  /// All per-unit-length propagation quantities with the dispersion curve
+  /// evaluated once (the individual accessors above each re-derive
+  /// eps_eff(f); this computes it a single time and reuses it — the
+  /// returned values are bit-identical to the accessors').
+  Propagation propagation(double frequency_hz) const;
+
   /// ABCD parameters of the lossy line at f.
   rf::AbcdParams abcd(double frequency_hz) const;
+
+  /// ABCD parameters from precomputed propagation data (applies this
+  /// line's length); abcd(f) == abcd_from(propagation(f)) bit-for-bit.
+  rf::AbcdParams abcd_from(const Propagation& p) const;
 
   /// S-parameters at f referenced to z0_ref.
   rf::SParams s_params(double frequency_hz, double z0_ref = rf::kZ0) const;
@@ -65,6 +86,10 @@ class Line {
   const Substrate& substrate() const { return substrate_; }
 
  private:
+  double z0_from_eeff(double epsilon_eff_f) const;
+  double alpha_conductor_from(double frequency_hz, double z0_f) const;
+  double alpha_dielectric_from(double frequency_hz, double epsilon_eff_f) const;
+
   Substrate substrate_;
   double width_m_;
   double length_m_;

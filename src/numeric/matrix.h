@@ -69,6 +69,9 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  /// Sets every entry to `value` without touching the allocation.
+  void fill(T value = T{}) { std::fill(data_.begin(), data_.end(), value); }
+
   /// Bounds-checked element access.
   T& at(std::size_t r, std::size_t c) {
     check_index(r, c);
@@ -192,13 +195,121 @@ using ComplexMatrix = Matrix<std::complex<double>>;
 template <typename T>
 class LuDecomposition {
  public:
-  explicit LuDecomposition(Matrix<T> a) : lu_(std::move(a)) {
-    if (lu_.rows() != lu_.cols()) {
+  /// Empty decomposition; factor() or refactor() before solving.
+  LuDecomposition() = default;
+
+  explicit LuDecomposition(Matrix<T> a) { factor(std::move(a)); }
+
+  bool empty() const { return lu_.empty(); }
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Takes ownership of `a` and factorizes it.
+  void factor(Matrix<T> a) {
+    if (a.rows() != a.cols()) {
       throw std::invalid_argument("LU: matrix must be square");
     }
+    lu_ = std::move(a);
+    run_factorization();
+  }
+
+  /// Copies `a` into the existing factor storage (no reallocation when the
+  /// size is unchanged) and factorizes.  This is the workspace-reusing
+  /// entry point for repeated same-size solves; the factorization is
+  /// bit-identical to constructing a fresh decomposition from `a`.
+  void refactor(const Matrix<T>& a) {
+    if (a.rows() != a.cols()) {
+      throw std::invalid_argument("LU: matrix must be square");
+    }
+    lu_ = a;
+    run_factorization();
+  }
+
+  /// Solves A x = b.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    std::vector<T> x;
+    solve_into(b, x);
+    return x;
+  }
+
+  /// Solves A x = b into a caller-owned buffer (resized to n; no
+  /// allocation once `x` has capacity n).  `x` must not alias `b`.
+  void solve_into(const std::vector<T>& b, std::vector<T>& x) const {
+    const std::size_t n = lu_.rows();
+    if (b.size() != n) {
+      throw std::invalid_argument("LU solve: rhs dimension mismatch");
+    }
+    x.resize(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+    // Forward substitution with unit-lower L.
+    for (std::size_t i = 1; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
+    }
+    // Back substitution with U.
+    for (std::size_t ii = n; ii-- > 0;) {
+      for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu_(ii, j) * x[j];
+      x[ii] /= lu_(ii, ii);
+    }
+  }
+
+  /// Solves the TRANSPOSE system A^T x = b with the same factors
+  /// (PA = LU  =>  A^T = U^T L^T P, so: forward substitution with U^T,
+  /// back substitution with L^T, then undo the row permutation).  `work`
+  /// is an n-sized scratch buffer; no allocation once both have capacity
+  /// n.  Neither `x` nor `work` may alias `b`.
+  ///
+  /// This is the adjoint/reciprocity workhorse: one transpose solve with
+  /// e_k yields row k of A^{-1}, i.e. the transfer from EVERY injection
+  /// vector to unknown k.
+  void solve_transposed_into(const std::vector<T>& b, std::vector<T>& x,
+                             std::vector<T>& work) const {
+    const std::size_t n = lu_.rows();
+    if (b.size() != n) {
+      throw std::invalid_argument("LU solve: rhs dimension mismatch");
+    }
+    work.resize(n);
+    x.resize(n);
+    // Forward substitution with U^T (lower triangular, non-unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[i];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * work[j];
+      work[i] = acc / lu_(i, i);
+    }
+    // Back substitution with L^T (upper triangular, unit diagonal).
+    for (std::size_t ii = n; ii-- > 0;) {
+      for (std::size_t j = ii + 1; j < n; ++j) work[ii] -= lu_(j, ii) * work[j];
+    }
+    // x = P^T work: row i of the factored system came from row perm_[i].
+    for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = work[i];
+  }
+
+  /// Solves A X = B for all columns of B with one pair of reused buffers.
+  Matrix<T> solve(const Matrix<T>& b) const {
+    const std::size_t n = lu_.rows();
+    if (b.rows() != n) {
+      throw std::invalid_argument("LU solve: rhs dimension mismatch");
+    }
+    Matrix<T> x(n, b.cols());
+    std::vector<T> col(n), sol(n);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+      solve_into(col, sol);
+      for (std::size_t i = 0; i < n; ++i) x(i, j) = sol[i];
+    }
+    return x;
+  }
+
+  T determinant() const {
+    T det = (swaps_ % 2 == 0) ? T{1} : T{-1};
+    for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+    return det;
+  }
+
+ private:
+  void run_factorization() {
     const std::size_t n = lu_.rows();
     perm_.resize(n);
     for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+    swaps_ = 0;
 
     for (std::size_t k = 0; k < n; ++k) {
       // Partial pivoting: bring the largest remaining |a(i,k)| to row k.
@@ -232,49 +343,6 @@ class LuDecomposition {
     }
   }
 
-  /// Solves A x = b.
-  std::vector<T> solve(const std::vector<T>& b) const {
-    const std::size_t n = lu_.rows();
-    if (b.size() != n) {
-      throw std::invalid_argument("LU solve: rhs dimension mismatch");
-    }
-    std::vector<T> x(n);
-    for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
-    // Forward substitution with unit-lower L.
-    for (std::size_t i = 1; i < n; ++i) {
-      for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
-    }
-    // Back substitution with U.
-    for (std::size_t ii = n; ii-- > 0;) {
-      for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu_(ii, j) * x[j];
-      x[ii] /= lu_(ii, ii);
-    }
-    return x;
-  }
-
-  /// Solves A X = B column by column.
-  Matrix<T> solve(const Matrix<T>& b) const {
-    const std::size_t n = lu_.rows();
-    if (b.rows() != n) {
-      throw std::invalid_argument("LU solve: rhs dimension mismatch");
-    }
-    Matrix<T> x(n, b.cols());
-    std::vector<T> col(n);
-    for (std::size_t j = 0; j < b.cols(); ++j) {
-      for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
-      const std::vector<T> sol = solve(col);
-      for (std::size_t i = 0; i < n; ++i) x(i, j) = sol[i];
-    }
-    return x;
-  }
-
-  T determinant() const {
-    T det = (swaps_ % 2 == 0) ? T{1} : T{-1};
-    for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
-    return det;
-  }
-
- private:
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;
   int swaps_ = 0;

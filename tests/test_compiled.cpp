@@ -1,0 +1,287 @@
+// CompiledNetlist equivalence and cache-invalidation tests.
+//
+// The compiled evaluation plan promises BIT-IDENTICAL results to the
+// legacy per-call analyses (circuit::s_matrix / s_params /
+// noise_analysis): the tables hold exactly the values the element
+// closures return, re-assembly replays the same floating-point additions
+// in the same order, and the shared factorization performs the same
+// arithmetic.  Every comparison here is therefore an exact == on doubles,
+// not a tolerance.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+#include "amplifier/lna.h"
+#include "circuit/analysis.h"
+#include "circuit/compiled.h"
+#include "circuit/netlist.h"
+#include "circuit/noisy_twoport.h"
+#include "device/phemt.h"
+#include "rf/sweep.h"
+#include "rf/units.h"
+
+namespace gnsslna::circuit {
+namespace {
+
+void expect_bitwise_eq(const Complex& a, const Complex& b) {
+  EXPECT_EQ(a.real(), b.real());
+  EXPECT_EQ(a.imag(), b.imag());
+}
+
+void expect_bitwise_eq(const rf::SParams& a, const rf::SParams& b) {
+  expect_bitwise_eq(a.s11, b.s11);
+  expect_bitwise_eq(a.s12, b.s12);
+  expect_bitwise_eq(a.s21, b.s21);
+  expect_bitwise_eq(a.s22, b.s22);
+}
+
+void expect_bitwise_eq(const NoiseResult& a, const NoiseResult& b) {
+  EXPECT_EQ(a.source_noise_psd, b.source_noise_psd);
+  EXPECT_EQ(a.output_noise_psd, b.output_noise_psd);
+  EXPECT_EQ(a.noise_factor, b.noise_factor);
+  EXPECT_EQ(a.noise_figure_db, b.noise_figure_db);
+}
+
+void expect_plan_matches_legacy(const Netlist& nl,
+                                const std::vector<double>& grid) {
+  CompiledNetlist plan(nl, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const numeric::ComplexMatrix sm_plan = plan.s_matrix_at(i);
+    const numeric::ComplexMatrix sm_legacy = s_matrix(nl, grid[i]);
+    ASSERT_EQ(sm_plan.rows(), sm_legacy.rows());
+    for (std::size_t r = 0; r < sm_plan.rows(); ++r) {
+      for (std::size_t c = 0; c < sm_plan.cols(); ++c) {
+        expect_bitwise_eq(sm_plan(r, c), sm_legacy(r, c));
+      }
+    }
+    if (nl.ports().size() == 2) {
+      expect_bitwise_eq(plan.s_params_at(i), s_params(nl, grid[i]));
+      expect_bitwise_eq(plan.noise_at(i, 0, 1),
+                        noise_analysis(nl, 0, 1, grid[i]));
+      // The combined solve shares one factorization; same bits again.
+      const CompiledNetlist::SAndNoise sn = plan.s_and_noise_at(i, 0, 1);
+      expect_bitwise_eq(sn.s, s_params(nl, grid[i]));
+      expect_bitwise_eq(sn.noise, noise_analysis(nl, 0, 1, grid[i]));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence on the fig. 3 preamplifier netlist
+
+TEST(CompiledNetlist, MatchesLegacyOnPreamplifier) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::LnaDesign lna(dev, amplifier::AmplifierConfig{},
+                                 amplifier::DesignVector{});
+  const Netlist nl = lna.build_netlist();
+  expect_plan_matches_legacy(
+      nl, rf::linear_grid(rf::kGnssBandLowHz, rf::kGnssBandHighHz, 7));
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence on a randomized netlist corpus
+
+/// Random two-port ladder: series elements chain port 1 to port 2 with a
+/// random shunt from every intermediate node, drawing from all element
+/// kinds the netlist supports (R, L, C, dispersive lossy impedance,
+/// passive two-port, noisy three-terminal).
+Netlist random_netlist(std::mt19937& rng) {
+  std::uniform_real_distribution<double> ur(0.0, 1.0);
+  const auto r_val = [&] { return 10.0 + 290.0 * ur(rng); };
+  const auto l_val = [&] { return 1e-9 + 20e-9 * ur(rng); };
+  const auto c_val = [&] { return 0.2e-12 + 10e-12 * ur(rng); };
+
+  Netlist nl;
+  const int sections = 2 + static_cast<int>(ur(rng) * 3.0);  // 2..4
+  NodeId prev = nl.add_node();
+  const NodeId first = prev;
+  for (int s = 0; s < sections; ++s) {
+    const NodeId next = nl.add_node();
+    switch (static_cast<int>(ur(rng) * 5.0)) {
+      case 0:
+        nl.add_resistor(prev, next, r_val());
+        break;
+      case 1:
+        nl.add_capacitor(prev, next, c_val());
+        break;
+      case 2: {
+        const double r = r_val(), l = l_val();
+        nl.add_lossy_impedance(
+            prev, next,
+            [r, l](double f) {
+              return Complex{r, 2.0 * std::numbers::pi * f * l};
+            });
+        break;
+      }
+      case 3: {
+        // Series impedance as a passive two-port Y-block.
+        const double r = r_val(), l = l_val();
+        add_passive_twoport(nl, prev, next, kGround, [r, l](double f) {
+          const Complex y =
+              1.0 / Complex{r, 2.0 * std::numbers::pi * f * l};
+          rf::YParams yp;
+          yp.frequency_hz = f;
+          yp.y11 = y;
+          yp.y12 = -y;
+          yp.y21 = -y;
+          yp.y22 = y;
+          return yp;
+        });
+        break;
+      }
+      default: {
+        // Noisy three-terminal: a mild transconductor with fixed noise
+        // parameters (exercises the correlated-pair injection tables).
+        const double gm = 0.01 + 0.05 * ur(rng);
+        add_noisy_three_terminal(
+            nl, prev, next, kGround,
+            [gm](double f) {
+              rf::YParams yp;
+              yp.frequency_hz = f;
+              yp.y11 = Complex{1e-3, 2.0 * std::numbers::pi * f * 0.4e-12};
+              yp.y12 = Complex{-1e-4, 0.0};
+              yp.y21 = Complex{gm, -1e-3};
+              yp.y22 = Complex{2e-3, 2.0 * std::numbers::pi * f * 0.2e-12};
+              return yp;
+            },
+            [](double f) {
+              rf::NoiseParams np;
+              np.frequency_hz = f;
+              np.f_min = 1.2;
+              np.r_n = 12.0;
+              np.gamma_opt = Complex{0.3, 0.2};
+              return np;
+            });
+        break;
+      }
+    }
+    // Random shunt off the joint keeps every node resistively reachable.
+    if (ur(rng) < 0.7) {
+      nl.add_resistor(next, kGround, 5.0 * r_val());
+    } else {
+      nl.add_inductor(next, kGround, l_val());
+    }
+    prev = next;
+  }
+  nl.add_port(first);
+  nl.add_port(prev);
+  return nl;
+}
+
+TEST(CompiledNetlist, MatchesLegacyOnRandomCorpus) {
+  std::mt19937 rng(20260806u);
+  const std::vector<double> grid = rf::linear_grid(0.8e9, 2.4e9, 5);
+  for (int k = 0; k < 12; ++k) {
+    SCOPED_TRACE("random netlist #" + std::to_string(k));
+    expect_plan_matches_legacy(random_netlist(rng), grid);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache invalidation
+
+TEST(CompiledNetlist, SyncRetabulatesOnlyMutatedElements) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::AmplifierConfig config;
+  amplifier::DesignVector d;
+  const amplifier::LnaDesign lna(dev, config, d);
+  amplifier::DesignBindings b;
+  Netlist nl = lna.build_netlist(&b);
+  const std::vector<double> grid = amplifier::LnaDesign::default_band();
+
+  CompiledNetlist plan(nl, grid);
+  // Construction tabulates everything once; an immediate sync with no
+  // mutations refreshes nothing.
+  plan.sync(nl);
+  EXPECT_EQ(plan.last_sync_retabulated(), 0u);
+
+  // Mutate ONE design element.  A dispersive chip passive carries its
+  // thermal-noise CSD alongside the impedance stamp, so exactly two
+  // tables refresh — nothing belonging to any other element.
+  d.c_mid_f = 0.8e-12;
+  const amplifier::LnaDesign lna2(dev, config, d);
+  lna2.rebind_netlist(nl, b, &lna.design());
+  plan.sync(nl);
+  EXPECT_EQ(plan.last_sync_retabulated(), 2u);
+
+  // A microstrip section refreshes its Y-block AND the derived Twiss
+  // noise CSD — two tables, nothing else.
+  d.l_in_m += 1e-3;
+  const amplifier::LnaDesign lna3(dev, config, d);
+  lna3.rebind_netlist(nl, b, &lna2.design());
+  plan.sync(nl);
+  EXPECT_EQ(plan.last_sync_retabulated(), 2u);
+
+  // The synced plan answers exactly like a plan compiled fresh from the
+  // mutated netlist.
+  CompiledNetlist fresh(nl, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    expect_bitwise_eq(plan.s_params_at(i), fresh.s_params_at(i));
+    expect_bitwise_eq(plan.noise_at(i, 0, 1), fresh.noise_at(i, 0, 1));
+  }
+}
+
+TEST(CompiledNetlist, IdealPassiveMutationRefreshesOneTable) {
+  // With ideal (noiseless) L/C passives a single capacitor mutation
+  // refreshes exactly ONE stamp table.
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  config.dispersive_passives = false;
+  amplifier::DesignVector d;
+  const amplifier::LnaDesign lna(dev, config, d);
+  amplifier::DesignBindings b;
+  Netlist nl = lna.build_netlist(&b);
+  CompiledNetlist plan(nl, amplifier::LnaDesign::default_band());
+
+  d.c_mid_f = 0.8e-12;
+  const amplifier::LnaDesign lna2(dev, config, d);
+  lna2.rebind_netlist(nl, b, &lna.design());
+  plan.sync(nl);
+  EXPECT_EQ(plan.last_sync_retabulated(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Band evaluation: plan on/off and thread-count identity
+
+void expect_report_eq(const amplifier::BandReport& a,
+                      const amplifier::BandReport& b) {
+  EXPECT_EQ(a.nf_avg_db, b.nf_avg_db);
+  EXPECT_EQ(a.nf_max_db, b.nf_max_db);
+  EXPECT_EQ(a.gt_min_db, b.gt_min_db);
+  EXPECT_EQ(a.gt_avg_db, b.gt_avg_db);
+  EXPECT_EQ(a.s11_worst_db, b.s11_worst_db);
+  EXPECT_EQ(a.s22_worst_db, b.s22_worst_db);
+  EXPECT_EQ(a.mu_min, b.mu_min);
+  EXPECT_EQ(a.id_a, b.id_a);
+}
+
+TEST(CompiledNetlist, BandReportIdenticalPlanOnOffAndAcrossThreads) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const std::vector<double> band = amplifier::LnaDesign::default_band();
+
+  std::vector<amplifier::DesignVector> designs(3);
+  designs[1].l_in_m = 9e-3;
+  designs[1].c_mid_f = 1.1e-12;
+  designs[2].vds = 2.0;
+  designs[2].r_fb_ohm = 900.0;
+
+  amplifier::AmplifierConfig with_plan;
+  amplifier::AmplifierConfig without_plan;
+  without_plan.use_eval_plan = false;
+
+  amplifier::BandEvaluator evaluator(dev, with_plan);
+  for (const amplifier::DesignVector& d : designs) {
+    const amplifier::LnaDesign on(dev, with_plan, d);
+    const amplifier::LnaDesign off(dev, without_plan, d);
+    const amplifier::BandReport r1 = on.evaluate(band, 1);
+    expect_report_eq(r1, off.evaluate(band, 1));
+    expect_report_eq(r1, on.evaluate(band, 4));
+    expect_report_eq(r1, off.evaluate(band, 4));
+    // The rebinding evaluator (the optimizer hot path) agrees too.
+    expect_report_eq(r1, evaluator.evaluate(d));
+  }
+}
+
+}  // namespace
+}  // namespace gnsslna::circuit
