@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) of the virtual measurement lab:
+// one full SOLT calibration, one calibrated DUT sweep, one Y-factor
+// noise-figure sweep, and one two-tone IM3 drive sweep — each over the
+// fig. 3 preamplifier.  These bound the cost of a measure_design()
+// campaign and of the Monte-Carlo measurement studies built on it.
+//
+// Extra mode on top of the usual google-benchmark flags:
+//   --json <path>   also write {name, iterations, ns/op, bytes/op} records
+//                   in the bench_util JSON format (the lab records in
+//                   BENCH_kernels.json are a committed snapshot).
+#define GNSSLNA_BENCH_COUNT_ALLOCS
+#include "bench_util.h"
+
+#include <benchmark/benchmark.h>
+
+#include "amplifier/lna.h"
+#include "device/phemt.h"
+#include "lab/im3_bench.h"
+#include "lab/noise_meter.h"
+#include "lab/vna.h"
+#include "rf/sweep.h"
+
+namespace {
+
+using namespace gnsslna;
+
+bench::JsonRecorder g_json;
+
+/// Wraps the hot loop: runs `fn` under the benchmark state, counts heap
+/// bytes across the whole run, and files one JSON record.
+template <typename Fn>
+void run_counted(benchmark::State& state, const char* name, Fn&& fn) {
+  const std::uint64_t bytes0 = bench::alloc_bytes();
+  const bench::Stopwatch sw;
+  for (auto _ : state) {
+    fn();
+  }
+  const double elapsed_ns = sw.seconds() * 1e9;
+  const std::uint64_t bytes = bench::alloc_bytes() - bytes0;
+  const double iters =
+      state.iterations() > 0 ? static_cast<double>(state.iterations()) : 1.0;
+  const double per_op = static_cast<double>(bytes) / iters;
+  state.counters["bytes_per_op"] = per_op;
+  if (g_json.enabled()) {
+    g_json.add(name, static_cast<std::uint64_t>(state.iterations()),
+               elapsed_ns / iters, per_op);
+  }
+}
+
+std::vector<double> bench_grid() { return rf::linear_grid(1.1e9, 1.7e9, 7); }
+
+lab::TwoPortDut fig3_dut() {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::AmplifierConfig config;
+  const amplifier::LnaDesign lna(dev, config, amplifier::DesignVector{});
+  return lab::dut_from_netlist(
+      std::make_shared<circuit::Netlist>(lna.build_netlist()));
+}
+
+void BM_VnaSoltCalibration(benchmark::State& state) {
+  lab::Vna vna(lab::VnaSettings{}, bench_grid());
+  run_counted(state, "BM_VnaSoltCalibration", [&] {
+    benchmark::DoNotOptimize(vna.calibrate());
+  });
+}
+BENCHMARK(BM_VnaSoltCalibration);
+
+void BM_VnaMeasureSweep(benchmark::State& state) {
+  lab::Vna vna(lab::VnaSettings{}, bench_grid());
+  const lab::SoltCalibration cal = vna.calibrate();
+  const lab::TwoPortDut dut = fig3_dut();
+  run_counted(state, "BM_VnaMeasureSweep", [&] {
+    benchmark::DoNotOptimize(vna.measure(dut, cal));
+  });
+}
+BENCHMARK(BM_VnaMeasureSweep);
+
+void BM_YFactorNfSweep(benchmark::State& state) {
+  lab::NoiseFigureMeter meter(lab::NoiseMeterSettings{}, bench_grid());
+  const lab::TwoPortDut dut = fig3_dut();
+  run_counted(state, "BM_YFactorNfSweep", [&] {
+    benchmark::DoNotOptimize(meter.measure_nf(dut));
+  });
+}
+BENCHMARK(BM_YFactorNfSweep);
+
+void BM_Im3BenchSweep(benchmark::State& state) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::AmplifierConfig config;
+  const amplifier::LnaDesign lna(dev, config, amplifier::DesignVector{});
+  lab::Im3Bench bench(lab::Im3BenchSettings{});
+  run_counted(state, "BM_Im3BenchSweep", [&] {
+    benchmark::DoNotOptimize(bench.measure(lna));
+  });
+}
+BENCHMARK(BM_Im3BenchSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Pull out our own flags before google-benchmark sees the command line.
+  std::vector<char*> args;
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  g_json = bench::JsonRecorder(json_path);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  if (g_json.enabled()) g_json.write();
+  return 0;
+}

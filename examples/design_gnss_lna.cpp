@@ -3,9 +3,12 @@
 // then E24 snapping and re-verification.
 //
 //   ./build/examples/design_gnss_lna [nf_goal_db] [gain_goal_db] [threads]
+//                                    [de_generations] [polish_evaluations]
 // e.g.  ./build/examples/design_gnss_lna 0.7 16 4
 // threads: 0 = all hardware threads, 1 = serial (default).  The result is
-// bit-identical for any thread count.
+// bit-identical for any thread count.  The optional optimizer-budget
+// arguments shrink the run for smoke testing; defaults reproduce the
+// paper's design.
 #include <cstdio>
 #include <cstdlib>
 
@@ -21,6 +24,14 @@ int main(int argc, char** argv) {
   if (argc > 3) {
     options.optimizer.threads =
         static_cast<std::size_t>(std::strtoul(argv[3], nullptr, 10));
+  }
+  if (argc > 4) {
+    options.optimizer.de_generations =
+        static_cast<std::size_t>(std::strtoul(argv[4], nullptr, 10));
+  }
+  if (argc > 5) {
+    options.optimizer.polish_evaluations =
+        static_cast<std::size_t>(std::strtoul(argv[5], nullptr, 10));
   }
   if (options.goals.nf_goal_db <= 0.0 || options.goals.gain_goal_db <= 0.0) {
     std::fprintf(stderr,

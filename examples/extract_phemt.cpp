@@ -4,7 +4,11 @@
 //
 //   ./build/examples/extract_phemt
 //       [curtice2|curtice3|statz|tom|materka|angelov]
+//       [de_generations] [de_population]
+// The optional DE budget arguments trade accuracy for runtime (the ctest
+// smoke run uses a tiny budget; the defaults reproduce the paper tables).
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "extract/three_step.h"
@@ -37,8 +41,12 @@ int main(int argc, char** argv) {
   // 2. Three-step identification: DE global search on a Huber-robust
   //    criterion, Levenberg-Marquardt refinement, IRLS robust polish.
   extract::ThreeStepOptions options;
-  options.de_generations = 120;
-  options.de_population = 80;
+  options.de_generations =
+      argc > 2 ? static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10))
+               : 120;
+  options.de_population =
+      argc > 3 ? static_cast<std::size_t>(std::strtoul(argv[3], nullptr, 10))
+               : 80;
   numeric::Rng rng(2);
   const extract::ExtractionResult result = extract::three_step_extract(
       *prototype, data, truth.extrinsics(), rng, options);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "lab/instrument.h"
 #include "rf/sweep.h"
 
 namespace gnsslna::extract {
@@ -46,24 +47,18 @@ MeasurementSet synthesize_measurements(const device::Phemt& truth,
     }
   }
 
+  // The RF readings go through the lab's VNA receiver-noise model — the
+  // single TraceNoise implementation shared with src/lab/ instruments
+  // (identical draw order, so data sets are bit-stable across the move).
+  const lab::TraceNoise trace{noise.s_sigma, noise.outlier_fraction,
+                              noise.outlier_scale};
   set.rf.reserve(plan.rf_biases.size() * plan.rf_frequencies_hz.size());
   for (const device::Bias& bias : plan.rf_biases) {
     for (const double f : plan.rf_frequencies_hz) {
       RfPoint p;
       p.bias = bias;
       p.s = truth.s_params(bias, f);
-      double sigma = noise.s_sigma;
-      if (noise.outlier_fraction > 0.0 &&
-          rng.bernoulli(noise.outlier_fraction)) {
-        sigma *= noise.outlier_scale;
-      }
-      const auto corrupt = [&](rf::Complex& s) {
-        s += rf::Complex{rng.normal(0.0, sigma), rng.normal(0.0, sigma)};
-      };
-      corrupt(p.s.s11);
-      corrupt(p.s.s12);
-      corrupt(p.s.s21);
-      corrupt(p.s.s22);
+      trace.corrupt(p.s, rng);
       set.rf.push_back(p);
     }
   }

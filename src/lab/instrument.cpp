@@ -1,0 +1,101 @@
+#include "lab/instrument.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "amplifier/lna.h"
+#include "rf/units.h"
+
+namespace gnsslna::lab {
+
+Complex TraceNoise::corrupt(Complex value, numeric::Rng& rng) const {
+  double s = sigma;
+  if (outlier_fraction > 0.0 && rng.bernoulli(outlier_fraction)) {
+    s *= outlier_scale;
+  }
+  return value + Complex{rng.normal(0.0, s), rng.normal(0.0, s)};
+}
+
+void TraceNoise::corrupt(rf::SParams& s, numeric::Rng& rng) const {
+  double sig = sigma;
+  if (outlier_fraction > 0.0 && rng.bernoulli(outlier_fraction)) {
+    sig *= outlier_scale;
+  }
+  const auto corrupt_entry = [&](rf::Complex& entry) {
+    entry += rf::Complex{rng.normal(0.0, sig), rng.normal(0.0, sig)};
+  };
+  corrupt_entry(s.s11);
+  corrupt_entry(s.s12);
+  corrupt_entry(s.s21);
+  corrupt_entry(s.s22);
+}
+
+EnrTable::EnrTable(std::vector<Row> rows) : rows_(std::move(rows)) {
+  if (rows_.empty()) {
+    throw std::invalid_argument("EnrTable: need at least one row");
+  }
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i].frequency_hz <= rows_[i - 1].frequency_hz) {
+      throw std::invalid_argument("EnrTable: frequencies must be ascending");
+    }
+  }
+}
+
+EnrTable EnrTable::standard_15db() {
+  // A typical solid-state source: ~15 dB with a shallow downward slope,
+  // the shape printed on the side of every lab's noise head.
+  return EnrTable({{0.1e9, 15.20},
+                   {0.5e9, 15.05},
+                   {1.0e9, 14.90},
+                   {1.5e9, 14.80},
+                   {2.0e9, 14.72},
+                   {3.0e9, 14.60},
+                   {6.0e9, 14.35}});
+}
+
+double EnrTable::enr_db(double frequency_hz) const {
+  if (frequency_hz <= rows_.front().frequency_hz) {
+    return rows_.front().enr_db;
+  }
+  if (frequency_hz >= rows_.back().frequency_hz) {
+    return rows_.back().enr_db;
+  }
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    if (frequency_hz <= rows_[i].frequency_hz) {
+      const Row& a = rows_[i - 1];
+      const Row& b = rows_[i];
+      const double t =
+          (frequency_hz - a.frequency_hz) / (b.frequency_hz - a.frequency_hz);
+      return a.enr_db + t * (b.enr_db - a.enr_db);
+    }
+  }
+  return rows_.back().enr_db;  // unreachable
+}
+
+double EnrTable::t_hot_k(double frequency_hz, double t_cold_k) const {
+  return rf::kT0 * rf::ratio_from_db(enr_db(frequency_hz)) + t_cold_k;
+}
+
+TwoPortDut dut_from_netlist(std::shared_ptr<const circuit::Netlist> netlist) {
+  if (netlist == nullptr || netlist->ports().size() != 2) {
+    throw std::invalid_argument(
+        "dut_from_netlist: need a netlist with exactly 2 ports");
+  }
+  TwoPortDut dut;
+  dut.s = [netlist](double f) { return circuit::s_params(*netlist, f); };
+  dut.noise = [netlist](double f, double t_source_k) {
+    return circuit::noise_analysis(*netlist, 0, 1, f, t_source_k);
+  };
+  dut.noise_pull = [netlist](double f, Complex z_source, double t_source_k) {
+    return circuit::noise_analysis_source_pull(*netlist, 0, 1, z_source, f,
+                                               t_source_k);
+  };
+  return dut;
+}
+
+TwoPortDut dut_from_design(const amplifier::LnaDesign& design) {
+  return dut_from_netlist(
+      std::make_shared<const circuit::Netlist>(design.build_netlist()));
+}
+
+}  // namespace gnsslna::lab

@@ -1,0 +1,118 @@
+// Shared primitives of the virtual measurement lab.
+//
+// Every instrument in src/lab/ is built from the same small vocabulary:
+//   * TraceNoise      — additive complex receiver noise with optional gross
+//                       outliers (probe lift-off, connector glitches).  This
+//                       is THE VNA reading-noise model of the library; the
+//                       synthetic extraction bench (extract/measurement.cpp)
+//                       corrupts its S-parameter readings through the same
+//                       struct, so there is exactly one implementation.
+//   * EnrTable        — excess-noise-ratio vs. frequency of a noise source,
+//                       the calibration data a Y-factor meter relies on.
+//   * TwoPortDut      — the device-under-test abstraction: closures
+//                       returning TRUE S-parameters and TRUE output noise,
+//                       which instruments then observe through their error
+//                       models.  Built from any circuit::Netlist (or an
+//                       amplifier::LnaDesign via dut_from_design).
+//
+// Determinism contract (matches DESIGN.md "Parallel evaluation &
+// reproducibility"): instruments never share mutable RNG state across
+// measurement points.  Each instrument owns a root numeric::Rng seeded from
+// its settings; each sweep takes a fresh counter-based stream
+// root.split(sweep_counter), and each frequency point inside the sweep
+// draws from sweep_stream.split(point_index).  Results are therefore
+// bit-identical for any thread count and across repeated runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "circuit/analysis.h"
+#include "circuit/netlist.h"
+#include "numeric/rng.h"
+#include "rf/twoport.h"
+
+namespace gnsslna::amplifier {
+class LnaDesign;
+}
+
+namespace gnsslna::lab {
+
+using Complex = rf::Complex;
+
+/// Additive complex Gaussian reading noise with optional gross outliers.
+/// Draw order is part of the contract (extract/measurement.cpp depends on
+/// it for bit-stable synthetic benches): one Bernoulli per reading group
+/// (only when outlier_fraction > 0), then Re/Im normal pairs per entry.
+struct TraceNoise {
+  double sigma = 0.0;             ///< additive complex sigma per entry
+  double outlier_fraction = 0.0;  ///< fraction of gross outliers
+  double outlier_scale = 10.0;    ///< outlier magnitude multiplier
+
+  /// Corrupts a single complex reading.
+  Complex corrupt(Complex value, numeric::Rng& rng) const;
+
+  /// Corrupts all four entries of a two-port reading.  One outlier draw
+  /// covers the whole reading (a glitched sweep point corrupts every
+  /// receiver channel at once), then s11, s12, s21, s22 in that order.
+  void corrupt(rf::SParams& s, numeric::Rng& rng) const;
+};
+
+/// Excess noise ratio of a calibrated noise source vs. frequency, the
+/// classic diode-source calibration table (ENR = (T_hot - T0) / T0 in dB).
+/// Lookup is linear in dB between table rows, clamped at the edges.
+class EnrTable {
+ public:
+  struct Row {
+    double frequency_hz = 0.0;
+    double enr_db = 0.0;
+  };
+
+  /// Rows must be non-empty and ascending in frequency.
+  explicit EnrTable(std::vector<Row> rows);
+
+  /// The standard 15 dB diode source with a gentle L-band slope.
+  static EnrTable standard_15db();
+
+  double enr_db(double frequency_hz) const;
+
+  /// Hot temperature [K] for cold (physical) temperature t_cold:
+  /// T_hot = T0 * ENR_linear + t_cold.
+  double t_hot_k(double frequency_hz, double t_cold_k) const;
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// The device-under-test as the lab sees it: pure closures over frequency
+/// (and source state for noise), safe to call concurrently — the
+/// per-frequency instrument fan-out (numeric/parallel.h) requires it.
+struct TwoPortDut {
+  /// True two-port S-parameters at f.
+  std::function<rf::SParams(double)> s;
+
+  /// True output-port noise analysis with the input source termination
+  /// held at t_source_k (the Y-factor hot/cold states).
+  std::function<circuit::NoiseResult(double f, double t_source_k)> noise;
+
+  /// Like `noise`, with the input termination replaced by a complex source
+  /// impedance (what a source-pull tuner presents).  May be empty when the
+  /// DUT cannot be source-pulled; the noise-parameter measurement then
+  /// throws.
+  std::function<circuit::NoiseResult(double f, Complex z_source,
+                                     double t_source_k)>
+      noise_pull;
+};
+
+/// Wraps a two-port netlist (ports 0 -> input, 1 -> output).  The netlist
+/// is shared, not copied; it must outlive the DUT and stay unmutated while
+/// measurements run.
+TwoPortDut dut_from_netlist(std::shared_ptr<const circuit::Netlist> netlist);
+
+/// Builds the DUT for an assembled LNA design (owns the netlist).
+TwoPortDut dut_from_design(const amplifier::LnaDesign& design);
+
+}  // namespace gnsslna::lab

@@ -1,0 +1,99 @@
+// Top-level virtual measurement campaign: the design -> measure -> verify
+// loop closed in software.
+//
+// measure_design() takes a FINISHED design, perturbs it through fabrication
+// tolerances (the prototype that actually got built is never the nominal
+// one), then characterizes the fabricated unit with the three instruments:
+//   * the SOLT-calibrated VNA (S-parameters, raw vs corrected vs
+//     de-embedded when microstrip launchers are fitted),
+//   * the Y-factor noise-figure meter (NF sweep + source-pulled noise
+//     parameters for the Touchstone noise block),
+//   * the two-tone IM3 bench (OIP3/IIP3).
+// The corrected data are serialized as a Touchstone 1.x two-port file with
+// a trailing noise block (rf/touchstone), and every measured figure is
+// reported side by side with the simulation of the NOMINAL design — the
+// measured-vs-simulated table a paper's "experimental results" section
+// shows.
+#pragma once
+
+#include <string>
+
+#include "amplifier/design_flow.h"
+#include "amplifier/yield.h"
+#include "lab/im3_bench.h"
+#include "lab/noise_meter.h"
+#include "lab/vna.h"
+
+namespace gnsslna::lab {
+
+/// How the built prototype differs from the nominal design.  Reuses the
+/// yield-analysis tolerance model (amplifier/yield.h) for component and
+/// etch errors; seed 0 with scale 0 measures the nominal design itself.
+struct FabricationModel {
+  amplifier::ToleranceModel tolerances = {};
+  double scale = 1.0;  ///< 0 disables perturbation; 1 full tolerances
+  std::uint64_t seed = 0xFAB01;
+};
+
+struct LabOptions {
+  std::vector<double> grid_hz;  ///< empty -> 17 points over 1.0-1.8 GHz
+  VnaSettings vna = {};
+  NoiseMeterSettings noise_meter = {};
+  Im3BenchSettings im3 = {};
+  FabricationModel fabrication = {};
+  bool use_fixtures = true;        ///< microstrip launchers on both ports
+  double fixture_length_m = 6e-3;  ///< launcher length (50-ohm trace)
+  std::size_t noise_states = 9;    ///< source-pull states for noise params
+  std::size_t threads = 1;
+};
+
+struct MeasuredDesignReport {
+  amplifier::DesignVector fabricated;  ///< the unit that was "built"
+
+  // VNA.
+  rf::SweepData s_true;       ///< fabricated unit's true S-parameters
+  rf::SweepData s_raw;        ///< uncorrected readings
+  rf::SweepData s_dut;        ///< corrected + de-embedded
+  double raw_rms_error = 0.0;        ///< RMS |S_raw - S_true| over the grid
+  double corrected_rms_error = 0.0;  ///< RMS |S_dut - S_true|
+
+  // Noise.
+  std::vector<NoiseFigurePoint> nf_points;   ///< measured NF sweep
+  std::vector<double> nf_sim_db;             ///< nominal-design simulated NF
+  rf::NoiseSweep noise_parameters;           ///< measured (Lane-fitted)
+
+  // Linearity.
+  Im3Report im3;
+  double oip3_sim_dbm = 0.0;  ///< nominal-design simulated OIP3
+
+  // Aggregates for the measured-vs-simulated table.
+  double nf_meas_avg_db = 0.0;
+  double nf_sim_avg_db = 0.0;
+  double gain_meas_avg_db = 0.0;
+  double gain_sim_avg_db = 0.0;
+  double oip3_delta_db = 0.0;  ///< measured - simulated
+
+  /// Corrected S-parameters + measured noise parameters, Touchstone 1.x.
+  std::string touchstone;
+};
+
+/// Runs the full campaign on a finished design.
+MeasuredDesignReport measure_design(const device::Phemt& device,
+                                    const amplifier::AmplifierConfig& config,
+                                    const amplifier::DesignVector& design,
+                                    const LabOptions& options = {});
+
+/// Convenience overload: measures the snapped design of a design-flow
+/// outcome (the unit that would go to fabrication).
+MeasuredDesignReport measure_design(const device::Phemt& device,
+                                    const amplifier::AmplifierConfig& config,
+                                    const amplifier::DesignOutcome& outcome,
+                                    const LabOptions& options = {});
+
+/// The fabricated (perturbed) design and its board config — exposed so
+/// tests can compare instrument readings against the true built unit.
+std::pair<amplifier::DesignVector, amplifier::AmplifierConfig> fabricate(
+    const amplifier::AmplifierConfig& config,
+    const amplifier::DesignVector& design, const FabricationModel& fab);
+
+}  // namespace gnsslna::lab

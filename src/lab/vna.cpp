@@ -1,0 +1,274 @@
+#include "lab/vna.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/matrix.h"
+#include "numeric/parallel.h"
+#include "rf/units.h"
+
+namespace gnsslna::lab {
+
+namespace {
+
+/// Salt constants separating the independent deterministic streams derived
+/// from one instrument seed.
+constexpr std::uint64_t kTermsSalt = 0x7E2A5F0FD315ECB1ULL;
+constexpr std::uint64_t kDriftSalt = 0x41C64E6DA3BC0074ULL;
+
+Complex unit_phasor(numeric::Rng& rng) {
+  const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  return {std::cos(phi), std::sin(phi)};
+}
+
+/// A reflective/leakage term: nominal magnitude from the dB spec with a
+/// +-40% population spread, uniformly random phase.
+Complex leakage_term(double level_db, numeric::Rng& rng) {
+  const double mag = rf::mag_from_db(level_db) * (0.6 + 0.8 * rng.uniform());
+  return mag * unit_phasor(rng);
+}
+
+/// A tracking term: unity nominal with Gaussian magnitude and phase error.
+Complex tracking_term(double mag_sigma, double phase_sigma_deg,
+                      numeric::Rng& rng) {
+  const double mag = 1.0 + mag_sigma * rng.normal();
+  const double phase =
+      phase_sigma_deg * rng.normal() * std::numbers::pi / 180.0;
+  return mag * Complex{std::cos(phase), std::sin(phase)};
+}
+
+}  // namespace
+
+Vna::Vna(VnaSettings settings, std::vector<double> grid_hz)
+    : settings_(settings),
+      grid_(std::move(grid_hz)),
+      root_(settings.seed) {
+  if (grid_.empty()) {
+    throw std::invalid_argument("Vna: empty frequency grid");
+  }
+  for (std::size_t i = 1; i < grid_.size(); ++i) {
+    if (grid_[i] <= grid_[i - 1]) {
+      throw std::invalid_argument("Vna: grid must be ascending");
+    }
+  }
+}
+
+void Vna::set_fixture(std::function<rf::SParams(double)> input,
+                      std::function<rf::SParams(double)> output) {
+  if (static_cast<bool>(input) != static_cast<bool>(output)) {
+    throw std::invalid_argument(
+        "Vna::set_fixture: provide both halves or neither");
+  }
+  fixture_in_ = std::move(input);
+  fixture_out_ = std::move(output);
+}
+
+TwelveTermErrors Vna::true_terms(std::size_t point) const {
+  // Pure function of (seed, point): the hardware's error boxes do not
+  // change between sweeps (drift is applied on top, see drifted_terms).
+  numeric::Rng rng = numeric::Rng(settings_.seed ^ kTermsSalt).split(point);
+  TwelveTermErrors e;
+  e.e00 = leakage_term(settings_.directivity_db, rng);
+  e.e11f = leakage_term(settings_.source_match_db, rng);
+  e.e10e01 = tracking_term(settings_.tracking_mag_sigma,
+                           settings_.tracking_phase_sigma_deg, rng);
+  e.e22f = leakage_term(settings_.load_match_db, rng);
+  e.e10e32 = tracking_term(settings_.tracking_mag_sigma,
+                           settings_.tracking_phase_sigma_deg, rng);
+  e.e30 = leakage_term(settings_.crosstalk_db, rng);
+  e.e33 = leakage_term(settings_.directivity_db, rng);
+  e.e22r = leakage_term(settings_.source_match_db, rng);
+  e.e23e32 = tracking_term(settings_.tracking_mag_sigma,
+                           settings_.tracking_phase_sigma_deg, rng);
+  e.e11r = leakage_term(settings_.load_match_db, rng);
+  e.e23e01 = tracking_term(settings_.tracking_mag_sigma,
+                           settings_.tracking_phase_sigma_deg, rng);
+  e.e03 = leakage_term(settings_.crosstalk_db, rng);
+  return e;
+}
+
+TwelveTermErrors Vna::drifted_terms(std::size_t point,
+                                    std::uint64_t sweep) const {
+  TwelveTermErrors e = true_terms(point);
+  if (settings_.drift_per_sweep <= 0.0 || sweep == 0) return e;
+  // Slow receiver-chain drift: the four tracking products wander by a
+  // per-frequency direction scaled with elapsed sweeps (thermal ramp).
+  numeric::Rng rng = numeric::Rng(settings_.seed ^ kDriftSalt).split(point);
+  const double scale = settings_.drift_per_sweep * static_cast<double>(sweep);
+  const auto drift = [&](Complex& term) {
+    term *= 1.0 + scale * rng.normal();
+  };
+  drift(e.e10e01);
+  drift(e.e10e32);
+  drift(e.e23e32);
+  drift(e.e23e01);
+  return e;
+}
+
+rf::SParams Vna::observe(const rf::SParams& s_true, std::uint64_t sweep,
+                         std::size_t point) const {
+  const TwelveTermErrors e = drifted_terms(point, sweep);
+  const Complex det = s_true.determinant();
+
+  rf::SParams m = s_true;  // carries frequency_hz / z0 through
+  // Forward direction: port 1 driven, port 2 terminated in the (imperfect)
+  // forward load match.
+  const Complex df = 1.0 - e.e11f * s_true.s11 - e.e22f * s_true.s22 +
+                     e.e11f * e.e22f * det;
+  m.s11 = e.e00 + e.e10e01 * (s_true.s11 - e.e22f * det) / df;
+  m.s21 = e.e30 + e.e10e32 * s_true.s21 / df;
+  // Reverse direction.
+  const Complex dr = 1.0 - e.e22r * s_true.s22 - e.e11r * s_true.s11 +
+                     e.e22r * e.e11r * det;
+  m.s22 = e.e33 + e.e23e32 * (s_true.s22 - e.e11r * det) / dr;
+  m.s12 = e.e03 + e.e23e01 * s_true.s12 / dr;
+
+  numeric::Rng rng = root_.split(sweep).split(point);
+  settings_.trace.corrupt(m, rng);
+  return m;
+}
+
+Complex Vna::observe_reflection(Complex gamma, int port, std::uint64_t sweep,
+                                std::size_t point) const {
+  const TwelveTermErrors e = drifted_terms(point, sweep);
+  const Complex e_dir = port == 0 ? e.e00 : e.e33;
+  const Complex e_match = port == 0 ? e.e11f : e.e22r;
+  const Complex e_track = port == 0 ? e.e10e01 : e.e23e32;
+  const Complex m = e_dir + e_track * gamma / (1.0 - e_match * gamma);
+  numeric::Rng rng = root_.split(sweep).split(point);
+  return settings_.trace.corrupt(m, rng);
+}
+
+SoltCalibration Vna::calibrate(std::size_t threads) {
+  // Eight standard connections, each a sweep (order fixed by convention):
+  // short/open/load on port 1, short/open/load on port 2, thru, isolation.
+  const std::uint64_t s_short1 = sweep_counter_++;
+  const std::uint64_t s_open1 = sweep_counter_++;
+  const std::uint64_t s_load1 = sweep_counter_++;
+  const std::uint64_t s_short2 = sweep_counter_++;
+  const std::uint64_t s_open2 = sweep_counter_++;
+  const std::uint64_t s_load2 = sweep_counter_++;
+  const std::uint64_t s_thru = sweep_counter_++;
+  const std::uint64_t s_isol = sweep_counter_++;
+
+  SoltCalibration cal;
+  cal.grid_hz = grid_;
+  cal.terms = numeric::parallel_map(
+      threads, grid_.size(), [&](std::size_t i) -> TwelveTermErrors {
+        // --- one-port SOL solve, per port ------------------------------
+        // Bilinear reading model m = (a + b G) / (1 - c G) with a = e_dir,
+        // c = e_match, b = e_track - a c; three standards give the linear
+        // system a + G b + (m G) c = m.
+        const auto solve_sol = [&](int port, std::uint64_t sw_short,
+                                   std::uint64_t sw_open,
+                                   std::uint64_t sw_load, Complex& e_dir,
+                                   Complex& e_match, Complex& e_track) {
+          const Complex g[3] = {{-1.0, 0.0}, {1.0, 0.0}, {0.0, 0.0}};
+          const Complex m[3] = {
+              observe_reflection(g[0], port, sw_short, i),
+              observe_reflection(g[1], port, sw_open, i),
+              observe_reflection(g[2], port, sw_load, i)};
+          numeric::ComplexMatrix sys(3, 3);
+          std::vector<Complex> rhs(3);
+          for (int k = 0; k < 3; ++k) {
+            sys(k, 0) = {1.0, 0.0};
+            sys(k, 1) = g[k];
+            sys(k, 2) = m[k] * g[k];
+            rhs[k] = m[k];
+          }
+          const std::vector<Complex> abc = numeric::solve(sys, rhs);
+          e_dir = abc[0];
+          e_match = abc[2];
+          e_track = abc[1] + abc[0] * abc[2];
+        };
+
+        TwelveTermErrors e;
+        solve_sol(0, s_short1, s_open1, s_load1, e.e00, e.e11f, e.e10e01);
+        solve_sol(1, s_short2, s_open2, s_load2, e.e33, e.e22r, e.e23e32);
+
+        // --- isolation: matched loads on both ports (the S = 0 two-port);
+        // the transmission channels then read exactly the crosstalk.
+        {
+          rf::SParams zero;
+          zero.frequency_hz = grid_[i];
+          const rf::SParams m0 = observe(zero, s_isol, i);
+          e.e30 = m0.s21;
+          e.e03 = m0.s12;
+        }
+
+        // --- thru: load match + transmission tracking ------------------
+        const rf::SParams mt = observe(rf::s_identity(grid_[i]), s_thru, i);
+        const Complex x_f = (mt.s11 - e.e00) / e.e10e01;
+        e.e22f = x_f / (1.0 + x_f * e.e11f);
+        e.e10e32 = (mt.s21 - e.e30) * (1.0 - e.e11f * e.e22f);
+        const Complex x_r = (mt.s22 - e.e33) / e.e23e32;
+        e.e11r = x_r / (1.0 + x_r * e.e22r);
+        e.e23e01 = (mt.s12 - e.e03) * (1.0 - e.e22r * e.e11r);
+        return e;
+      });
+  return cal;
+}
+
+rf::SParams Vna::correct(const rf::SParams& raw, const TwelveTermErrors& e) {
+  const Complex n11 = (raw.s11 - e.e00) / e.e10e01;
+  const Complex n21 = (raw.s21 - e.e30) / e.e10e32;
+  const Complex n22 = (raw.s22 - e.e33) / e.e23e32;
+  const Complex n12 = (raw.s12 - e.e03) / e.e23e01;
+  const Complex d = (1.0 + n11 * e.e11f) * (1.0 + n22 * e.e22r) -
+                    n21 * n12 * e.e22f * e.e11r;
+  rf::SParams s = raw;
+  s.s11 = (n11 * (1.0 + n22 * e.e22r) - e.e22f * n21 * n12) / d;
+  s.s21 = n21 * (1.0 + n22 * (e.e22r - e.e22f)) / d;
+  s.s12 = n12 * (1.0 + n11 * (e.e11f - e.e11r)) / d;
+  s.s22 = (n22 * (1.0 + n11 * e.e11f) - e.e11r * n21 * n12) / d;
+  return s;
+}
+
+rf::SParams Vna::embedded(const TwoPortDut& dut, std::size_t point) const {
+  const double f = grid_[point];
+  rf::SParams s = dut.s(f);
+  if (fixture_in_) {
+    s = rf::cascade(fixture_in_(f), rf::cascade(s, fixture_out_(f)));
+  }
+  return s;
+}
+
+VnaMeasurement Vna::measure(const TwoPortDut& dut, const SoltCalibration& cal,
+                            std::size_t threads) {
+  if (cal.grid_hz != grid_) {
+    throw std::invalid_argument(
+        "Vna::measure: calibration grid does not match the instrument grid");
+  }
+  if (!dut.s) {
+    throw std::invalid_argument("Vna::measure: DUT has no S-closure");
+  }
+  const std::uint64_t sweep = sweep_counter_++;
+
+  VnaMeasurement out;
+  struct Stages {
+    rf::SParams raw, corrected, dut;
+  };
+  const std::vector<Stages> stages = numeric::parallel_map(
+      threads, grid_.size(), [&](std::size_t i) -> Stages {
+        Stages st;
+        st.raw = observe(embedded(dut, i), sweep, i);
+        st.corrected = correct(st.raw, cal.terms[i]);
+        st.dut = fixture_in_
+                     ? rf::deembed(st.corrected, fixture_in_(grid_[i]),
+                                   fixture_out_(grid_[i]))
+                     : st.corrected;
+        return st;
+      });
+  out.raw.reserve(stages.size());
+  out.corrected.reserve(stages.size());
+  out.dut.reserve(stages.size());
+  for (const Stages& st : stages) {
+    out.raw.push_back(st.raw);
+    out.corrected.push_back(st.corrected);
+    out.dut.push_back(st.dut);
+  }
+  return out;
+}
+
+}  // namespace gnsslna::lab

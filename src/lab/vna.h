@@ -1,0 +1,135 @@
+// Virtual two-port vector network analyzer.
+//
+// The instrument observes a DUT through the classic 12-term error model —
+// per port: directivity, source match, reflection tracking; per direction:
+// load match, transmission tracking, crosstalk — plus receiver trace noise
+// on every reading and a slow tracking drift between sweeps.  Raw readings
+// are therefore WRONG by several percent; the instrument only becomes
+// accurate after SOLT calibration (short/open/load on each port, a thru,
+// and an isolation step), which solves the error terms from measured
+// standards and applies the standard 12-term correction:
+//
+//   forward model (port 1 driven), D = 1 - e11 S11 - e22' S22 + e11 e22' dS:
+//     S11m = e00 + e_rt (S11 - e22' dS) / D,   S21m = e30 + e_tt S21 / D
+//   (mirror set for the reverse direction), and the correction
+//     n11 = (S11m-e00)/e_rt, ...               (normalized readings)
+//     S11 = [n11 (1 + n22 e22r) - e22f n21 n12] / D_c, etc.
+//
+// Fixture halves (e.g. microstrip launchers) can be interposed between the
+// calibrated reference planes and the DUT; measure() then also de-embeds
+// them (rf::deembed) from the corrected data, exercising the full
+// raw -> corrected -> de-embedded chain a real bench runs.
+//
+// Determinism: error-term truth is a pure function of (seed, point index);
+// reading noise of (seed, sweep counter, point index).  Per-frequency work
+// fans out through numeric/parallel.h; results are bit-identical for any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lab/instrument.h"
+#include "rf/sweep.h"
+
+namespace gnsslna::lab {
+
+/// One frequency point's 12-term error set (forward + reverse).
+struct TwelveTermErrors {
+  // Forward (port 1 driven).
+  Complex e00;     ///< port-1 directivity
+  Complex e11f;    ///< port-1 source match
+  Complex e10e01;  ///< port-1 reflection tracking
+  Complex e22f;    ///< forward load match (at port 2)
+  Complex e10e32;  ///< forward transmission tracking
+  Complex e30;     ///< forward crosstalk
+  // Reverse (port 2 driven).
+  Complex e33;     ///< port-2 directivity
+  Complex e22r;    ///< port-2 source match
+  Complex e23e32;  ///< port-2 reflection tracking
+  Complex e11r;    ///< reverse load match (at port 1)
+  Complex e23e01;  ///< reverse transmission tracking
+  Complex e03;     ///< reverse crosstalk
+};
+
+struct VnaSettings {
+  double directivity_db = -35.0;        ///< |e00|, |e33|
+  double source_match_db = -28.0;       ///< |e11f|, |e22r|
+  double load_match_db = -30.0;         ///< |e22f|, |e11r|
+  double tracking_mag_sigma = 0.04;     ///< tracking magnitude error (rel.)
+  double tracking_phase_sigma_deg = 4.0;
+  double crosstalk_db = -100.0;         ///< |e30|, |e03|
+  TraceNoise trace{2e-4, 0.0, 10.0};    ///< receiver noise per reading
+  double drift_per_sweep = 1e-5;        ///< relative tracking drift / sweep
+  std::uint64_t seed = 0xD0BE5;
+};
+
+/// Solved error terms per grid point — what "pressing CAL" stores.
+struct SoltCalibration {
+  std::vector<double> grid_hz;
+  std::vector<TwelveTermErrors> terms;
+};
+
+/// One VNA DUT measurement: every processing stage kept for comparison.
+struct VnaMeasurement {
+  rf::SweepData raw;        ///< uncorrected readings (error terms + noise)
+  rf::SweepData corrected;  ///< after 12-term correction (fixture still in)
+  rf::SweepData dut;        ///< corrected + fixture de-embedded
+};
+
+class Vna {
+ public:
+  /// The instrument is configured for a fixed frequency grid — like a real
+  /// VNA, calibration and measurement must share it.
+  Vna(VnaSettings settings, std::vector<double> grid_hz);
+
+  /// Interposes known fixture halves between the calibrated reference
+  /// planes and the DUT.  Pass empty functions to remove.
+  void set_fixture(std::function<rf::SParams(double)> input,
+                   std::function<rf::SParams(double)> output);
+
+  /// Full SOLT calibration from simulated standards (ideal, exactly-known
+  /// definitions: G_short = -1, G_open = +1, G_load = 0, ideal thru).
+  /// Eight standard connections = eight sweeps of reading noise and drift.
+  SoltCalibration calibrate(std::size_t threads = 1);
+
+  /// Measures a DUT through the (imperfect) receivers and applies the
+  /// 12-term correction from `cal`, then de-embeds the fixture.
+  VnaMeasurement measure(const TwoPortDut& dut, const SoltCalibration& cal,
+                         std::size_t threads = 1);
+
+  /// The TRUE error terms at a grid point (for tests: the calibration
+  /// should recover these to within the trace-noise floor).
+  TwelveTermErrors true_terms(std::size_t point) const;
+
+  /// Applies the standard 12-term correction to one raw reading.
+  static rf::SParams correct(const rf::SParams& raw,
+                             const TwelveTermErrors& e);
+
+  const std::vector<double>& grid() const { return grid_; }
+  std::uint64_t sweeps_taken() const { return sweep_counter_; }
+
+ private:
+  /// Error terms including the tracking drift accumulated by sweep `sweep`.
+  TwelveTermErrors drifted_terms(std::size_t point, std::uint64_t sweep) const;
+
+  /// Forward+reverse observation of a true S through the error model, with
+  /// reading noise drawn from the (sweep, point) stream.
+  rf::SParams observe(const rf::SParams& s_true, std::uint64_t sweep,
+                      std::size_t point) const;
+
+  /// One-port standard observation on the given port (0 or 1).
+  Complex observe_reflection(Complex gamma, int port, std::uint64_t sweep,
+                             std::size_t point) const;
+
+  /// Embeds the DUT in the configured fixture at grid point i.
+  rf::SParams embedded(const TwoPortDut& dut, std::size_t point) const;
+
+  VnaSettings settings_;
+  std::vector<double> grid_;
+  numeric::Rng root_;           ///< reading-noise root (split per sweep)
+  std::uint64_t sweep_counter_ = 0;
+  std::function<rf::SParams(double)> fixture_in_, fixture_out_;
+};
+
+}  // namespace gnsslna::lab

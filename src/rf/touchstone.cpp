@@ -171,6 +171,8 @@ TouchstoneFile read_touchstone(std::istream& in) {
             "touchstone: noise frequencies must be ascending");
       }
       file.noise.push_back(np);
+      file.noise_rows.push_back({nums[0], nums[1], nums[2], nums[3],
+                                 nums[4]});
     }
   }
   if (file.s.empty()) {
@@ -223,6 +225,28 @@ std::string write_touchstone_string(const SweepData& s,
                                     TouchstoneFormat format) {
   std::ostringstream oss;
   write_touchstone(oss, s, noise, format);
+  return oss.str();
+}
+
+void write_touchstone(std::ostream& out, const TouchstoneFile& file) {
+  if (file.noise_rows.empty()) {
+    write_touchstone(out, file.s, file.noise);
+    return;
+  }
+  // Emit the S block normally and the noise block from the raw parsed
+  // columns: max_digits10 makes double -> text -> double exact, so this
+  // reproduces the bytes of an RI-format source file.
+  write_touchstone(out, file.s);
+  out << "! noise parameters: f Fmin(dB) |Gopt| ang(Gopt) rn/z0\n";
+  for (const std::array<double, 5>& row : file.noise_rows) {
+    out << row[0] << ' ' << row[1] << ' ' << row[2] << ' ' << row[3] << ' '
+        << row[4] << '\n';
+  }
+}
+
+std::string write_touchstone_string(const TouchstoneFile& file) {
+  std::ostringstream oss;
+  write_touchstone(oss, file);
   return oss.str();
 }
 

@@ -6,8 +6,10 @@
 // rn/z0, the classic 5-column form).
 #pragma once
 
+#include <array>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "rf/sweep.h"
 
@@ -17,6 +19,13 @@ namespace gnsslna::rf {
 struct TouchstoneFile {
   SweepData s;       ///< S-parameter block (always present)
   NoiseSweep noise;  ///< optional noise block (empty when absent)
+
+  /// Raw noise-block columns exactly as printed (f, Fmin_dB, |Gopt|,
+  /// ang(Gopt), rn/z0).  The decoded NoiseParams go through transcendental
+  /// transforms (dB, magnitude/angle) that are NOT bit-invertible, so
+  /// re-serialization from `noise` alone cannot reproduce the file;
+  /// write_touchstone(const TouchstoneFile&) uses these rows instead.
+  std::vector<std::array<double, 5>> noise_rows;
 };
 
 /// Numeric format of the S-parameter columns.
@@ -39,5 +48,12 @@ void write_touchstone(std::ostream& out, const SweepData& s,
 std::string write_touchstone_string(
     const SweepData& s, const NoiseSweep& noise = {},
     TouchstoneFormat format = TouchstoneFormat::kRealImaginary);
+
+/// Re-serializes a PARSED file.  The noise block is emitted from the raw
+/// parsed columns, so for an RI-format file produced by write_touchstone
+/// the output is byte-identical to the input (the bit-stable round trip
+/// the virtual lab's .s2p artifacts are tested against).
+void write_touchstone(std::ostream& out, const TouchstoneFile& file);
+std::string write_touchstone_string(const TouchstoneFile& file);
 
 }  // namespace gnsslna::rf

@@ -188,5 +188,56 @@ TEST(Sensitivity, BiasVoltageMattersForNoise) {
   EXPECT_GT(std::abs(rows[0].d_gt_db) + std::abs(rows[0].d_nf_db), 1e-4);
 }
 
+TEST(Sensitivity, SignsFollowThePhysicsOnFig3Design) {
+  // Pin the derivative SIGNS on the fig. 3 preamplifier: these are the
+  // statements a designer reads off the table, so a regression here means
+  // the sensitivity analysis (or the circuit model under it) flipped.
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  const std::vector<amplifier::SensitivityRow> rows =
+      amplifier::sensitivity_analysis(dev, config,
+                                      amplifier::DesignVector{});
+  ASSERT_EQ(rows.size(), amplifier::DesignVector::kDimension);
+  // Raising Vgs by 10 mV raises Id and gm: more gain, slightly less noise.
+  EXPECT_GT(rows[0].d_gt_db, 0.0);
+  EXPECT_LT(rows[0].d_nf_db, 0.0);
+  // Lengthening the first input line overshoots the noise match: NF up,
+  // gain down.
+  EXPECT_GT(rows[2].d_nf_db, 0.0);
+  EXPECT_LT(rows[2].d_gt_db, 0.0);
+  // More source degeneration (row 9, L_s_deg) trades gain away.
+  EXPECT_LT(rows[9].d_gt_db, 0.0);
+  // A larger feedback resistor (row 11) means WEAKER feedback: its noise
+  // contribution drops.
+  EXPECT_LT(rows[11].d_nf_db, 0.0);
+}
+
+TEST(Sensitivity, MagnitudeOrderingOnFig3Design) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  const std::vector<amplifier::SensitivityRow> rows =
+      amplifier::sensitivity_analysis(dev, config,
+                                      amplifier::DesignVector{});
+  // The operating point dominates the gain sensitivity: no passive's
+  // per-step effect beats Vgs's 10 mV step on this design.
+  for (std::size_t j = 1; j < rows.size(); ++j) {
+    EXPECT_GT(std::abs(rows[0].d_gt_db), std::abs(rows[j].d_gt_db))
+        << rows[j].element;
+  }
+  // Noise is set at the INPUT: the first input line's NF sensitivity is an
+  // order of magnitude above any output-side element's.
+  const double input_line = std::abs(rows[2].d_nf_db);
+  for (const std::size_t j : {6ul, 7ul, 8ul}) {  // l_out1, C_out_sh, l_out2
+    EXPECT_GT(input_line, 10.0 * std::abs(rows[j].d_nf_db))
+        << rows[j].element;
+  }
+  // And every sensitivity is small in absolute terms — the snapped design
+  // is not sitting on a cliff (tolerance analysis depends on this).
+  for (const amplifier::SensitivityRow& r : rows) {
+    EXPECT_LT(std::abs(r.d_nf_db), 0.05) << r.element;
+    EXPECT_LT(std::abs(r.d_gt_db), 0.5) << r.element;
+  }
+}
+
 }  // namespace
 }  // namespace gnsslna

@@ -86,6 +86,50 @@ TEST(Uncertainty, CorrelationBoundedByOne) {
   EXPECT_NE(rep.worst_pair_i, rep.worst_pair_j);
 }
 
+TEST(Uncertainty, NoiselessDataPinsResidualSigmaNearZero) {
+  // At the TRUE parameters with noise-free measurements the residuals are
+  // numerically zero, so the estimated per-residual sigma (and with it
+  // every standard error) collapses.
+  const device::Phemt truth = device::Phemt::reference_device();
+  extract::MeasurementPlan plan = extract::MeasurementPlan::standard_plan(8);
+  plan.dc_vgs = rf::linear_grid(-0.9, 0.1, 6);
+  plan.dc_vds = rf::linear_grid(0.0, 4.0, 5);
+  plan.rf_biases = {{-0.4, 2.0}, {-0.2, 2.0}};
+  extract::MeasurementNoise noise;
+  noise.s_sigma = 0.0;
+  noise.dc_relative_sigma = 0.0;
+  noise.dc_floor_a = 0.0;
+  numeric::Rng rng(7);
+  const extract::MeasurementSet data =
+      extract::synthesize_measurements(truth, plan, noise, rng);
+  const extract::UncertaintyReport rep = extract::parameter_uncertainty(
+      truth.iv_model(), truth_params(truth), data, truth.extrinsics());
+  EXPECT_LT(rep.residual_sigma, 1e-8);
+  for (const extract::ParameterUncertainty& p : rep.parameters) {
+    EXPECT_LT(p.std_error, std::max(1e-6, 1e-4 * std::abs(p.value)))
+        << p.name;
+  }
+}
+
+TEST(Uncertainty, RelativeErrorConsistentWithAbsolute) {
+  const device::Phemt truth = device::Phemt::reference_device();
+  numeric::Rng rng(8);
+  const extract::MeasurementSet data = small_measurement(truth, 0.005, rng);
+  const extract::UncertaintyReport rep = extract::parameter_uncertainty(
+      truth.iv_model(), truth_params(truth), data, truth.extrinsics());
+  for (const extract::ParameterUncertainty& p : rep.parameters) {
+    if (std::abs(p.value) > 1e-12) {
+      EXPECT_NEAR(p.relative_error, p.std_error / std::abs(p.value),
+                  1e-12 * (1.0 + p.relative_error))
+          << p.name;
+    }
+    // 95% CI is symmetric about the value with half-width ~1.96 sigma.
+    EXPECT_NEAR(p.ci95_high - p.value, p.value - p.ci95_low,
+                1e-9 * (1.0 + std::abs(p.value)))
+        << p.name;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Corner analysis
 
