@@ -26,6 +26,7 @@
 #include "amplifier/objectives.h"
 #include "circuit/analysis.h"
 #include "device/phemt.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -38,21 +39,25 @@ bench::JsonRecorder g_json;
 template <typename Fn>
 void run_counted(benchmark::State& state, const char* name, Fn&& fn) {
   const std::uint64_t bytes0 = bench::alloc_bytes();
+  const std::uint64_t count0 = bench::alloc_count();
   const bench::Stopwatch sw;
   for (auto _ : state) {
     fn();
   }
   const double elapsed_ns = sw.seconds() * 1e9;
   const std::uint64_t bytes = bench::alloc_bytes() - bytes0;
+  const std::uint64_t allocs = bench::alloc_count() - count0;
   const double iters =
       state.iterations() > 0 ? static_cast<double>(state.iterations()) : 1.0;
   const double per_op = static_cast<double>(bytes) / iters;
+  const double allocs_per_op = static_cast<double>(allocs) / iters;
   state.counters["bytes_per_op"] = per_op;
+  state.counters["allocs_per_op"] = allocs_per_op;
   if (g_json.enabled()) {
     // google-benchmark calls each bench several times (calibration +
     // measurement); add() replaces by name, keeping the last (longest) run.
     g_json.add(name, static_cast<std::uint64_t>(state.iterations()),
-               elapsed_ns / iters, per_op);
+               elapsed_ns / iters, per_op, allocs_per_op);
   }
 }
 
@@ -188,6 +193,45 @@ double time_fet_reference_ns() {
   return best;
 }
 
+/// On a perf_smoke failure: re-run a short instrumented batch of the band
+/// kernel and print the per-stage evaluation-path counters, so the report
+/// says WHICH stage regressed (LU churn? stamp re-tabulation? cache
+/// misses?) instead of just "slower".  Runs after the timing pass so the
+/// telemetry cannot perturb the measurement.
+void print_band_counter_deltas() {
+  if (!obs::compiled_in()) {
+    std::fprintf(stderr,
+                 "[perf_smoke] (telemetry compiled out; rebuild with "
+                 "-DGNSSLNA_OBS=ON for per-stage counters)\n");
+    return;
+  }
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  amplifier::BandEvaluator evaluator(dev, config);
+  amplifier::DesignVector d;
+  evaluator.evaluate(d);  // warm up: builds netlist + plan
+  const std::vector<obs::CounterValue> before = obs::counter_snapshot();
+  constexpr int kIters = 8;
+  for (int i = 0; i < kIters; ++i) {
+    step_design(d);
+    (void)evaluator.evaluate(d);
+  }
+  const std::vector<obs::CounterValue> after = obs::counter_snapshot();
+  obs::set_enabled(was_enabled);
+  std::fprintf(stderr,
+               "[perf_smoke] evaluation-path counters over %d instrumented "
+               "band evaluations:\n",
+               kIters);
+  for (const obs::CounterValue& c : obs::counter_delta(after, before)) {
+    if (c.value == 0) continue;
+    std::fprintf(stderr, "  %-40s %8llu  (%.1f per evaluation)\n",
+                 c.name.c_str(), static_cast<unsigned long long>(c.value),
+                 static_cast<double>(c.value) / kIters);
+  }
+}
+
 int perf_smoke(const std::string& baseline_path) {
   if (std::getenv("GNSSLNA_SKIP_PERF_SMOKE") != nullptr) {
     std::printf("[perf_smoke] skipped (GNSSLNA_SKIP_PERF_SMOKE set)\n");
@@ -221,6 +265,7 @@ int perf_smoke(const std::string& baseline_path) {
                  "[perf_smoke] FAIL: band-evaluation kernel regressed "
                  ">25%% vs committed baseline (absolute AND "
                  "host-normalized)\n");
+    print_band_counter_deltas();
     return 1;
   }
   std::printf("[perf_smoke] OK\n");

@@ -19,6 +19,10 @@
 #include <new>
 #endif
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace gnsslna::bench {
 
 inline void heading(const std::string& title) {
@@ -66,17 +70,44 @@ inline std::string parse_json_path(int argc, char** argv) {
   return {};
 }
 
+/// Version of the JSON results format below.  Bump when records gain or
+/// change fields; tests/test_bench_schema.cpp pins every committed
+/// BENCH_*.json to the current version.
+///   v1: name, iterations, ns_per_op, bytes_per_op
+///   v2: + allocs_per_op (heap allocation COUNT), + peak_rss_kb
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Peak resident-set size of this process so far, in kilobytes; -1 when
+/// the platform cannot report it.
+inline double peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // bytes on macOS
+#else
+  return static_cast<double>(ru.ru_maxrss);  // kilobytes on Linux
+#endif
+#else
+  return -1.0;
+#endif
+}
+
 /// One bench measurement destined for the JSON results file.
 struct BenchRecord {
   std::string name;
   std::uint64_t iterations = 0;
   double ns_per_op = 0.0;
-  double bytes_per_op = -1.0;  ///< heap bytes per op; -1 = not measured
+  double bytes_per_op = -1.0;   ///< heap bytes per op; -1 = not measured
+  double allocs_per_op = -1.0;  ///< heap allocations per op; -1 = not measured
+  double peak_rss_kb = -1.0;    ///< process peak RSS when recorded
 };
 
 /// Collects BenchRecords and writes them as
-///   {"benchmarks": [{"name": ..., "iterations": ..., "ns_per_op": ...,
-///                    "bytes_per_op": ...}, ...]}
+///   {"schema_version": 2,
+///    "benchmarks": [{"name": ..., "iterations": ..., "ns_per_op": ...,
+///                    "bytes_per_op": ..., "allocs_per_op": ...,
+///                    "peak_rss_kb": ...}, ...]}
 /// No-op (and no file) when constructed with an empty path.
 class JsonRecorder {
  public:
@@ -85,15 +116,18 @@ class JsonRecorder {
   bool enabled() const { return !path_.empty(); }
 
   /// Adds (or, for a name already recorded, replaces) one measurement.
+  /// Peak RSS is stamped automatically at call time.
   void add(const std::string& name, std::uint64_t iterations, double ns_per_op,
-           double bytes_per_op = -1.0) {
+           double bytes_per_op = -1.0, double allocs_per_op = -1.0) {
+    const BenchRecord rec{name,         iterations,    ns_per_op,
+                          bytes_per_op, allocs_per_op, peak_rss_kb()};
     for (BenchRecord& r : records_) {
       if (r.name == name) {
-        r = {name, iterations, ns_per_op, bytes_per_op};
+        r = rec;
         return;
       }
     }
-    records_.push_back({name, iterations, ns_per_op, bytes_per_op});
+    records_.push_back(rec);
   }
 
   /// Writes the file; returns false (with a note on stderr) on I/O error.
@@ -104,15 +138,18 @@ class JsonRecorder {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    std::fprintf(f, "{\n  \"schema_version\": %d,\n  \"benchmarks\": [\n",
+                 kBenchSchemaVersion);
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"iterations\": %llu, "
-                   "\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f}%s\n",
+                   "\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, "
+                   "\"allocs_per_op\": %.2f, \"peak_rss_kb\": %.0f}%s\n",
                    r.name.c_str(),
                    static_cast<unsigned long long>(r.iterations), r.ns_per_op,
-                   r.bytes_per_op, i + 1 < records_.size() ? "," : "");
+                   r.bytes_per_op, r.allocs_per_op, r.peak_rss_kb,
+                   i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -123,6 +160,45 @@ class JsonRecorder {
   std::string path_;
   std::vector<BenchRecord> records_;
 };
+
+/// Schema check for a JSON results file as written by JsonRecorder (used by
+/// tests/test_bench_schema.cpp on every committed BENCH_*.json).  Verifies
+/// the schema_version matches kBenchSchemaVersion and that every record
+/// carries all v2 keys.  On failure returns false and, when `error` is
+/// non-null, stores a human-readable reason.
+inline bool validate_bench_json(const std::string& text, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const std::size_t v = text.find("\"schema_version\"");
+  if (v == std::string::npos) return fail("missing schema_version");
+  const std::size_t colon = text.find(':', v);
+  if (colon == std::string::npos) return fail("malformed schema_version");
+  const long version = std::strtol(text.c_str() + colon + 1, nullptr, 10);
+  if (version != kBenchSchemaVersion) {
+    return fail("schema_version " + std::to_string(version) + ", expected " +
+                std::to_string(kBenchSchemaVersion));
+  }
+  std::size_t pos = 0;
+  std::size_t records = 0;
+  while ((pos = text.find("\"name\"", pos)) != std::string::npos) {
+    const std::size_t end = text.find('}', pos);
+    if (end == std::string::npos) return fail("unterminated record");
+    const std::string record = text.substr(pos, end - pos);
+    for (const char* key : {"\"iterations\"", "\"ns_per_op\"",
+                            "\"bytes_per_op\"", "\"allocs_per_op\"",
+                            "\"peak_rss_kb\""}) {
+      if (record.find(key) == std::string::npos) {
+        return fail("record " + std::to_string(records) + " missing " + key);
+      }
+    }
+    ++records;
+    pos = end;
+  }
+  if (records == 0) return fail("no benchmark records");
+  return true;
+}
 
 /// Forgiving reader for the JsonRecorder format (and hand-edited baselines
 /// in the same shape): scans for `"name": "..."` / `"ns_per_op": <num>`
@@ -174,14 +250,16 @@ inline double bench_json_ns(
 }
 
 #if defined(GNSSLNA_BENCH_COUNT_ALLOCS)
-/// Heap bytes allocated on this thread since program start.  Only
+/// Heap bytes / allocation count on this thread since program start.  Only
 /// meaningful in translation units compiled with
 /// GNSSLNA_BENCH_COUNT_ALLOCS, which must appear in exactly ONE
 /// executable's main TU (the operator new replacement below is a program-
 /// wide definition).
 inline thread_local std::uint64_t g_alloc_bytes = 0;
+inline thread_local std::uint64_t g_alloc_count = 0;
 
 inline std::uint64_t alloc_bytes() { return g_alloc_bytes; }
+inline std::uint64_t alloc_count() { return g_alloc_count; }
 #endif
 
 }  // namespace gnsslna::bench
@@ -191,11 +269,13 @@ inline std::uint64_t alloc_bytes() { return g_alloc_bytes; }
 // per allocation keeps the timing impact far below measurement noise.
 void* operator new(std::size_t n) {
   gnsslna::bench::g_alloc_bytes += n;
+  ++gnsslna::bench::g_alloc_count;
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t n) {
   gnsslna::bench::g_alloc_bytes += n;
+  ++gnsslna::bench::g_alloc_count;
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }

@@ -1,0 +1,215 @@
+// Replays the paper's design run under full telemetry and prints a
+// run report: where the time went (span table), what the evaluation path
+// did (counter table, ReportCache hit rate), and how the optimizer
+// converged (per-generation trace + sparkline).  The machine-readable
+// artifacts feed CI:
+//
+//   run_report [--threads N] [--seed S] [--de-gens N] [--polish N]
+//              [--out-dir DIR] [--json PATH] [--deterministic-trace]
+//
+//   --out-dir DIR  write DIR/run_report_trace.json (Chrome trace-event /
+//                  Perfetto flame trace of the spans) and
+//                  DIR/run_report_convergence.csv (one row per optimizer
+//                  generation / polish stage)
+//   --json PATH    machine-readable report (counters, span stats,
+//                  convergence summary) for artifact upload
+//   --deterministic-trace
+//                  zero timestamps in the span trace so the file is
+//                  diffable across runs and thread counts (counts and
+//                  ordering stay; durations become 0)
+//
+// Telemetry is force-enabled here regardless of the GNSSLNA_OBS
+// environment variable — this tool IS the observability quickstart.
+// Convergence rows and counter totals are bit-identical for any --threads
+// value; span durations are wall-clock and therefore not (see DESIGN.md
+// "Observability").
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "amplifier/design_flow.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace gnsslna;
+
+double counter_value(const std::vector<obs::CounterValue>& counters,
+                     const char* name) {
+  for (const obs::CounterValue& c : counters) {
+    if (c.name == name) return static_cast<double>(c.value);
+  }
+  return 0.0;
+}
+
+bool write_json_report(const std::string& path, std::size_t threads,
+                       std::uint64_t seed,
+                       const amplifier::DesignOutcome& out,
+                       const std::vector<obs::CounterValue>& counters,
+                       const std::vector<obs::SpanStat>& spans,
+                       const obs::ConvergenceTrace& trace) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "run_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"threads\": %zu,\n  \"seed\": %llu,\n", threads,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"attainment\": %.17g,\n", out.optimization.attainment);
+  std::fprintf(f, "  \"nf_avg_db\": %.17g,\n", out.snapped_report.nf_avg_db);
+  std::fprintf(f, "  \"gt_min_db\": %.17g,\n", out.snapped_report.gt_min_db);
+  std::fprintf(f, "  \"evaluations\": %zu,\n", out.optimization.evaluations);
+  std::fprintf(f, "  \"convergence_rows\": %zu,\n", trace.records().size());
+  std::fprintf(f, "  \"counters\": {\n");
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %llu%s\n", counters[i].name.c_str(),
+                 static_cast<unsigned long long>(counters[i].value),
+                 i + 1 < counters.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"spans\": [\n");
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"count\": %llu, "
+                 "\"total_ns\": %llu}%s\n",
+                 spans[i].name.c_str(),
+                 static_cast<unsigned long long>(spans[i].count),
+                 static_cast<unsigned long long>(spans[i].total_ns),
+                 i + 1 < spans.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t threads = 1;
+  std::uint64_t seed = 1234;
+  std::size_t de_gens = 60;
+  std::size_t polish = 4000;
+  std::string out_dir;
+  std::string json_path;
+  bool deterministic_trace = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "run_report: %s needs a value\n", argv[i]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--de-gens") == 0) {
+      de_gens = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--polish") == 0) {
+      polish = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out-dir") == 0) {
+      out_dir = next();
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next();
+    } else if (std::strcmp(argv[i], "--deterministic-trace") == 0) {
+      deterministic_trace = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: run_report [--threads N] [--seed S] [--de-gens N] "
+                   "[--polish N] [--out-dir DIR] [--json PATH] "
+                   "[--deterministic-trace]\n");
+      return 1;
+    }
+  }
+
+  if (!obs::compiled_in()) {
+    std::printf("run_report: telemetry compiled out (GNSSLNA_OBS=OFF); "
+                "re-configure with -DGNSSLNA_OBS=ON for a full report.\n");
+  }
+  obs::set_enabled(true);
+  obs::reset();
+  obs::clear_span_capture();
+  obs::start_span_capture();
+
+  obs::ConvergenceTrace trace;
+  amplifier::DesignFlowOptions options;
+  options.optimizer.threads = threads;
+  options.optimizer.de_generations = de_gens;
+  options.optimizer.polish_evaluations = polish;
+  options.optimizer.trace = trace.sink();
+
+  const device::Phemt device = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  numeric::Rng rng(seed);
+  const amplifier::DesignOutcome out =
+      amplifier::run_design_flow(device, config, rng, options);
+  obs::stop_span_capture();
+
+  const std::vector<obs::CounterValue> counters = obs::counter_snapshot();
+  const std::vector<obs::SpanStat> spans = obs::span_snapshot();
+
+  std::printf("=== run_report: improved goal attainment design run ===\n");
+  std::printf("threads %zu, seed %llu, DE generations %zu, polish budget %zu\n",
+              threads, static_cast<unsigned long long>(seed), de_gens, polish);
+  const amplifier::BandReport& r = out.snapped_report;
+  std::printf("\nresult (E24-snapped): NF_avg = %.3f dB, GT_min = %.2f dB, "
+              "S11 <= %.2f dB, S22 <= %.2f dB, mu_min = %.3f\n",
+              r.nf_avg_db, r.gt_min_db, r.s11_worst_db, r.s22_worst_db,
+              r.mu_min);
+  std::printf("attainment gamma = %+.4f, %zu objective evaluations\n",
+              out.optimization.attainment, out.optimization.evaluations);
+
+  // Convergence: sparkline of the DE seeding stage, then the polish stages.
+  std::vector<double> de_best;
+  std::printf("\nconvergence (%zu trace rows):\n", trace.records().size());
+  for (const obs::TraceRecord& rec : trace.records()) {
+    if (rec.phase == "de_seed") de_best.push_back(rec.best_value);
+  }
+  if (!de_best.empty()) {
+    std::printf("  de_seed best objective  %s  (%.4g -> %.4g)\n",
+                obs::sparkline(de_best).c_str(), de_best.front(),
+                de_best.back());
+  }
+  for (const obs::TraceRecord& rec : trace.records()) {
+    if (rec.phase == "polish" || rec.phase == "final") {
+      std::printf("  %-6s stage %zu: value %.6g, attainment %+.4f "
+                  "(%zu evaluations)\n",
+                  rec.phase.c_str(), rec.iteration, rec.best_value,
+                  rec.attainment, rec.evaluations);
+    }
+  }
+
+  if (obs::compiled_in()) {
+    std::printf("\nspans:\n%s", obs::format_span_table(spans).c_str());
+    std::printf("\ncounters:\n%s", obs::format_counter_table(counters).c_str());
+    const double hits = counter_value(counters, "amplifier.report_cache.hits");
+    const double misses =
+        counter_value(counters, "amplifier.report_cache.misses");
+    if (hits + misses > 0.0) {
+      std::printf("\nReportCache hit rate: %.1f%% (%0.f hits / %0.f misses)\n",
+                  100.0 * hits / (hits + misses), hits, misses);
+    }
+  }
+
+  bool ok = true;
+  if (!out_dir.empty()) {
+    const std::string trace_path = out_dir + "/run_report_trace.json";
+    const std::string csv_path = out_dir + "/run_report_convergence.csv";
+    ok &= obs::write_span_trace(trace_path, deterministic_trace);
+    ok &= trace.write_csv(csv_path);
+    if (ok) {
+      std::printf("\nwrote %s and %s\n", trace_path.c_str(), csv_path.c_str());
+    }
+  }
+  if (!json_path.empty()) {
+    ok &= write_json_report(json_path, threads, seed, out, counters, spans,
+                            trace);
+    if (ok) std::printf("wrote %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

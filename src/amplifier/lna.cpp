@@ -5,6 +5,7 @@
 
 #include "circuit/noisy_twoport.h"
 #include "microstrip/discontinuity.h"
+#include "obs/obs.h"
 #include "rf/metrics.h"
 #include "rf/sweep.h"
 #include "rf/units.h"
@@ -416,6 +417,8 @@ BandReport reduce_report(const std::vector<PointFigures>& points,
 
 BandReport LnaDesign::evaluate(const std::vector<double>& band_hz,
                                std::size_t threads) const {
+  GNSSLNA_OBS_SPAN("amplifier.lna_evaluate");
+  GNSSLNA_OBS_COUNT("amplifier.band_evaluations");
   if (config_.use_eval_plan) {
     // Transient compiled plan over (band + stability grid): one LU per
     // frequency shared by the S and noise solves, every element evaluated
@@ -489,6 +492,8 @@ BandEvaluator::BandEvaluator(const device::Phemt& device,
 }
 
 BandReport BandEvaluator::evaluate(const DesignVector& design) {
+  GNSSLNA_OBS_SPAN("amplifier.band_evaluate");
+  GNSSLNA_OBS_COUNT("amplifier.band_evaluations");
   const LnaDesign lna(device_, config_, design);  // config already resolved
   if (!built_) {
     DesignBindings bindings;

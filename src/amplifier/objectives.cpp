@@ -6,6 +6,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/obs.h"
+
 namespace gnsslna::amplifier {
 
 namespace {
@@ -49,6 +51,7 @@ class ReportCache {
   const BandReport& at(const std::vector<double>& x) const {
     Slot& slot = local_slot();
     if (!slot.valid || x != slot.x) {
+      GNSSLNA_OBS_COUNT("amplifier.report_cache.misses");
       slot.valid = true;
       slot.x = x;
       try {
@@ -67,8 +70,11 @@ class ReportCache {
           slot.report = lna.evaluate(band_);
         }
       } catch (const std::exception&) {
+        GNSSLNA_OBS_COUNT("amplifier.report_cache.infeasible");
         slot.report = infeasible_report();
       }
+    } else {
+      GNSSLNA_OBS_COUNT("amplifier.report_cache.hits");
     }
     return slot.report;
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "rf/units.h"
 
 namespace gnsslna::circuit {
@@ -155,6 +156,9 @@ void CompiledNetlist::sync(const Netlist& netlist) {
     for (FreqSlot& s : slots_) s.lu_valid = false;
   }
   last_sync_retabulated_ = matrix_changes + noise_changes;
+  GNSSLNA_OBS_COUNT("circuit.plan.syncs");
+  GNSSLNA_OBS_COUNT_N("circuit.plan.stamp_retabulations", matrix_changes);
+  GNSSLNA_OBS_COUNT_N("circuit.plan.noise_retabulations", noise_changes);
 }
 
 CompiledNetlist::FreqSlot& CompiledNetlist::slot_with_lu(std::size_t fi) {
@@ -162,7 +166,11 @@ CompiledNetlist::FreqSlot& CompiledNetlist::slot_with_lu(std::size_t fi) {
     throw std::out_of_range("CompiledNetlist: grid index out of range");
   }
   FreqSlot& s = slots_[fi];
-  if (s.lu_valid) return s;
+  if (s.lu_valid) {
+    GNSSLNA_OBS_COUNT("circuit.plan.lu_cache_hits");
+    return s;
+  }
+  GNSSLNA_OBS_COUNT("circuit.plan.lu_factorizations");
 
   // Re-assemble from the tables with the exact additions, in the exact
   // order, of Netlist::assemble + assemble_terminated.
@@ -215,6 +223,7 @@ numeric::ComplexMatrix CompiledNetlist::s_matrix_at(std::size_t fi) {
   std::vector<double> sqrt_z0(k);
   for (std::size_t i = 0; i < k; ++i) sqrt_z0[i] = std::sqrt(ports_[i].z0);
 
+  GNSSLNA_OBS_COUNT_N("circuit.plan.port_solves", k);
   numeric::ComplexMatrix out(k, k);
   for (std::size_t j = 0; j < k; ++j) {
     std::fill(s.rhs.begin(), s.rhs.end(), Complex{0.0, 0.0});
@@ -238,6 +247,7 @@ rf::SParams CompiledNetlist::s_params_at(std::size_t fi) {
   FreqSlot& s = slot_with_lu(fi);
   const double sqrt_z0[2] = {std::sqrt(ports_[0].z0),
                              std::sqrt(ports_[1].z0)};
+  GNSSLNA_OBS_COUNT_N("circuit.plan.port_solves", 2);
   Complex sm[2][2];
   for (std::size_t j = 0; j < 2; ++j) {
     std::fill(s.rhs.begin(), s.rhs.end(), Complex{0.0, 0.0});
@@ -268,6 +278,7 @@ NoiseResult CompiledNetlist::noise_from_slot(FreqSlot& s, std::size_t fi,
 
   // Reciprocity, exactly as in the legacy noise_core: one transpose solve
   // with e_out gives the transfer from every injection to the output node.
+  GNSSLNA_OBS_COUNT("circuit.plan.transpose_solves");
   std::fill(s.rhs.begin(), s.rhs.end(), Complex{0.0, 0.0});
   s.rhs[out.node - 1] = Complex{1.0, 0.0};
   s.lu.solve_transposed_into(s.rhs, s.sol, s.work);

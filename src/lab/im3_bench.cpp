@@ -5,6 +5,7 @@
 
 #include "nonlinear/two_tone.h"
 #include "numeric/parallel.h"
+#include "obs/obs.h"
 #include "rf/units.h"
 
 namespace gnsslna::lab {
@@ -37,6 +38,7 @@ Im3Bench::Im3Bench(Im3BenchSettings settings)
 Im3Report Im3Bench::measure(const amplifier::LnaDesign& lna,
                             std::size_t threads) {
   const std::uint64_t sweep = sweep_counter_++;
+  GNSSLNA_OBS_COUNT("lab.im3_bench.sweeps");
 
   // Each generator's absolute level calibration is off by a fixed amount —
   // a property of the hardware, drawn from a salted stream so it is stable

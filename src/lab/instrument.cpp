@@ -4,11 +4,13 @@
 #include <stdexcept>
 
 #include "amplifier/lna.h"
+#include "obs/obs.h"
 #include "rf/units.h"
 
 namespace gnsslna::lab {
 
 Complex TraceNoise::corrupt(Complex value, numeric::Rng& rng) const {
+  GNSSLNA_OBS_COUNT("lab.trace_noise.readings");
   double s = sigma;
   if (outlier_fraction > 0.0 && rng.bernoulli(outlier_fraction)) {
     s *= outlier_scale;
@@ -17,6 +19,7 @@ Complex TraceNoise::corrupt(Complex value, numeric::Rng& rng) const {
 }
 
 void TraceNoise::corrupt(rf::SParams& s, numeric::Rng& rng) const {
+  GNSSLNA_OBS_COUNT("lab.trace_noise.readings");
   double sig = sigma;
   if (outlier_fraction > 0.0 && rng.bernoulli(outlier_fraction)) {
     sig *= outlier_scale;

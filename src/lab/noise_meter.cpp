@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "numeric/parallel.h"
+#include "obs/obs.h"
 #include "rf/noise.h"
 #include "rf/units.h"
 
@@ -122,6 +123,7 @@ std::vector<NoiseFigurePoint> NoiseFigureMeter::measure_nf(
     throw std::invalid_argument("measure_nf: DUT has no noise closure");
   }
   const std::uint64_t sweep = sweep_counter_++;
+  GNSSLNA_OBS_COUNT("lab.noise_meter.sweeps");
   return numeric::parallel_map(threads, grid_.size(), [&](std::size_t i) {
     return y_factor_point(i, sweep, dut.noise);
   });
@@ -160,6 +162,7 @@ rf::NoiseSweep NoiseFigureMeter::measure_noise_parameters(
   by_state.reserve(gammas.size());
   for (const Complex gamma : gammas) {
     const std::uint64_t sweep = sweep_counter_++;
+    GNSSLNA_OBS_COUNT("lab.noise_meter.sweeps");
     const Complex zs = rf::z_from_gamma(gamma, rf::kZ0);
     const auto psd = [&dut, zs](double f, double t_source) {
       return dut.noise_pull(f, zs, t_source);

@@ -6,6 +6,7 @@
 
 #include "numeric/matrix.h"
 #include "numeric/parallel.h"
+#include "obs/obs.h"
 #include "rf/units.h"
 
 namespace gnsslna::lab {
@@ -151,6 +152,7 @@ SoltCalibration Vna::calibrate(std::size_t threads) {
   const std::uint64_t s_load2 = sweep_counter_++;
   const std::uint64_t s_thru = sweep_counter_++;
   const std::uint64_t s_isol = sweep_counter_++;
+  GNSSLNA_OBS_COUNT_N("lab.vna.sweeps", 8);
 
   SoltCalibration cal;
   cal.grid_hz = grid_;
@@ -244,6 +246,7 @@ VnaMeasurement Vna::measure(const TwoPortDut& dut, const SoltCalibration& cal,
     throw std::invalid_argument("Vna::measure: DUT has no S-closure");
   }
   const std::uint64_t sweep = sweep_counter_++;
+  GNSSLNA_OBS_COUNT("lab.vna.sweeps");
 
   VnaMeasurement out;
   struct Stages {

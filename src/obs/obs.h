@@ -1,0 +1,169 @@
+// Runtime telemetry: counters and scoped span timers with deterministic,
+// near-zero-overhead semantics.
+//
+// Design rules (see DESIGN.md "Observability"):
+//   * Counter-based IDs — counters and span categories get dense ids in
+//     first-registration order; snapshots are keyed by NAME, so merged
+//     totals never depend on which thread happened to register first.
+//   * Thread-local shards — every thread owns a private slot array.
+//     Increments are single-writer relaxed atomics (no lock prefix, no
+//     contention, TSan-clean); snapshots sum the live shards plus the
+//     totals retired by exited threads.  Because counter values are
+//     integers and addition is commutative, totals are bit-identical for
+//     any thread count whenever the instrumented work itself is
+//     deterministic (the numeric/parallel.h contract).
+//   * No wall-clock in any value that feeds computation — counters and
+//     span COUNTS are deterministic; span DURATIONS are observational
+//     diagnostics only and are never fed back into any result.
+//   * Compile-time kill switch — building with -DGNSSLNA_OBS=OFF removes
+//     every instrumentation macro ((void)0 expansion: zero instructions in
+//     the hot paths).  The API below still links so tools compile in both
+//     modes; with instrumentation compiled out, snapshots are empty.
+//   * Runtime switch — instrumentation compiled in but disabled (the
+//     default) costs one relaxed atomic-bool load per site.  Enable with
+//     the GNSSLNA_OBS=1 environment variable or obs::set_enabled(true).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnsslna::obs {
+
+/// True when instrumentation macros are compiled in (GNSSLNA_OBS=ON).
+constexpr bool compiled_in() {
+#if defined(GNSSLNA_OBS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Runtime master switch.  Initialized once from the GNSSLNA_OBS
+/// environment variable ("1"/"true"/"on" enable); overridable at any time.
+bool enabled();
+void set_enabled(bool on);
+
+/// A named monotonic counter.  Construction registers the name (idempotent:
+/// the same name always maps to the same id); add() bumps this thread's
+/// shard.  Intended use is through GNSSLNA_OBS_COUNT below, which hides the
+/// registration behind a function-local static.
+class Counter {
+ public:
+  explicit Counter(const char* name);
+  void add(std::uint64_t n = 1) const;
+  std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// A named span category (one per instrumentation site).
+class SpanCategory {
+ public:
+  explicit SpanCategory(const char* name);
+  std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Scoped RAII timer: on destruction adds {count += 1, total_ns += dur}
+/// to this thread's shard and, while span capture is running, appends one
+/// flame-trace event.  Inert (two relaxed loads) when obs is disabled.
+class Span {
+ public:
+  explicit Span(const SpanCategory& category);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::uint32_t id_ = 0;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  ///< observational; excluded from determinism
+};
+
+/// Totals in id (= first registration) order.  Zero-valued entries are
+/// included so snapshot layouts are stable.
+std::vector<CounterValue> counter_snapshot();
+std::vector<SpanStat> span_snapshot();
+
+/// Difference a - b by name (names missing from b count from zero).  Order
+/// follows a.
+std::vector<CounterValue> counter_delta(const std::vector<CounterValue>& a,
+                                        const std::vector<CounterValue>& b);
+
+/// Zeroes every live shard and the retired totals.  Must not run
+/// concurrently with instrumented work (tests and tools only).
+void reset();
+
+// --- Flame-style span capture ---------------------------------------------
+// While capture is running every Span records a begin/end event into a
+// thread-local buffer.  write_span_trace() merges the buffers and writes a
+// Chrome trace-event JSON ("chrome://tracing" / Perfetto loadable).  Event
+// timestamps are wall-clock and therefore observational; pass
+// deterministic = true to zero them (events then sort by name + sequence),
+// which makes the file diffable across runs and thread counts.
+void start_span_capture();
+void stop_span_capture();
+bool span_capture_running();
+
+/// Writes the captured events; returns false on I/O error.  Capture keeps
+/// running (stop it explicitly if desired).
+bool write_span_trace(const std::string& path, bool deterministic = false);
+
+/// Drops all captured events.
+void clear_span_capture();
+
+}  // namespace gnsslna::obs
+
+// --- Instrumentation macros ------------------------------------------------
+// The only way hot-path code should touch obs.  With GNSSLNA_OBS=OFF these
+// expand to nothing at all.
+#if defined(GNSSLNA_OBS_ENABLED)
+
+#define GNSSLNA_OBS_CONCAT_IMPL(a, b) a##b
+#define GNSSLNA_OBS_CONCAT(a, b) GNSSLNA_OBS_CONCAT_IMPL(a, b)
+
+/// Bumps the named counter by 1.
+#define GNSSLNA_OBS_COUNT(name)                         \
+  do {                                                  \
+    static const ::gnsslna::obs::Counter obs_c_{name};  \
+    obs_c_.add(1);                                      \
+  } while (0)
+
+/// Bumps the named counter by n.
+#define GNSSLNA_OBS_COUNT_N(name, n)                    \
+  do {                                                  \
+    static const ::gnsslna::obs::Counter obs_c_{name};  \
+    obs_c_.add(static_cast<std::uint64_t>(n));          \
+  } while (0)
+
+/// Times the enclosing scope under the named span category.
+#define GNSSLNA_OBS_SPAN(name)                                       \
+  static const ::gnsslna::obs::SpanCategory GNSSLNA_OBS_CONCAT(      \
+      obs_sc_, __LINE__){name};                                      \
+  const ::gnsslna::obs::Span GNSSLNA_OBS_CONCAT(obs_span_, __LINE__)(\
+      GNSSLNA_OBS_CONCAT(obs_sc_, __LINE__))
+
+#else  // instrumentation compiled out
+
+#define GNSSLNA_OBS_COUNT(name) ((void)0)
+#define GNSSLNA_OBS_COUNT_N(name, n) ((void)0)
+#define GNSSLNA_OBS_SPAN(name) ((void)0)
+
+#endif

@@ -1,0 +1,55 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gnsslna::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  if (std::isnan(v)) {
+    out += "nan";
+    return;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ConvergenceTrace::to_csv() const {
+  std::string out =
+      "phase,stream,iteration,evaluations,best_value,attainment,front_size,"
+      "hypervolume\n";
+  char buf[64];
+  for (const TraceRecord& r : records_) {
+    out += r.phase;
+    std::snprintf(buf, sizeof(buf), ",%zu,%zu,%zu,", r.stream, r.iteration,
+                  r.evaluations);
+    out += buf;
+    append_double(out, r.best_value);
+    out += ',';
+    append_double(out, r.attainment);
+    std::snprintf(buf, sizeof(buf), ",%zu,", r.front_size);
+    out += buf;
+    append_double(out, r.hypervolume);
+    out += '\n';
+  }
+  return out;
+}
+
+bool ConvergenceTrace::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string csv = to_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace gnsslna::obs

@@ -1,0 +1,34 @@
+// Options shared by every optimizer.
+//
+// Each optimizer's options struct inherits CommonOptions instead of
+// re-declaring its own `threads` field (and now a convergence-trace sink).
+// Inheritance keeps existing call sites source-compatible: every user
+// default-constructs the options and assigns fields by name.
+//
+// Deliberately NO seed field here: randomness enters every optimizer as an
+// explicit `numeric::Rng&` argument (the repo-wide reproducibility
+// convention), so a seed in the options would be a second, conflicting
+// source of truth.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/trace.h"
+
+namespace gnsslna::optimize {
+
+struct CommonOptions {
+  /// Worker threads for batch objective evaluation: 0 = use
+  /// hardware_concurrency(), 1 = serial (default).  With threads != 1 the
+  /// objective must be safe to call concurrently; results stay bit-identical
+  /// for any thread count (numeric/parallel.h contract).
+  std::size_t threads = 1;
+
+  /// Optional per-iteration convergence telemetry (obs/trace.h).  Invoked on
+  /// the CALLING thread at generation/iteration boundaries; attaching a sink
+  /// never changes the optimization result.  Leave empty to disable (one
+  /// branch per generation).
+  obs::TraceSink trace;
+};
+
+}  // namespace gnsslna::optimize

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numeric/parallel.h"
+#include "obs/trace.h"
 
 namespace gnsslna::optimize {
 
@@ -36,6 +37,20 @@ Result differential_evolution(const ObjectiveFn& fn, const Bounds& bounds,
   for (std::size_t i = 1; i < np; ++i) {
     if (fitness[i] < fitness[best]) best = i;
   }
+
+  // One record after the initial evaluation (iteration 0) and one per
+  // generation, always emitted on the calling thread at the generation
+  // barrier — so traces are bit-identical for any thread count.
+  const auto emit = [&]() {
+    if (!options.trace) return;
+    obs::TraceRecord rec;
+    rec.phase = "de";
+    rec.iteration = result.iterations;
+    rec.evaluations = result.evaluations;
+    rec.best_value = fitness[best];
+    options.trace(rec);
+  };
+  emit();
 
   double last_best = fitness[best];
   std::size_t stall = 0;
@@ -77,6 +92,7 @@ Result differential_evolution(const ObjectiveFn& fn, const Bounds& bounds,
         if (ft[i] < fitness[best]) best = i;
       }
     }
+    emit();
 
     if (fitness[best] <= options.value_target) break;
     if (options.stall_generations > 0) {

@@ -11,11 +11,12 @@
 // are therefore bit-identical for any thread count.
 #pragma once
 
+#include "optimize/common.h"
 #include "optimize/problem.h"
 
 namespace gnsslna::optimize {
 
-struct DifferentialEvolutionOptions {
+struct DifferentialEvolutionOptions : CommonOptions {
   std::size_t population = 0;     ///< 0 -> 10 * dimension, min 20
   std::size_t max_generations = 300;
   double crossover = 0.9;         ///< CR
@@ -28,9 +29,6 @@ struct DifferentialEvolutionOptions {
                                       ///< (0 disables stall detection:
                                       ///< DE routinely plateaus before a
                                       ///< breakthrough on rough landscapes)
-  std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
-                            ///< With threads != 1 the objective must be
-                            ///< safe to call concurrently.
 };
 
 /// Minimizes fn over the box.  Deterministic for a given rng seed.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "numeric/parallel.h"
+#include "obs/trace.h"
 
 #include "optimize/differential_evolution.h"
 #include "optimize/multi_objective.h"
@@ -170,6 +171,15 @@ GoalResult improved_goal_attainment(const GoalProblem& problem,
     de.max_generations = options.de_generations;
     de.population = options.de_population;
     de.threads = options.threads;
+    if (options.trace) {
+      // Re-label the inner DE's records so a goal-attainment trace reads as
+      // one timeline: de_seed -> polish -> final.
+      de.trace = [&options](const obs::TraceRecord& rec) {
+        obs::TraceRecord relabeled = rec;
+        relabeled.phase = "de_seed";
+        options.trace(relabeled);
+      };
+    }
     const Result global = differential_evolution(
         make_scalar(options.rho_start, weights), problem.bounds, rng, de);
     x = global.x;
@@ -197,9 +207,31 @@ GoalResult improved_goal_attainment(const GoalProblem& problem,
         nelder_mead(make_scalar(rho, stage_weights), problem.bounds, x, nm);
     x = local.x;
     converged = local.converged;
+    if (options.trace) {
+      obs::TraceRecord rec;
+      rec.phase = "polish";
+      rec.iteration = static_cast<std::size_t>(stage);
+      rec.evaluations = evals.load();
+      rec.best_value = local.value;
+      // True (unsmoothed, user-weighted) minimax at the stage result.
+      // attainment_of calls problem.objectives directly, so recording it
+      // does not perturb the counted evaluations.
+      rec.attainment = attainment_of(problem, x);
+      options.trace(rec);
+    }
   }
 
-  return finalize(problem, std::move(x), evals.load(), converged);
+  GoalResult result = finalize(problem, std::move(x), evals.load(), converged);
+  if (options.trace) {
+    obs::TraceRecord rec;
+    rec.phase = "final";
+    rec.iteration = static_cast<std::size_t>(stages);
+    rec.evaluations = result.evaluations;
+    rec.best_value = result.attainment;
+    rec.attainment = result.attainment;
+    options.trace(rec);
+  }
+  return result;
 }
 
 std::vector<ParetoPoint> pareto_sweep(const GoalProblem& problem,
@@ -212,6 +244,10 @@ std::vector<ParetoPoint> pareto_sweep(const GoalProblem& problem,
   if (n_points < 2) {
     throw std::invalid_argument("pareto_sweep: need at least 2 points");
   }
+  // Scout and anchor runs execute concurrently; a shared sink would see an
+  // interleaved (thread-count-dependent) record stream, so the sweep runs
+  // untraced.
+  options.trace = nullptr;
 
   // Endpoint scouting: strongly skewed weights approximate the two
   // single-objective optima and span the reachable objective range.  The

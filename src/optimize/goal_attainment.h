@@ -37,6 +37,7 @@
 
 #include <functional>
 
+#include "optimize/common.h"
 #include "optimize/problem.h"
 
 namespace gnsslna::optimize {
@@ -73,7 +74,7 @@ GoalResult standard_goal_attainment(const GoalProblem& problem,
                                     std::vector<double> x0,
                                     StandardGoalOptions options = {});
 
-struct ImprovedGoalOptions {
+struct ImprovedGoalOptions : CommonOptions {
   // Ablation switches (all on = the improved method).
   bool adaptive_weights = true;
   bool smooth_aggregation = true;
@@ -87,13 +88,13 @@ struct ImprovedGoalOptions {
   double rho_end = 1000.0;
   int rho_stages = 4;
   double penalty_mu = 1e3;
-  std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
-                            ///< Fans out the DE seeding stage, and in
-                            ///< pareto_sweep the independent anchor runs;
-                            ///< results are bit-identical for any thread
-                            ///< count.  With threads != 1 the objectives
-                            ///< and constraints must be safe to call
-                            ///< concurrently.
+  // CommonOptions::threads fans out the DE seeding stage, and in
+  // pareto_sweep the independent anchor runs; results stay bit-identical
+  // for any thread count.  CommonOptions::trace receives the DE seeding
+  // generations (phase "de_seed"), one record per rho-continuation stage
+  // (phase "polish", attainment = true minimax at the stage result), and a
+  // closing record (phase "final").  pareto_sweep strips the sink from its
+  // concurrent scout/anchor runs.
 };
 
 /// The improved method (see file comment).  Deterministic per rng seed.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "numeric/parallel.h"
+#include "obs/trace.h"
 #include "optimize/multi_objective.h"
 
 namespace gnsslna::optimize {
@@ -192,6 +193,46 @@ Nsga2Result nsga2(const VectorObjectiveFn& objectives,
   evaluate_all(pop);
   assign_ranks(pop);
 
+  // Hypervolume reference (bi-objective only): the per-objective maximum of
+  // the initial population, nudged outward, frozen for the whole run so the
+  // per-generation trajectory is comparable.  Points that drifted past the
+  // reference are excluded (hypervolume_2d requires strict dominance).
+  std::vector<double> hv_reference;
+  if (options.trace && n_objectives == 2) {
+    hv_reference.assign(2, -std::numeric_limits<double>::infinity());
+    for (const Individual& ind : pop) {
+      for (std::size_t k = 0; k < 2; ++k) {
+        hv_reference[k] = std::max(hv_reference[k], ind.f[k]);
+      }
+    }
+    for (double& v : hv_reference) v += 1e-9 + 1e-9 * std::abs(v);
+  }
+  std::size_t generation = 0;
+  const auto emit = [&]() {
+    if (!options.trace) return;
+    obs::TraceRecord rec;
+    rec.phase = "nsga2";
+    rec.iteration = generation;
+    rec.evaluations = result.evaluations;
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> front;
+    for (const Individual& ind : pop) {
+      if (ind.rank != 0) continue;
+      ++rec.front_size;
+      best = std::min(best, ind.f[0]);
+      if (!hv_reference.empty() && dominates(ind.f, hv_reference)) {
+        front.push_back(ind.f);
+      }
+    }
+    rec.best_value = best;
+    if (!hv_reference.empty()) {
+      rec.hypervolume =
+          front.empty() ? 0.0 : hypervolume_2d(front, hv_reference);
+    }
+    options.trace(rec);
+  };
+  emit();
+
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
     // Offspring by tournament + SBX + mutation.
     std::vector<Individual> offspring;
@@ -244,6 +285,8 @@ Nsga2Result nsga2(const VectorObjectiveFn& objectives,
     merged.resize(np);
     pop = std::move(merged);
     assign_ranks(pop);
+    generation = gen + 1;
+    emit();
   }
 
   for (const Individual& ind : pop) {

@@ -8,11 +8,12 @@
 // paper's method trades front coverage for designer control.
 #pragma once
 
+#include "optimize/common.h"
 #include "optimize/problem.h"
 
 namespace gnsslna::optimize {
 
-struct Nsga2Options {
+struct Nsga2Options : CommonOptions {
   std::size_t population = 80;       ///< even number
   std::size_t generations = 150;
   double crossover_probability = 0.9;
@@ -22,14 +23,12 @@ struct Nsga2Options {
   double constraint_penalty = 1e3;   ///< added per unit violation to all
                                      ///< objectives (simple feasibility
                                      ///< pressure)
-  std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
-                            ///< Offspring genomes are generated on the
-                            ///< calling thread (RNG order unchanged), only
-                            ///< the objective/constraint evaluations fan
-                            ///< out, so results are bit-identical for any
-                            ///< thread count.  With threads != 1 the
-                            ///< objectives and constraints must be safe to
-                            ///< call concurrently.
+  // Offspring genomes are generated on the calling thread (RNG order
+  // unchanged); only the objective/constraint evaluations fan out across
+  // CommonOptions::threads, so results are bit-identical for any count.
+  // Trace records carry the rank-0 front size; for bi-objective problems
+  // they also carry the hypervolume against a reference fixed from the
+  // initial population (so the trajectory is comparable across generations).
 };
 
 struct Nsga2Individual {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numeric/parallel.h"
+#include "obs/trace.h"
 
 namespace gnsslna::optimize {
 
@@ -44,6 +45,19 @@ Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
       gbest = pos[i];
     }
   }
+
+  // Emitted on the calling thread at each iteration barrier (plus once for
+  // the initial evaluation), so traces are thread-count invariant.
+  const auto emit = [&]() {
+    if (!options.trace) return;
+    obs::TraceRecord rec;
+    rec.phase = "pso";
+    rec.iteration = result.iterations;
+    rec.evaluations = result.evaluations;
+    rec.best_value = gbest_f;
+    options.trace(rec);
+  };
+  emit();
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
@@ -86,6 +100,7 @@ Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,
         }
       }
     }
+    emit();
   }
 
   result.x = std::move(gbest);

@@ -11,11 +11,12 @@
 // order afterwards.  Results are bit-identical for any thread count.
 #pragma once
 
+#include "optimize/common.h"
 #include "optimize/problem.h"
 
 namespace gnsslna::optimize {
 
-struct ParticleSwarmOptions {
+struct ParticleSwarmOptions : CommonOptions {
   std::size_t swarm_size = 0;        ///< 0 -> 8 * dimension, min 24
   std::size_t max_iterations = 400;
   double inertia_start = 0.9;
@@ -23,9 +24,6 @@ struct ParticleSwarmOptions {
   double cognitive = 1.5;            ///< c1
   double social = 1.5;               ///< c2
   double max_velocity_fraction = 0.25;  ///< of box width
-  std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
-                            ///< With threads != 1 the objective must be
-                            ///< safe to call concurrently.
 };
 
 Result particle_swarm(const ObjectiveFn& fn, const Bounds& bounds,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numeric/parallel.h"
+#include "obs/trace.h"
 
 namespace gnsslna::optimize {
 
@@ -25,6 +26,16 @@ Result anneal_chain(const ObjectiveFn& fn, const Bounds& bounds,
   double f = eval(x);
   std::vector<double> best_x = x;
   double best_f = f;
+
+  const auto emit = [&]() {
+    if (!options.trace) return;
+    obs::TraceRecord rec;
+    rec.phase = "sa";
+    rec.iteration = result.iterations;
+    rec.evaluations = result.evaluations;
+    rec.best_value = best_f;
+    options.trace(rec);
+  };
 
   // Calibrate the initial temperature so that ~initial_acceptance of the
   // early uphill moves are accepted: T0 = <|df|> / -ln(p_accept).
@@ -67,6 +78,7 @@ Result anneal_chain(const ObjectiveFn& fn, const Bounds& bounds,
   const double step_cooling =
       std::pow(options.final_step_fraction / options.initial_step_fraction,
                1.0 / static_cast<double>(planned_rounds));
+  emit();
 
   while (result.evaluations < options.max_evaluations) {
     ++result.iterations;
@@ -91,6 +103,7 @@ Result anneal_chain(const ObjectiveFn& fn, const Bounds& bounds,
     temperature *= options.cooling;
     step_fraction =
         std::max(step_fraction * step_cooling, options.final_step_fraction);
+    emit();
   }
 
   result.x = std::move(best_x);
@@ -115,13 +128,34 @@ Result simulated_annealing(const ObjectiveFn& fn, const Bounds& bounds,
   SimulatedAnnealingOptions chain_options = options;
   chain_options.max_evaluations =
       std::max<std::size_t>(options.max_evaluations / restarts, 64);
+  chain_options.trace = nullptr;  // chains run concurrently; see below
   const numeric::Rng root = rng.fork();
+
+  // Chains may run on pool threads, so each buffers its own trace records;
+  // the buffers are replayed through the caller's sink in restart order
+  // after the join (stream = restart index) — the emitted sequence is
+  // therefore identical for any thread count.
+  std::vector<std::vector<obs::TraceRecord>> chain_traces(restarts);
 
   const std::vector<Result> chains = numeric::parallel_map(
       options.threads, restarts, [&](std::size_t r) {
         numeric::Rng chain_rng = root.split(r);
-        return anneal_chain(fn, bounds, chain_rng, chain_options);
+        SimulatedAnnealingOptions local = chain_options;
+        if (options.trace) {
+          local.trace = [&chain_traces, r](const obs::TraceRecord& rec) {
+            chain_traces[r].push_back(rec);
+          };
+        }
+        return anneal_chain(fn, bounds, chain_rng, local);
       });
+  if (options.trace) {
+    for (std::size_t r = 0; r < restarts; ++r) {
+      for (obs::TraceRecord rec : chain_traces[r]) {
+        rec.stream = r;
+        options.trace(rec);
+      }
+    }
+  }
 
   std::size_t winner = 0;
   std::size_t total_evaluations = 0;

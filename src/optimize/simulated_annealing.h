@@ -11,11 +11,12 @@
 // count.
 #pragma once
 
+#include "optimize/common.h"
 #include "optimize/problem.h"
 
 namespace gnsslna::optimize {
 
-struct SimulatedAnnealingOptions {
+struct SimulatedAnnealingOptions : CommonOptions {
   std::size_t max_evaluations = 30000;
   std::size_t moves_per_temperature = 50;
   double cooling = 0.92;              ///< geometric cooling factor
@@ -23,10 +24,10 @@ struct SimulatedAnnealingOptions {
   double final_step_fraction = 1e-3;
   double initial_acceptance = 0.8;    ///< target early acceptance rate
   std::size_t restarts = 1;  ///< independent chains; budget split evenly
-  std::size_t threads = 1;   ///< 0 = hardware_concurrency(), 1 = serial.
-                             ///< Only restarts fan out; with threads != 1
-                             ///< and restarts > 1 the objective must be
-                             ///< safe to call concurrently.
+  // Only restarts fan out across CommonOptions::threads.  With restarts > 1
+  // each chain's trace records are buffered and replayed through the sink in
+  // restart order after the chains join (stream = restart index), so traces
+  // stay bit-identical for any thread count.
 };
 
 Result simulated_annealing(const ObjectiveFn& fn, const Bounds& bounds,

@@ -1,0 +1,284 @@
+// The observability layer's contracts: deterministic shard-merged counters
+// (bit-identical totals for any thread count), inert-when-disabled
+// instrumentation, span capture, the convergence-trace CSV format, and the
+// golden convergence trace of the fig. 3 goal-attainment run at 1 and 4
+// threads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amplifier/objectives.h"
+#include "device/phemt.h"
+#include "numeric/parallel.h"
+#include "numeric/rng.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "optimize/goal_attainment.h"
+
+namespace gnsslna {
+namespace {
+
+/// Every test in this file owns the global obs state for its lifetime.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = obs::enabled();
+    obs::set_enabled(true);
+    obs::reset();
+    obs::clear_span_capture();
+  }
+  void TearDown() override {
+    obs::stop_span_capture();
+    obs::clear_span_capture();
+    obs::reset();
+    obs::set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+#if defined(GNSSLNA_OBS_ENABLED)
+
+std::uint64_t counter_named(const std::vector<obs::CounterValue>& snapshot,
+                            const std::string& name) {
+  for (const obs::CounterValue& c : snapshot) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+TEST_F(ObsTest, CounterNameRegistrationIsIdempotent) {
+  const obs::Counter a("obs_test.idempotent");
+  const obs::Counter b("obs_test.idempotent");
+  EXPECT_EQ(a.id(), b.id());
+  const obs::Counter c("obs_test.other");
+  EXPECT_NE(a.id(), c.id());
+}
+
+TEST_F(ObsTest, CounterTotalsMergeAcrossPoolThreads) {
+  const obs::Counter counter("obs_test.merge");
+  constexpr std::size_t n = 1000;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    obs::reset();
+    numeric::parallel_for(threads, n, [&](std::size_t i) {
+      counter.add(1 + i % 3);
+    });
+    // Sum of (1 + i%3) over i in [0, n): thread placement must not matter.
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) expected += 1 + i % 3;
+    EXPECT_EQ(counter_named(obs::counter_snapshot(), "obs_test.merge"),
+              expected)
+        << threads << " threads";
+  }
+}
+
+TEST_F(ObsTest, DisabledCountersDoNotCount) {
+  const obs::Counter counter("obs_test.disabled");
+  obs::set_enabled(false);
+  counter.add(7);
+  obs::set_enabled(true);
+  EXPECT_EQ(counter_named(obs::counter_snapshot(), "obs_test.disabled"), 0u);
+  counter.add(7);
+  EXPECT_EQ(counter_named(obs::counter_snapshot(), "obs_test.disabled"), 7u);
+}
+
+TEST_F(ObsTest, CounterDeltaSubtractsByName) {
+  const obs::Counter counter("obs_test.delta");
+  counter.add(5);
+  const auto before = obs::counter_snapshot();
+  counter.add(3);
+  const auto delta = obs::counter_delta(obs::counter_snapshot(), before);
+  EXPECT_EQ(counter_named(delta, "obs_test.delta"), 3u);
+}
+
+TEST_F(ObsTest, SpanStatsCountScopes) {
+  const obs::SpanCategory category("obs_test.span");
+  for (int i = 0; i < 5; ++i) {
+    obs::Span span(category);
+  }
+  const auto spans = obs::span_snapshot();
+  for (const obs::SpanStat& s : spans) {
+    if (s.name == "obs_test.span") {
+      EXPECT_EQ(s.count, 5u);
+      return;
+    }
+  }
+  FAIL() << "span category not found in snapshot";
+}
+
+TEST_F(ObsTest, SpanCaptureWritesChromeTraceJson) {
+  const obs::SpanCategory category("obs_test.capture");
+  obs::start_span_capture();
+  { obs::Span span(category); }
+  { obs::Span span(category); }
+  obs::stop_span_capture();
+
+  const std::string path = ::testing::TempDir() + "obs_capture.json";
+  ASSERT_TRUE(obs::write_span_trace(path, /*deterministic=*/true));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("obs_test.capture"), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  // Deterministic mode zeroes wall-clock: both events at ts 0.000.
+  EXPECT_NE(text.find("\"ts\": 0.000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, InstrumentationMacrosCompileAndCount) {
+  const auto before = obs::counter_snapshot();
+  GNSSLNA_OBS_COUNT("obs_test.macro");
+  GNSSLNA_OBS_COUNT_N("obs_test.macro", 4);
+  {
+    GNSSLNA_OBS_SPAN("obs_test.macro_span");
+  }
+  const auto delta = obs::counter_delta(obs::counter_snapshot(), before);
+  EXPECT_EQ(counter_named(delta, "obs_test.macro"), 5u);
+}
+
+#endif  // GNSSLNA_OBS_ENABLED
+
+TEST(ObsTrace, CsvFormatRoundTripsBitExactly) {
+  obs::ConvergenceTrace trace;
+  obs::TraceRecord rec;
+  rec.phase = "de";
+  rec.iteration = 3;
+  rec.evaluations = 420;
+  rec.best_value = 0.12345678901234567;
+  trace.record(rec);
+  rec.phase = "final";
+  rec.attainment = -0.25;
+  trace.record(rec);
+
+  const std::string csv = trace.to_csv();
+  std::istringstream in(csv);
+  std::string header, row1, row2;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row1));
+  ASSERT_TRUE(std::getline(in, row2));
+  EXPECT_EQ(header,
+            "phase,stream,iteration,evaluations,best_value,attainment,"
+            "front_size,hypervolume");
+  // %.17g doubles parse back to the exact same bits.
+  const std::size_t comma = row1.find(",nan", row1.find("0.12"));
+  ASSERT_NE(comma, std::string::npos);
+  const double parsed = std::strtod(row1.c_str() + row1.find("0.12"), nullptr);
+  EXPECT_EQ(parsed, 0.12345678901234567);
+  EXPECT_NE(row2.find("final"), std::string::npos);
+  EXPECT_NE(row2.find("-0.25"), std::string::npos);
+}
+
+TEST(ObsReport, SparklineScalesMinToMax) {
+  EXPECT_EQ(obs::sparkline({}), "");
+  const std::string line = obs::sparkline({0.0, 0.5, 1.0});
+  EXPECT_EQ(line, "▁▅█");
+  // Flat input renders at the floor level, NaN as a space.
+  EXPECT_EQ(obs::sparkline({2.0, 2.0}), "▁▁");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(obs::sparkline({0.0, nan, 1.0}), "▁ █");
+}
+
+// ---------------------------------------------------------------------------
+// Golden convergence trace of the fig. 3 goal-attainment run (reduced
+// budgets), at 1 and 4 threads.
+
+optimize::ImprovedGoalOptions small_budget(std::size_t threads) {
+  optimize::ImprovedGoalOptions options;
+  options.de_generations = 6;
+  options.de_population = 24;
+  options.polish_evaluations = 400;
+  options.threads = threads;
+  return options;
+}
+
+TEST(ObsConvergenceGolden, Fig3TraceShapeAndFinalRowMatchResult) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const optimize::GoalProblem problem = amplifier::make_goal_problem(
+      dev, amplifier::AmplifierConfig{}, amplifier::DesignGoals{});
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    obs::ConvergenceTrace trace;
+    optimize::ImprovedGoalOptions options = small_budget(threads);
+    options.trace = trace.sink();
+    numeric::Rng rng(1234);
+    const optimize::GoalResult result =
+        optimize::improved_goal_attainment(problem, rng, options);
+
+    const auto& rows = trace.records();
+    // de_seed: one row for the initial population + one per generation;
+    // polish: one per rho stage; then the closing "final" row.
+    const std::size_t expected =
+        (options.de_generations + 1) + static_cast<std::size_t>(
+                                           options.rho_stages) + 1;
+    ASSERT_EQ(rows.size(), expected) << threads << " threads";
+
+    // DE keeps its best: the seeding stage's best objective is monotone
+    // non-increasing, and evaluations only grow.
+    double prev_best = std::numeric_limits<double>::infinity();
+    std::size_t prev_evals = 0;
+    for (const obs::TraceRecord& rec : rows) {
+      EXPECT_GE(rec.evaluations, prev_evals);
+      prev_evals = rec.evaluations;
+      if (rec.phase == "de_seed") {
+        EXPECT_LE(rec.best_value, prev_best);
+        prev_best = rec.best_value;
+      }
+    }
+
+    const obs::TraceRecord& last = rows.back();
+    EXPECT_EQ(last.phase, "final");
+    EXPECT_EQ(last.attainment, result.attainment);
+    EXPECT_EQ(last.evaluations, result.evaluations);
+  }
+}
+
+TEST(ObsConvergenceGolden, Fig3TraceIsBitIdenticalAcrossThreadCounts) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const optimize::GoalProblem problem = amplifier::make_goal_problem(
+      dev, amplifier::AmplifierConfig{}, amplifier::DesignGoals{});
+
+  const auto run_csv = [&](std::size_t threads) {
+    obs::ConvergenceTrace trace;
+    optimize::ImprovedGoalOptions options = small_budget(threads);
+    options.trace = trace.sink();
+    numeric::Rng rng(1234);
+    (void)optimize::improved_goal_attainment(problem, rng, options);
+    return trace.to_csv();
+  };
+
+  const std::string serial = run_csv(1);
+  EXPECT_EQ(serial, run_csv(4));
+}
+
+TEST(ObsConvergenceGolden, AttachingASinkDoesNotChangeTheResult) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const optimize::GoalProblem problem = amplifier::make_goal_problem(
+      dev, amplifier::AmplifierConfig{}, amplifier::DesignGoals{});
+
+  const auto run = [&](bool traced) {
+    optimize::ImprovedGoalOptions options = small_budget(1);
+    obs::ConvergenceTrace trace;
+    if (traced) options.trace = trace.sink();
+    numeric::Rng rng(1234);
+    return optimize::improved_goal_attainment(problem, rng, options);
+  };
+
+  const optimize::GoalResult bare = run(false);
+  const optimize::GoalResult traced = run(true);
+  EXPECT_EQ(bare.x, traced.x);
+  EXPECT_EQ(bare.attainment, traced.attainment);
+  EXPECT_EQ(bare.evaluations, traced.evaluations);
+  EXPECT_EQ(bare.objective_values, traced.objective_values);
+}
+
+}  // namespace
+}  // namespace gnsslna

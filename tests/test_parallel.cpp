@@ -15,6 +15,7 @@
 #include "optimize/goal_attainment.h"
 #include "numeric/parallel.h"
 #include "numeric/rng.h"
+#include "obs/obs.h"
 #include "optimize/differential_evolution.h"
 #include "optimize/nsga2.h"
 #include "optimize/particle_swarm.h"
@@ -389,6 +390,71 @@ TEST(ParallelAmplifier, BandEvaluationIsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(s1[i].s22, s4[i].s22);
   }
 }
+
+#if defined(GNSSLNA_OBS_ENABLED)
+
+// The telemetry layer promises that counter TOTALS are bit-identical for
+// any thread count (thread-local shards + commutative integer merge).  The
+// only exceptions are the three counters tracking per-thread evaluator
+// rebind state — which design a thread's persistent CompiledNetlist plan
+// saw last depends on work distribution by construction.
+TEST(ParallelObs, EvaluationCounterTotalsAreBitIdenticalAcrossThreadCounts) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+
+  const device::Phemt dev = device::Phemt::reference_device();
+  const optimize::GoalProblem problem = amplifier::make_nf_gain_problem(
+      dev, amplifier::AmplifierConfig{}, amplifier::DesignGoals{});
+  numeric::Rng rng(2024);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 8; ++i) points.push_back(problem.bounds.sample(rng));
+
+  const auto is_rebind_counter = [](const std::string& name) {
+    return name == "circuit.plan.syncs" ||
+           name == "circuit.plan.stamp_retabulations" ||
+           name == "circuit.plan.noise_retabulations";
+  };
+  const auto run = [&](std::size_t threads) {
+    obs::reset();
+    numeric::parallel_for(threads, points.size(), [&](std::size_t i) {
+      (void)problem.objectives(points[i]);
+      for (const auto& constraint : problem.constraints) {
+        (void)constraint(points[i]);
+      }
+    });
+    std::vector<obs::CounterValue> out;
+    for (obs::CounterValue& c : obs::counter_snapshot()) {
+      if (!is_rebind_counter(c.name)) out.push_back(std::move(c));
+    }
+    return out;
+  };
+
+  const auto serial = run(1);
+  const auto named = [&](const char* name) {
+    for (const obs::CounterValue& c : serial) {
+      if (c.name == name) return c.value;
+    }
+    return std::uint64_t{0};
+  };
+  // The workload must actually exercise the instrumented evaluation path.
+  EXPECT_GT(named("amplifier.band_evaluations"), 0u);
+  EXPECT_GT(named("circuit.plan.lu_factorizations"), 0u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const auto par = run(threads);
+    ASSERT_EQ(serial.size(), par.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].name, par[i].name);
+      EXPECT_EQ(serial[i].value, par[i].value)
+          << serial[i].name << " at " << threads << " threads";
+    }
+  }
+
+  obs::reset();
+  obs::set_enabled(was_enabled);
+}
+
+#endif  // GNSSLNA_OBS_ENABLED
 
 }  // namespace
 }  // namespace gnsslna
