@@ -201,10 +201,10 @@ inline bool validate_bench_json(const std::string& text, std::string* error) {
 }
 
 /// Forgiving reader for the JsonRecorder format (and hand-edited baselines
-/// in the same shape): scans for `"name": "..."` / `"ns_per_op": <num>`
-/// pairs in order, ignoring everything else.  Returns name -> ns/op.
-inline std::vector<std::pair<std::string, double>> load_bench_json(
-    const std::string& path) {
+/// in the same shape): scans for `"name": "..."` / `"<field_key>": <num>`
+/// pairs in order, ignoring everything else.  Returns name -> field value.
+inline std::vector<std::pair<std::string, double>> load_bench_json_field(
+    const std::string& path, const char* field_key) {
   std::vector<std::pair<std::string, double>> out;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return out;
@@ -214,6 +214,7 @@ inline std::vector<std::pair<std::string, double>> load_bench_json(
   while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
   std::fclose(f);
 
+  const std::string quoted_key = std::string("\"") + field_key + "\"";
   std::string pending_name;
   std::size_t pos = 0;
   const auto find_key = [&](const char* key, std::size_t from) {
@@ -227,7 +228,7 @@ inline std::vector<std::pair<std::string, double>> load_bench_json(
     const std::size_t q2 = text.find('"', q1 + 1);
     if (q2 == std::string::npos) break;
     pending_name = text.substr(q1 + 1, q2 - q1 - 1);
-    const std::size_t v = find_key("\"ns_per_op\"", q2);
+    const std::size_t v = find_key(quoted_key.c_str(), q2);
     if (v == std::string::npos) break;
     const std::size_t colon = text.find(':', v);
     if (colon == std::string::npos) break;
@@ -236,6 +237,12 @@ inline std::vector<std::pair<std::string, double>> load_bench_json(
     pos = colon + 1;
   }
   return out;
+}
+
+/// load_bench_json_field() for the common ns_per_op lookup.
+inline std::vector<std::pair<std::string, double>> load_bench_json(
+    const std::string& path) {
+  return load_bench_json_field(path, "ns_per_op");
 }
 
 /// Looks up one name in a load_bench_json() result; NaN-free: returns

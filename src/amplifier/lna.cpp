@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
+#include <stdexcept>
 
 #include "circuit/noisy_twoport.h"
 #include "microstrip/discontinuity.h"
@@ -420,13 +422,18 @@ BandReport LnaDesign::evaluate(const std::vector<double>& band_hz,
   GNSSLNA_OBS_SPAN("amplifier.lna_evaluate");
   GNSSLNA_OBS_COUNT("amplifier.band_evaluations");
   if (config_.use_eval_plan) {
-    // Transient compiled plan over (band + stability grid): one LU per
-    // frequency shared by the S and noise solves, every element evaluated
-    // once per frequency.
+    // Transient plan over (band + stability grid): one LU per frequency
+    // shared by the S and noise solves, every element evaluated once per
+    // frequency.  The batched core additionally factors all frequencies
+    // of a chunk as one blocked LU; results are bit-identical either way.
     const circuit::Netlist nl = build_netlist();
     std::vector<double> grid = band_hz;
     const std::vector<double> mu_grid = stability_grid();
     grid.insert(grid.end(), mu_grid.begin(), mu_grid.end());
+    if (config_.use_batched_plan) {
+      const circuit::BatchedPlan plan(nl, std::move(grid));
+      return evaluate_from_batched(plan, band_hz.size(), threads);
+    }
     circuit::CompiledNetlist plan(nl, std::move(grid));
     return evaluate_from_plan(plan, band_hz.size(), threads);
   }
@@ -481,6 +488,50 @@ BandReport LnaDesign::evaluate_from_plan(circuit::CompiledNetlist& plan,
   return reduce_report(points, mus, bias_.id_a);
 }
 
+BandReport LnaDesign::evaluate_from_batched(const circuit::BatchedPlan& plan,
+                                            std::size_t band_points,
+                                            std::size_t threads) const {
+  const std::size_t nf = plan.size();
+  const std::size_t nchunks = std::min(numeric::resolve_threads(threads), nf);
+  std::vector<PointFigures> points(band_points);
+  std::vector<double> mus(nf - band_points);
+  std::vector<circuit::EvalWorkspace> workspaces(nchunks);
+  // Per-lane results never depend on which chunk a lane landed in (the
+  // batched kernels are lane-independent), so any chunk count produces
+  // the same index-addressed figures — reduced in grid order below.
+  const auto run_chunk = [&](std::size_t c) {
+    const circuit::ChunkRange r = circuit::chunk_range(c, nchunks, nf);
+    circuit::EvalWorkspace& ws = workspaces[c];
+    plan.factor(ws, r.begin, r.end);
+    plan.solve_ports(ws);
+    // Noise is only priced in-band, so the transfer solve covers just the
+    // band lanes of this chunk (identical bits: lanes are independent).
+    if (r.begin < band_points) {
+      plan.solve_output_transfer(ws, 1, r.begin,
+                                 std::min(r.end, band_points));
+    }
+    for (std::size_t fi = r.begin; fi < r.end; ++fi) {
+      const rf::SParams s = plan.s_params_at(ws, fi);
+      if (fi < band_points) {
+        PointFigures p;
+        p.gt = rf::db20(s.s21);
+        p.s11 = rf::db20(s.s11);
+        p.s22 = rf::db20(s.s22);
+        p.nf = plan.noise_at(ws, fi, 0, 1).noise_figure_db;
+        points[fi] = p;
+      } else {
+        mus[fi - band_points] = std::min(rf::mu_source(s), rf::mu_load(s));
+      }
+    }
+  };
+  if (nchunks == 1) {
+    run_chunk(0);
+  } else {
+    numeric::parallel_for(threads, nchunks, run_chunk);
+  }
+  return reduce_report(points, mus, bias_.id_a);
+}
+
 BandEvaluator::BandEvaluator(const device::Phemt& device,
                              AmplifierConfig config,
                              std::vector<double> band_hz)
@@ -494,6 +545,11 @@ BandEvaluator::BandEvaluator(const device::Phemt& device,
 BandReport BandEvaluator::evaluate(const DesignVector& design) {
   GNSSLNA_OBS_SPAN("amplifier.band_evaluate");
   GNSSLNA_OBS_COUNT("amplifier.band_evaluations");
+  if (config_.use_batched_plan) return evaluate_batched(design);
+  return evaluate_compiled(design);
+}
+
+BandReport BandEvaluator::evaluate_compiled(const DesignVector& design) {
   const LnaDesign lna(device_, config_, design);  // config already resolved
   if (!built_) {
     DesignBindings bindings;
@@ -514,7 +570,344 @@ BandReport BandEvaluator::evaluate(const DesignVector& design) {
     plan_.sync(netlist_);
     last_ = design;
   }
+  last_retabulated_ = plan_.last_sync_retabulated();
   return lna.evaluate_from_plan(plan_, band_hz_.size(), /*threads=*/1);
+}
+
+namespace {
+
+// --- Direct-retabulation writers -------------------------------------
+// The batched steady state bypasses the Netlist closures: each writer
+// fills a plan value table with exactly what the corresponding closure
+// builder in netlist.cpp (or noisy_twoport.cpp / fet_closures above)
+// would have returned at every grid frequency, so the direct path stays
+// bit-identical to sync()-driven retabulation (pinned by
+// tests/test_batched.cpp).  Each returns the number of tables rewritten,
+// matching CompiledNetlist::sync's retabulation count.
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Dispersive one-port (z_of(part) through add_lossy_impedance).
+template <typename Part>
+std::size_t write_lossy(circuit::BatchedPlan& plan,
+                        const circuit::ElementRef& ref, const Part& part,
+                        double temperature_k) {
+  const std::vector<double>& grid = plan.grid();
+  const circuit::BatchedPlan::StampView sv = plan.stamp_view(ref.element.index);
+  for (std::size_t fi = 0; fi < sv.count; ++fi) {
+    const circuit::Complex z = part.impedance(grid[fi]);
+    if (std::abs(z) < 1e-12) {
+      throw std::domain_error("add_lossy_impedance: near-short element");
+    }
+    sv.values[fi] = 1.0 / z;
+  }
+  if (ref.noise_group == circuit::kNoNoiseGroup) return 1;
+  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
+  for (std::size_t fi = 0; fi < nv.count; ++fi) {
+    const circuit::Complex z = part.impedance(grid[fi]);
+    const circuit::Complex y = 1.0 / z;
+    nv.csd[fi] = circuit::Complex{
+        4.0 * rf::kBoltzmann * temperature_k * std::max(0.0, y.real()), 0.0};
+  }
+  return 2;
+}
+
+std::size_t write_capacitor(circuit::BatchedPlan& plan,
+                            const circuit::ElementId& id, double farads) {
+  if (farads <= 0.0) {
+    throw std::invalid_argument("set_capacitor: capacitance must be positive");
+  }
+  const std::vector<double>& grid = plan.grid();
+  const circuit::BatchedPlan::StampView sv = plan.stamp_view(id.index);
+  for (std::size_t fi = 0; fi < sv.count; ++fi) {
+    sv.values[fi] = circuit::Complex{0.0, kTwoPi * grid[fi] * farads};
+  }
+  return 1;
+}
+
+std::size_t write_inductor(circuit::BatchedPlan& plan,
+                           const circuit::ElementId& id, double henries) {
+  if (henries <= 0.0) {
+    throw std::invalid_argument("set_inductor: inductance must be positive");
+  }
+  const std::vector<double>& grid = plan.grid();
+  const circuit::BatchedPlan::StampView sv = plan.stamp_view(id.index);
+  for (std::size_t fi = 0; fi < sv.count; ++fi) {
+    sv.values[fi] = circuit::Complex{0.0, -1.0 / (kTwoPi * grid[fi] * henries)};
+  }
+  return 1;
+}
+
+std::size_t write_resistor(circuit::BatchedPlan& plan,
+                           const circuit::ElementRef& ref, double ohms,
+                           double temperature_k) {
+  if (ohms <= 0.0) {
+    throw std::invalid_argument("set_resistor: resistance must be positive");
+  }
+  const double g = 1.0 / ohms;
+  const circuit::BatchedPlan::StampView sv = plan.stamp_view(ref.element.index);
+  for (std::size_t fi = 0; fi < sv.count; ++fi) {  // 1: freq-independent
+    sv.values[fi] = circuit::Complex{g, 0.0};
+  }
+  if (ref.noise_group == circuit::kNoNoiseGroup) return 1;
+  const double psd = 4.0 * rf::kBoltzmann * temperature_k * g;
+  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
+  for (std::size_t fi = 0; fi < nv.count; ++fi) {
+    nv.csd[fi] = circuit::Complex{psd, 0.0};
+  }
+  return 2;
+}
+
+std::size_t write_line(circuit::BatchedPlan& plan,
+                       const circuit::ElementRef& ref,
+                       const microstrip::Line& line,
+                       const std::vector<microstrip::Line::Propagation>& prop,
+                       double temperature_k) {
+  // `prop` caches the length-independent dispersion curve of this line's
+  // (substrate, width) over the plan grid; abcd_from(propagation(f)) is
+  // bit-identical to abcd(f), so the written tables match the closure
+  // path's exactly while skipping the dispersion-model re-evaluation.
+  const circuit::BatchedPlan::TwoPortView tv =
+      plan.twoport_view(ref.element.index);
+  for (std::size_t fi = 0; fi < tv.count; ++fi) {
+    tv.set(fi, rf::y_from_abcd(line.abcd_from(prop[fi])));
+  }
+  if (ref.noise_group == circuit::kNoNoiseGroup) return 1;
+  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
+  for (std::size_t fi = 0; fi < nv.count; ++fi) {
+    circuit::passive_twoport_csd_into(tv.values[fi], temperature_k,
+                                      nv.csd + fi * 4);
+  }
+  return 2;
+}
+
+std::size_t write_fet(circuit::BatchedPlan& plan,
+                      const circuit::ElementRef& ref,
+                      const device::IntrinsicParams& ip,
+                      const device::ExtrinsicParams& ex,
+                      const device::NoiseTemperatures& nt) {
+  const std::vector<double>& grid = plan.grid();
+  const circuit::BatchedPlan::TwoPortView tv =
+      plan.twoport_view(ref.element.index);
+  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
+  for (std::size_t fi = 0; fi < tv.count; ++fi) {
+    const rf::YParams yp = rf::y_from_s(device::fet_s_params(ip, ex, grid[fi]));
+    tv.set(fi, yp);
+    const rf::NoiseParams np =
+        device::pospieszalski_noise(ip, ex, nt, grid[fi]);
+    circuit::noise_correlation_y_into(yp, np, nv.csd + fi * 4);
+  }
+  return 2;
+}
+
+}  // namespace
+
+BandReport BandEvaluator::evaluate_batched(const DesignVector& design) {
+  if (!built_) {
+    // Cold build: closures, tabulation, and workspace blocks allocate
+    // freely here; every subsequent call is allocation-free.
+    const LnaDesign lna(device_, config_, design);
+    DesignBindings bindings;
+    const circuit::Netlist nl = lna.build_netlist(&bindings);
+    std::vector<double> grid = band_hz_;
+    const std::vector<double> mu_grid = LnaDesign::stability_grid();
+    grid.insert(grid.end(), mu_grid.begin(), mu_grid.end());
+    circuit::BatchedPlan plan(nl, std::move(grid));
+    // Length-independent w50 dispersion table shared by all four matching
+    // lines (the length is applied per element in write_line).
+    const microstrip::Line w50_probe(config_.substrate, config_.w50_m, 1e-3);
+    std::vector<microstrip::Line::Propagation> prop(plan.grid().size());
+    for (std::size_t fi = 0; fi < prop.size(); ++fi) {
+      prop[fi] = w50_probe.propagation(plan.grid()[fi]);
+    }
+    // Commit to the members only once everything built, so a throwing
+    // design leaves the evaluator reusable.
+    bplan_ = std::move(plan);
+    w50_prop_ = std::move(prop);
+    bindings_ = bindings;
+    bias_ = lna.bias();
+    nt_adj_ = device_.temperatures();
+    if (config_.t_ambient_k != 290.0) {
+      const double scale = config_.t_ambient_k / 290.0;
+      nt_adj_.tg_k *= scale;
+      nt_adj_.td_k *= scale;
+    }
+    last_ = design;
+    built_ = true;
+    last_retabulated_ = 0;
+  } else {
+    retabulate_batched(design);
+  }
+  return batched_pass();
+}
+
+void BandEvaluator::retabulate_batched(const DesignVector& design) {
+  const bool all = force_full_retab_;
+  // Same skip rule as LnaDesign::rebind_netlist: an element whose
+  // governing parameter did not move already holds exactly the values
+  // this design would tabulate (the writers are pure functions of the
+  // parameter), so its tables are left untouched.
+  const auto changed = [&](double DesignVector::* m) {
+    return all || last_.*m != design.*m;
+  };
+  const bool bias_changed =
+      changed(&DesignVector::vgs) || changed(&DesignVector::vds);
+  // Bias first: design_bias rejects infeasible operating points BEFORE
+  // any table is touched, leaving the evaluator reusable exactly like the
+  // scalar path (whose LnaDesign constructor throws before rebinding).
+  BiasNetwork bias = bias_;
+  if (bias_changed) bias = design_bias(device_, design, config_);
+
+  const bool any =
+      all || bias_changed || changed(&DesignVector::c_in_f) ||
+      changed(&DesignVector::l_shunt_h) || changed(&DesignVector::c_mid_f) ||
+      changed(&DesignVector::l_sdeg_h) || changed(&DesignVector::c_out_sh_f) ||
+      changed(&DesignVector::r_fb_ohm) || changed(&DesignVector::l_in_m) ||
+      changed(&DesignVector::l_in2_m) || changed(&DesignVector::l_out_m) ||
+      changed(&DesignVector::l_out2_m);
+  if (!any) {
+    last_retabulated_ = 0;
+    return;  // tables and cached factorization both still valid
+  }
+
+  // Every design-bound element contributes to the admittance matrix, so
+  // any rewrite below invalidates cached factorizations.  Dirty first —
+  // and force a full rewrite on the next call if a writer throws halfway,
+  // since the tables may then mix two designs.
+  bplan_.mark_values_dirty();
+  force_full_retab_ = true;
+  std::size_t retabulated = 0;
+  const double t = config_.t_ambient_k;
+  if (config_.dispersive_passives) {
+    if (changed(&DesignVector::c_in_f)) {
+      retabulated += write_lossy(
+          bplan_, bindings_.cin,
+          passives::make_capacitor(design.c_in_f, config_.package), t);
+    }
+    if (changed(&DesignVector::l_shunt_h)) {
+      retabulated += write_lossy(
+          bplan_, bindings_.lshunt,
+          passives::make_inductor(design.l_shunt_h, config_.package), t);
+    }
+    if (changed(&DesignVector::c_mid_f)) {
+      retabulated += write_lossy(
+          bplan_, bindings_.cmid,
+          passives::make_capacitor(design.c_mid_f, config_.package), t);
+    }
+    if (changed(&DesignVector::l_sdeg_h)) {
+      retabulated += write_lossy(
+          bplan_, bindings_.lsdeg,
+          passives::make_inductor(design.l_sdeg_h, config_.package), t);
+    }
+    if (changed(&DesignVector::c_out_sh_f)) {
+      retabulated += write_lossy(
+          bplan_, bindings_.coutsh,
+          passives::make_capacitor(design.c_out_sh_f, config_.package), t);
+    }
+  } else {
+    if (changed(&DesignVector::c_in_f)) {
+      retabulated += write_capacitor(bplan_, bindings_.cin.element,
+                                     design.c_in_f);
+    }
+    if (changed(&DesignVector::l_shunt_h)) {
+      retabulated += write_inductor(bplan_, bindings_.lshunt.element,
+                                    design.l_shunt_h);
+    }
+    if (changed(&DesignVector::c_mid_f)) {
+      retabulated += write_capacitor(bplan_, bindings_.cmid.element,
+                                     design.c_mid_f);
+    }
+    if (changed(&DesignVector::l_sdeg_h)) {
+      retabulated += write_inductor(bplan_, bindings_.lsdeg.element,
+                                    design.l_sdeg_h);
+    }
+    if (changed(&DesignVector::c_out_sh_f)) {
+      retabulated += write_capacitor(bplan_, bindings_.coutsh.element,
+                                     design.c_out_sh_f);
+    }
+  }
+  if (changed(&DesignVector::r_fb_ohm)) {
+    retabulated += write_resistor(bplan_, bindings_.rfb, design.r_fb_ohm, t);
+  }
+  if (bias_changed) {
+    retabulated += write_resistor(bplan_, bindings_.rdrain, bias.r_drain, t);
+  }
+  if (changed(&DesignVector::l_in_m)) {
+    retabulated += write_line(
+        bplan_, bindings_.tlin1,
+        microstrip::Line(config_.substrate, config_.w50_m, design.l_in_m),
+        w50_prop_, t);
+  }
+  if (changed(&DesignVector::l_in2_m)) {
+    retabulated += write_line(
+        bplan_, bindings_.tlin2,
+        microstrip::Line(config_.substrate, config_.w50_m, design.l_in2_m),
+        w50_prop_, t);
+  }
+  if (changed(&DesignVector::l_out_m)) {
+    retabulated += write_line(
+        bplan_, bindings_.tlout1,
+        microstrip::Line(config_.substrate, config_.w50_m, design.l_out_m),
+        w50_prop_, t);
+  }
+  if (changed(&DesignVector::l_out2_m)) {
+    retabulated += write_line(
+        bplan_, bindings_.tlout2,
+        microstrip::Line(config_.substrate, config_.w50_m, design.l_out2_m),
+        w50_prop_, t);
+  }
+  if (bias_changed) {
+    // Same hoisting as fet_closures: the small-signal extraction is a
+    // pure function of the bias (and temperature-independent, so the
+    // ambient-adjusted device of build_netlist yields identical values).
+    const device::IntrinsicParams ip =
+        device_.small_signal(device::Bias{design.vgs, design.vds});
+    retabulated += write_fet(bplan_, bindings_.q1, ip, device_.extrinsics(),
+                             nt_adj_);
+  }
+  force_full_retab_ = false;
+  bias_ = bias;
+  last_ = design;
+  last_retabulated_ = retabulated;
+}
+
+BandReport BandEvaluator::batched_pass() {
+  const std::size_t nf = bplan_.size();
+  const std::size_t band_points = band_hz_.size();
+  bplan_.factor(workspace_, 0, nf);
+  bplan_.solve_ports(workspace_);
+  bplan_.solve_output_transfer(workspace_, 1, 0, band_points);
+  noise_buf_.resize(band_points);
+  bplan_.noise_sweep(workspace_, 0, 1, noise_buf_.data());
+  // Serial grid-order walk with the reduction inlined; the accumulation
+  // sequence replays reduce_report exactly.
+  BandReport rep;
+  rep.id_a = bias_.id_a;
+  double nf_sum = 0.0, gt_sum = 0.0;
+  rep.nf_max_db = -1e9;
+  rep.gt_min_db = 1e9;
+  rep.s11_worst_db = -1e9;
+  rep.s22_worst_db = -1e9;
+  for (std::size_t fi = 0; fi < band_points; ++fi) {
+    const rf::SParams s = bplan_.s_params_at(workspace_, fi);
+    const double nf_db = noise_buf_[fi].noise_figure_db;
+    const double gt = rf::db20(s.s21);
+    nf_sum += nf_db;
+    gt_sum += gt;
+    rep.nf_max_db = std::max(rep.nf_max_db, nf_db);
+    rep.gt_min_db = std::min(rep.gt_min_db, gt);
+    rep.s11_worst_db = std::max(rep.s11_worst_db, rf::db20(s.s11));
+    rep.s22_worst_db = std::max(rep.s22_worst_db, rf::db20(s.s22));
+  }
+  rep.nf_avg_db = nf_sum / static_cast<double>(band_points);
+  rep.gt_avg_db = gt_sum / static_cast<double>(band_points);
+  rep.mu_min = 1e9;
+  for (std::size_t fi = band_points; fi < nf; ++fi) {
+    const rf::SParams s = bplan_.s_params_at(workspace_, fi);
+    rep.mu_min =
+        std::min(rep.mu_min, std::min(rf::mu_source(s), rf::mu_load(s)));
+  }
+  return rep;
 }
 
 }  // namespace gnsslna::amplifier

@@ -10,6 +10,7 @@
 
 #include "amplifier/topology.h"
 #include "circuit/analysis.h"
+#include "circuit/batched.h"
 #include "circuit/compiled.h"
 
 namespace gnsslna::amplifier {
@@ -87,6 +88,16 @@ class LnaDesign {
                                 std::size_t band_points,
                                 std::size_t threads = 1) const;
 
+  /// Like evaluate_from_plan(), but over a frequency-batched plan: the
+  /// grid is split into contiguous lane chunks (one EvalWorkspace each),
+  /// every chunk factored as one blocked LU batch.  Chunk boundaries
+  /// depend only on the thread count and per-lane results are independent
+  /// of chunking, so the report is bit-identical to evaluate_from_plan()
+  /// and to the legacy path at every thread count.
+  BandReport evaluate_from_batched(const circuit::BatchedPlan& plan,
+                                   std::size_t band_points,
+                                   std::size_t threads = 1) const;
+
   /// Default 7-point evaluation grid across 1.1-1.7 GHz.
   static std::vector<double> default_band();
 
@@ -107,12 +118,21 @@ class LnaDesign {
   BiasNetwork bias_;
 };
 
-/// Reusable band evaluator for optimizer loops: keeps one netlist and one
-/// compiled evaluation plan alive across design points, rebinding only the
-/// elements the design vector changes — fixed elements (and their
-/// dispersion curves) are tabulated once for the whole run, and every
-/// frequency shares a single LU factorization between the S-parameter and
-/// noise solves.  Reports are bit-identical to LnaDesign::evaluate().
+/// Reusable band evaluator for optimizer loops: keeps one evaluation plan
+/// alive across design points, re-tabulating only the elements the design
+/// vector changes — fixed elements (and their dispersion curves) are
+/// tabulated once for the whole run, and every frequency shares a single
+/// LU factorization between the S-parameter and noise solves.  Reports
+/// are bit-identical to LnaDesign::evaluate().
+///
+/// With config.use_batched_plan (the default) the evaluator runs on the
+/// allocation-free circuit::BatchedPlan core: changed element values are
+/// written straight into the plan's tables (no closures, no Netlist), and
+/// after the first call the steady state performs ZERO heap allocations
+/// (pinned by tests/test_alloc_free.cpp and the bench allocs_per_op
+/// counter).  With use_batched_plan == false it falls back to the scalar
+/// CompiledNetlist rebind/sync machinery.
+///
 /// NOT thread-safe: hold one instance per thread (see
 /// objectives.cpp::ReportCache).
 class BandEvaluator {
@@ -126,20 +146,52 @@ class BandEvaluator {
   BandReport evaluate(const DesignVector& design);
 
   /// Element/noise tables refreshed by the last evaluate() (diagnostics
-  /// and cache-invalidation tests).
-  std::size_t last_retabulated() const {
-    return plan_.last_sync_retabulated();
+  /// and cache-invalidation tests).  Same counting on both paths: one per
+  /// value table (stamp, two-port, or noise CSD) rewritten.
+  std::size_t last_retabulated() const { return last_retabulated_; }
+
+  /// Arena high-water mark of the persistent batched workspace [bytes]
+  /// (0 on the scalar path); pinned by the zero-allocation test so silent
+  /// workspace growth fails CI.
+  std::size_t workspace_high_water() const {
+    return workspace_.arena_high_water();
   }
 
  private:
+  BandReport evaluate_compiled(const DesignVector& design);
+  BandReport evaluate_batched(const DesignVector& design);
+  void retabulate_batched(const DesignVector& design);
+  BandReport batched_pass();
+
   device::Phemt device_;
   AmplifierConfig config_;
   std::vector<double> band_hz_;
   bool built_ = false;
-  DesignVector last_;  ///< design the netlist is currently bound to
+  DesignVector last_;  ///< design the plan is currently bound to
+  std::size_t last_retabulated_ = 0;
+
+  // Scalar path (use_batched_plan == false): netlist closures rebound in
+  // place, then CompiledNetlist::sync picks up the bumped revisions.
   circuit::Netlist netlist_;
   DesignBindings bindings_;
   circuit::CompiledNetlist plan_;
+
+  // Batched direct path: values are written through the plan's table
+  // views, so no netlist is retained — only the element handles.
+  circuit::BatchedPlan bplan_;
+  circuit::EvalWorkspace workspace_;
+  /// Dispersion curve of a w50-wide line over the plan grid, cached at
+  /// build time: propagation data depend on (substrate, width, f) only,
+  /// so every design-vector line length reuses this table
+  /// (abcd_from(propagation(f)) == abcd(f) bit-for-bit).
+  std::vector<microstrip::Line::Propagation> w50_prop_;
+  /// Per-band-lane noise results from the batched sweep; sized on first
+  /// use and reused (steady-state resize is a no-op, so no allocations).
+  std::vector<circuit::NoiseResult> noise_buf_;
+  BiasNetwork bias_;                  ///< bias for `last_` (id_a, r_drain)
+  device::NoiseTemperatures nt_adj_;  ///< ambient-scaled FET temperatures
+  bool force_full_retab_ = false;  ///< a write threw mid-retabulation; the
+                                   ///< tables may be mixed, rewrite all
 };
 
 }  // namespace gnsslna::amplifier

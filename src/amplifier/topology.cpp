@@ -60,6 +60,9 @@ void AmplifierConfig::resolve() {
   if (std::getenv("GNSSLNA_NO_EVAL_PLAN") != nullptr) {
     use_eval_plan = false;
   }
+  if (std::getenv("GNSSLNA_NO_BATCHED_PLAN") != nullptr) {
+    use_batched_plan = false;
+  }
   const double f_centre =
       0.5 * (rf::kGnssBandLowHz + rf::kGnssBandHighHz);
   if (w50_m <= 0.0) {

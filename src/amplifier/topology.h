@@ -99,6 +99,14 @@ struct AmplifierConfig {
                                     ///< resolve() forces false when the
                                     ///< GNSSLNA_NO_EVAL_PLAN env var is set
                                     ///< (plan on/off A/B of full benches)
+  bool use_batched_plan = true;     ///< with use_eval_plan, evaluate through
+                                    ///< the frequency-batched allocation-free
+                                    ///< core (circuit::BatchedPlan) instead
+                                    ///< of the scalar compiled plan; results
+                                    ///< are bit-identical either way.
+                                    ///< resolve() forces false when the
+                                    ///< GNSSLNA_NO_BATCHED_PLAN env var is
+                                    ///< set (three-way path A/B runs)
 
   /// Resolves w50_m / l_bias_m if unset (synthesized at band centre).
   void resolve();

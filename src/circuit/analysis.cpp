@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "circuit/batched.h"
 #include "circuit/compiled.h"
+#include "numeric/parallel.h"
 #include "rf/units.h"
 
 namespace gnsslna::circuit {
@@ -82,12 +84,32 @@ rf::SParams s_params(const Netlist& netlist, double frequency_hz) {
 rf::SweepData s_sweep(const Netlist& netlist,
                       const std::vector<double>& frequencies_hz,
                       std::size_t threads) {
-  // One compiled plan for the whole sweep: every element is evaluated once
-  // per frequency and each frequency owns its workspace slot, so the grid
-  // fans out safely.  Results are bit-identical to per-call s_params.
-  CompiledNetlist plan(netlist, frequencies_hz);
-  return numeric::parallel_map(threads, frequencies_hz.size(),
-                               [&](std::size_t i) { return plan.s_params_at(i); });
+  // One batched plan for the whole sweep: every element is tabulated once
+  // per frequency, and each thread chunk factors its contiguous lane range
+  // as one blocked LU batch.  Per-lane results never depend on which chunk
+  // a lane landed in (the kernels are lane-independent), so the sweep is
+  // bit-identical to per-call s_params at any thread count.
+  const std::size_t nf = frequencies_hz.size();
+  if (nf == 0) return {};
+  const BatchedPlan plan(netlist, frequencies_hz);
+  const std::size_t nchunks = std::min(numeric::resolve_threads(threads), nf);
+  rf::SweepData sweep(nf);
+  std::vector<EvalWorkspace> workspaces(nchunks);
+  const auto run_chunk = [&](std::size_t c) {
+    const ChunkRange r = chunk_range(c, nchunks, nf);
+    EvalWorkspace& ws = workspaces[c];
+    plan.factor(ws, r.begin, r.end);
+    plan.solve_ports(ws);
+    for (std::size_t fi = r.begin; fi < r.end; ++fi) {
+      sweep[fi] = plan.s_params_at(ws, fi);
+    }
+  };
+  if (nchunks == 1) {
+    run_chunk(0);
+  } else {
+    numeric::parallel_for(threads, nchunks, run_chunk);
+  }
+  return sweep;
 }
 
 namespace {
@@ -209,14 +231,20 @@ NoiseResult noise_analysis_source_pull(const Netlist& netlist,
 std::vector<double> noise_figure_sweep(
     const Netlist& netlist, std::size_t input_port, std::size_t output_port,
     const std::vector<double>& frequencies_hz) {
-  // Compiled plan: shares the S/noise factorization machinery and reuses
-  // workspaces across the grid; bit-identical to per-call noise_analysis.
-  CompiledNetlist plan(netlist, frequencies_hz);
+  // Batched plan: one blocked LU factorization for the whole grid, one
+  // transposed transfer solve, then the lane-batched noise sweep —
+  // bit-identical to per-call noise_analysis.
+  if (frequencies_hz.empty()) return {};
+  const BatchedPlan plan(netlist, frequencies_hz);
+  EvalWorkspace ws;
+  plan.factor(ws, 0, frequencies_hz.size());
+  plan.solve_output_transfer(ws, output_port);
+  std::vector<NoiseResult> results(frequencies_hz.size());
+  plan.noise_sweep(ws, input_port, output_port, results.data());
   std::vector<double> nf;
-  nf.reserve(frequencies_hz.size());
-  for (std::size_t i = 0; i < frequencies_hz.size(); ++i) {
-    nf.push_back(
-        plan.noise_at(i, input_port, output_port).noise_figure_db);
+  nf.reserve(results.size());
+  for (const NoiseResult& r : results) {
+    nf.push_back(r.noise_figure_db);
   }
   return nf;
 }

@@ -175,6 +175,7 @@ class Netlist {
 
  private:
   friend class CompiledNetlist;
+  friend class BatchedPlan;
 
   struct Stamp {
     // Generic 4-node stamp: adds value(f) at (rows x cols) combinations

@@ -53,6 +53,20 @@ ElementRef add_passive_twoport(Netlist& netlist, NodeId t1, NodeId t2,
 std::function<numeric::ComplexMatrix(double)> passive_twoport_csd(
     YBlockFn y, double temperature_k);
 
+/// Allocation-free variant of noise_correlation_y: writes the row-major
+/// 2x2 CY into out[4].  Replays the Matrix-operator arithmetic of the
+/// closure path term by term (including the zero-entry skip of the matrix
+/// product), so the written values are bit-identical to what the CSD
+/// closure returns.  Used by the batched direct-retabulation hot path.
+void noise_correlation_y_into(const rf::YParams& y, const rf::NoiseParams& np,
+                              Complex out[4]);
+
+/// Allocation-free variant of the passive_twoport_csd closure body:
+/// writes the row-major 2x2 Twiss CSD into out[4], bit-identical to the
+/// closure's ComplexMatrix result.
+void passive_twoport_csd_into(const rf::YParams& yp, double temperature_k,
+                              Complex out[4]);
+
 /// In-place rebinds of elements previously stamped by the add_* functions
 /// above: replace the Y-block (and the derived noise CSD) while keeping
 /// the topology, constructing exactly the closures the add_* call would.

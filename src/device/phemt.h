@@ -67,6 +67,10 @@ class Phemt {
   const FetModel& iv_model() const { return *iv_model_; }
   FetModel& iv_model() { return *iv_model_; }
   const CapacitanceParams& caps() const { return caps_; }
+  /// Replaces the capacitance parameters in place.  Together with the
+  /// non-const iv_model() accessor this lets extraction loops re-dress one
+  /// candidate device per thread instead of cloning per evaluation.
+  void set_caps(const CapacitanceParams& caps) { caps_ = caps; }
   const ExtrinsicParams& extrinsics() const { return extrinsics_; }
   const NoiseTemperatures& temperatures() const { return temperatures_; }
 

@@ -1,11 +1,30 @@
 #include "extract/objective.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace gnsslna::extract {
 
 namespace {
+
+/// Per-(closure, thread) scratch for extraction_residuals: one candidate
+/// device re-dressed in place per call (no clone, no Phemt rebuild) and a
+/// persistent residual buffer.  Looked up through a thread_local map keyed
+/// by closure id, so a shared ResidualFn can be called from any number of
+/// optimizer threads concurrently — each thread mutates only its own
+/// device.
+struct CandidateState {
+  std::unique_ptr<device::Phemt> dev;
+  std::vector<double> iv_params;
+  std::vector<double> r;
+};
+
+std::atomic<std::uint64_t> g_candidate_ids{0};
 
 /// Shared-parameter bounds: {cgs0, cgd0, cds, ri, tau, vbi}.
 struct SharedBounds {
@@ -88,11 +107,42 @@ optimize::ResidualFn extraction_residuals(
   const double dc_scale = dc_scale_of(data, weights.dc_scale_a);
   // Capture the prototype by clone so the returned closure owns its state.
   std::shared_ptr<device::FetModel> proto(prototype.clone());
+  const std::size_t n_iv = proto->parameters().size();
+  const std::uint64_t id =
+      g_candidate_ids.fetch_add(1, std::memory_order_relaxed);
 
-  return [proto, &data, extrinsics, weights,
-          dc_scale](const std::vector<double>& params) {
-    const device::Phemt dev = candidate_device(*proto, params, extrinsics);
-    std::vector<double> r;
+  return [proto, &data, extrinsics, weights, dc_scale, n_iv,
+          id](const std::vector<double>& params) {
+    if (params.size() != n_iv + kSharedParamCount) {
+      throw std::invalid_argument(
+          "candidate_device: parameter size mismatch");
+    }
+    thread_local std::unordered_map<std::uint64_t, CandidateState> states;
+    CandidateState& st = states[id];
+    if (!st.dev) {
+      st.dev = std::make_unique<device::Phemt>(
+          proto->clone(), device::CapacitanceParams{}, extrinsics,
+          device::NoiseTemperatures{});
+      st.iv_params.resize(n_iv);
+    }
+    // Re-dress the persistent device in place: exactly candidate_device's
+    // parameter split, without rebuilding the Phemt per candidate.
+    std::copy(params.begin(),
+              params.begin() + static_cast<std::ptrdiff_t>(n_iv),
+              st.iv_params.begin());
+    st.dev->iv_model().set_parameters(st.iv_params);
+    device::CapacitanceParams caps;
+    caps.cgs0 = params[n_iv + 0];
+    caps.cgd0 = params[n_iv + 1];
+    caps.cds = params[n_iv + 2];
+    caps.ri = params[n_iv + 3];
+    caps.tau_s = params[n_iv + 4];
+    caps.vbi = params[n_iv + 5];
+    st.dev->set_caps(caps);
+    const device::Phemt& dev = *st.dev;
+
+    std::vector<double>& r = st.r;
+    r.clear();
     r.reserve(data.residual_count());
     for (const DcPoint& p : data.dc) {
       const double model = dev.drain_current({p.vgs, p.vds});

@@ -17,13 +17,49 @@
 
 namespace gnsslna::numeric {
 
-/// Returns |x| for real and complex scalars alike (pivot-magnitude helper).
+/// Returns |x| for real and complex scalars alike (norm helper).
 template <typename T>
 double scalar_abs(const T& x) {
   if constexpr (std::is_same_v<T, std::complex<double>>) {
     return std::abs(x);
   } else {
     return std::abs(static_cast<double>(x));
+  }
+}
+
+/// Magnitude used for LU pivot selection: |re| + |im| for complex scalars
+/// (the one-norm — equivalent to the modulus within sqrt(2) for pivot
+/// quality, and free of the hypot library call that dominated the
+/// factorization profile), plain |x| for real scalars.  Every LU kernel in
+/// the library (the scalar LuDecomposition below and the frequency-batched
+/// kernel in circuit/batched.h) MUST select pivots through this one
+/// helper: the pivot choice fixes the permutation, and the bit-identity
+/// contract between evaluation paths requires identical permutations.
+template <typename T>
+double pivot_magnitude(const T& x) {
+  if constexpr (std::is_same_v<T, std::complex<double>>) {
+    return std::abs(x.real()) + std::abs(x.imag());
+  } else {
+    return std::abs(static_cast<double>(x));
+  }
+}
+
+/// Reciprocal used by the LU factor/solve kernels: the naive conj(z)/|z|^2
+/// form for complex scalars (two multiplies and one real divide, computed
+/// once per pivot and reused as a multiply across the column and the
+/// substitutions — replacing the per-entry __divdc3 library calls), plain
+/// 1/x for real scalars.  The naive form is safe at the magnitudes LU
+/// pivots take in this library (admittance matrices, Jacobians): |z|^2
+/// neither overflows nor underflows there.  Shared by the scalar and
+/// batched kernels for the same bit-identity reason as pivot_magnitude.
+template <typename T>
+T scalar_inverse(const T& x) {
+  if constexpr (std::is_same_v<T, std::complex<double>>) {
+    const double d = x.real() * x.real() + x.imag() * x.imag();
+    const double s = 1.0 / d;
+    return T{x.real() * s, -x.imag() * s};
+  } else {
+    return T{1} / x;
   }
 }
 
@@ -191,6 +227,13 @@ using ComplexMatrix = Matrix<std::complex<double>>;
 
 /// LU decomposition with partial pivoting; factors are stored packed.
 ///
+/// Pivots are selected by pivot_magnitude (one-norm) and each pivot's
+/// reciprocal is computed once via scalar_inverse and stored, so the
+/// factorization and both substitutions are multiply-only in the inner
+/// loops.  The frequency-batched kernel (circuit/batched.cpp) replays this
+/// exact arithmetic per frequency lane; any change here must be mirrored
+/// there to preserve the cross-path bit-identity contract.
+///
 /// Throws std::domain_error on (numerically) singular input.
 template <typename T>
 class LuDecomposition {
@@ -244,10 +287,11 @@ class LuDecomposition {
     for (std::size_t i = 1; i < n; ++i) {
       for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
     }
-    // Back substitution with U.
+    // Back substitution with U, multiplying by the stored pivot
+    // reciprocals instead of dividing.
     for (std::size_t ii = n; ii-- > 0;) {
       for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu_(ii, j) * x[j];
-      x[ii] /= lu_(ii, ii);
+      x[ii] *= dinv_[ii];
     }
   }
 
@@ -272,7 +316,7 @@ class LuDecomposition {
     for (std::size_t i = 0; i < n; ++i) {
       T acc = b[i];
       for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * work[j];
-      work[i] = acc / lu_(i, i);
+      work[i] = acc * dinv_[i];
     }
     // Back substitution with L^T (upper triangular, unit diagonal).
     for (std::size_t ii = n; ii-- > 0;) {
@@ -311,12 +355,17 @@ class LuDecomposition {
     for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
     swaps_ = 0;
 
+    dinv_.resize(n);
+
     for (std::size_t k = 0; k < n; ++k) {
-      // Partial pivoting: bring the largest remaining |a(i,k)| to row k.
+      // Partial pivoting: bring the largest remaining pivot_magnitude to
+      // row k.  The one-norm magnitude and the reciprocal-multiply column
+      // scaling below are the exact arithmetic the batched kernel in
+      // circuit/batched.cpp replays per frequency — keep them in lock-step.
       std::size_t pivot = k;
-      double best = scalar_abs(lu_(k, k));
+      double best = pivot_magnitude(lu_(k, k));
       for (std::size_t i = k + 1; i < n; ++i) {
-        const double mag = scalar_abs(lu_(i, k));
+        const double mag = pivot_magnitude(lu_(i, k));
         if (mag > best) {
           best = mag;
           pivot = i;
@@ -332,8 +381,10 @@ class LuDecomposition {
         std::swap(perm_[k], perm_[pivot]);
         swaps_++;
       }
+      const T pinv = scalar_inverse(lu_(k, k));
+      dinv_[k] = pinv;
       for (std::size_t i = k + 1; i < n; ++i) {
-        lu_(i, k) /= lu_(k, k);
+        lu_(i, k) *= pinv;
         const T lik = lu_(i, k);
         if (lik == T{}) continue;
         for (std::size_t j = k + 1; j < n; ++j) {
@@ -345,6 +396,7 @@ class LuDecomposition {
 
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;
+  std::vector<T> dinv_;
   int swaps_ = 0;
 };
 

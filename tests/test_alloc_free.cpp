@@ -1,0 +1,102 @@
+// Zero-allocation regression test for the batched evaluation core.
+//
+// Built as its OWN executable: GNSSLNA_BENCH_COUNT_ALLOCS below installs
+// the program-wide counting operator new from bench_util.h, which must not
+// leak into the main test binary.  The contract under test (see
+// DESIGN.md, "Batched evaluation core"): after the first evaluation has
+// warmed the plan, tables, and workspace arena, a BandEvaluator::evaluate
+// call performs ZERO heap allocations — element re-tabulation writes into
+// preallocated SoA tables, and factor/solve/extract run entirely out of
+// the workspace arena.
+#define GNSSLNA_BENCH_COUNT_ALLOCS
+#include "bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include "amplifier/lna.h"
+#include "device/phemt.h"
+
+namespace gnsslna::amplifier {
+namespace {
+
+/// Allocation count of one evaluate() call, measured tightly around it.
+std::uint64_t allocs_of(BandEvaluator& ev, const DesignVector& d) {
+  const std::uint64_t count0 = bench::alloc_count();
+  const BandReport r = ev.evaluate(d);
+  const std::uint64_t allocs = bench::alloc_count() - count0;
+  // Keep the report observable so the call cannot be elided.
+  EXPECT_GT(r.id_a, 0.0);
+  return allocs;
+}
+
+TEST(AllocFree, SteadyStateBandEvaluationDoesNotTouchTheHeap) {
+  BandEvaluator ev(device::Phemt::reference_device(), AmplifierConfig{});
+  DesignVector d;
+
+  // Cold call: builds the plan, tabulates every element, sizes the arena.
+  // It MUST allocate — this also proves the counter is wired up.
+  EXPECT_GT(allocs_of(ev, d), 0u);
+  // Two more warm-up calls, covering a re-tabulation and a bias step:
+  // the first pass through each code path lazily registers its obs
+  // counters (function-local statics), a one-time cost that is not part
+  // of the steady-state contract.
+  d.l_in_m += 1e-5;
+  (void)ev.evaluate(d);
+  d.vgs += 0.01;
+  (void)ev.evaluate(d);
+
+  // Steady state: same design, single-field steps of every character the
+  // optimizer makes (line length, chip passive, bias voltage, resistor),
+  // and a full design step.  None may allocate.
+  EXPECT_EQ(allocs_of(ev, d), 0u) << "same-design re-evaluation";
+  for (int i = 0; i < 50; ++i) {
+    d.l_in_m += 1e-5;
+    EXPECT_EQ(allocs_of(ev, d), 0u) << "line-length step " << i;
+  }
+  d.c_mid_f = 1.3e-12;
+  EXPECT_EQ(allocs_of(ev, d), 0u) << "chip-capacitor step";
+  d.r_fb_ohm = 750.0;
+  EXPECT_EQ(allocs_of(ev, d), 0u) << "feedback-resistor step";
+  d.vgs += 0.02;
+  EXPECT_EQ(allocs_of(ev, d), 0u) << "bias step (vgs)";
+  d.vds += 0.1;
+  EXPECT_EQ(allocs_of(ev, d), 0u) << "bias step (vds)";
+  d.c_in_f = 2.2e-12;
+  d.l_shunt_h = 5.1e-9;
+  d.l_in_m = 7.7e-3;
+  EXPECT_EQ(allocs_of(ev, d), 0u) << "multi-field step";
+}
+
+TEST(AllocFree, WorkspaceHighWaterMarkIsPinned) {
+  // The workspace arena must stop growing after the first evaluation, and
+  // its footprint is pinned exactly: any layout change that silently
+  // inflates the per-thread scratch shows up here as a failure to update
+  // deliberately.
+  BandEvaluator ev(device::Phemt::reference_device(), AmplifierConfig{});
+  DesignVector d;
+  (void)ev.evaluate(d);
+  const std::size_t after_first = ev.workspace_high_water();
+  // 16 lanes (7 band + 9 stability), 15 unknowns: matrix + pivot + port /
+  // transfer / noise-sweep lanes as laid out by BatchedPlan::bind.
+  EXPECT_EQ(after_first, 78760u);
+
+  for (int i = 0; i < 20; ++i) {
+    d.l_in_m += 1e-4;
+    (void)ev.evaluate(d);
+    ASSERT_EQ(ev.workspace_high_water(), after_first) << "step " << i;
+  }
+}
+
+TEST(AllocFree, ScalarCompiledPathStillAllocatesButStaysBounded) {
+  // The compiled scalar fallback is NOT allocation-free (per-call netlist
+  // rebinding); this guards the flag actually switching implementations.
+  AmplifierConfig scalar;
+  scalar.use_batched_plan = false;
+  BandEvaluator ev(device::Phemt::reference_device(), scalar);
+  DesignVector d;
+  (void)ev.evaluate(d);
+  EXPECT_EQ(ev.workspace_high_water(), 0u);
+}
+
+}  // namespace
+}  // namespace gnsslna::amplifier

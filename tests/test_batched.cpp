@@ -1,0 +1,494 @@
+// BatchedPlan equivalence and EvalWorkspace property tests.
+//
+// The frequency-batched evaluation core promises BIT-IDENTICAL results to
+// both the compiled scalar plan (CompiledNetlist) and the legacy per-call
+// analyses, for every chunking of the grid across workspaces: the SoA
+// tables hold exactly the values the element closures return, batched
+// assembly replays the same additions in the same order, and the blocked
+// LU/substitution kernels perform per-lane exactly the scalar
+// factorization's arithmetic.  Every comparison here is therefore an
+// exact == on doubles, not a tolerance — except the one golden pin at the
+// bottom, which guards absolute values across toolchains.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "amplifier/lna.h"
+#include "circuit/analysis.h"
+#include "circuit/batched.h"
+#include "circuit/compiled.h"
+#include "circuit/netlist.h"
+#include "circuit/noisy_twoport.h"
+#include "device/phemt.h"
+#include "rf/sweep.h"
+#include "rf/units.h"
+
+namespace gnsslna::circuit {
+namespace {
+
+void expect_bitwise_eq(const Complex& a, const Complex& b) {
+  EXPECT_EQ(a.real(), b.real());
+  EXPECT_EQ(a.imag(), b.imag());
+}
+
+void expect_bitwise_eq(const rf::SParams& a, const rf::SParams& b) {
+  expect_bitwise_eq(a.s11, b.s11);
+  expect_bitwise_eq(a.s12, b.s12);
+  expect_bitwise_eq(a.s21, b.s21);
+  expect_bitwise_eq(a.s22, b.s22);
+}
+
+void expect_bitwise_eq(const NoiseResult& a, const NoiseResult& b) {
+  EXPECT_EQ(a.source_noise_psd, b.source_noise_psd);
+  EXPECT_EQ(a.noise_factor, b.noise_factor);
+  EXPECT_EQ(a.noise_figure_db, b.noise_figure_db);
+  EXPECT_EQ(a.output_noise_psd, b.output_noise_psd);
+}
+
+void expect_report_eq(const amplifier::BandReport& a,
+                      const amplifier::BandReport& b) {
+  EXPECT_EQ(a.nf_avg_db, b.nf_avg_db);
+  EXPECT_EQ(a.nf_max_db, b.nf_max_db);
+  EXPECT_EQ(a.gt_min_db, b.gt_min_db);
+  EXPECT_EQ(a.gt_avg_db, b.gt_avg_db);
+  EXPECT_EQ(a.s11_worst_db, b.s11_worst_db);
+  EXPECT_EQ(a.s22_worst_db, b.s22_worst_db);
+  EXPECT_EQ(a.mu_min, b.mu_min);
+  EXPECT_EQ(a.id_a, b.id_a);
+}
+
+/// Random two-port ladder drawing from every element kind the netlist
+/// supports (same corpus family as test_compiled.cpp, fresh seed).
+Netlist random_netlist(std::mt19937& rng) {
+  std::uniform_real_distribution<double> ur(0.0, 1.0);
+  const auto r_val = [&] { return 10.0 + 290.0 * ur(rng); };
+  const auto l_val = [&] { return 1e-9 + 20e-9 * ur(rng); };
+  const auto c_val = [&] { return 0.2e-12 + 10e-12 * ur(rng); };
+
+  Netlist nl;
+  const int sections = 2 + static_cast<int>(ur(rng) * 3.0);  // 2..4
+  NodeId prev = nl.add_node();
+  const NodeId first = prev;
+  for (int s = 0; s < sections; ++s) {
+    const NodeId next = nl.add_node();
+    switch (static_cast<int>(ur(rng) * 5.0)) {
+      case 0:
+        nl.add_resistor(prev, next, r_val());
+        break;
+      case 1:
+        nl.add_capacitor(prev, next, c_val());
+        break;
+      case 2: {
+        const double r = r_val(), l = l_val();
+        nl.add_lossy_impedance(prev, next, [r, l](double f) {
+          return Complex{r, 2.0 * std::numbers::pi * f * l};
+        });
+        break;
+      }
+      case 3: {
+        const double r = r_val(), l = l_val();
+        add_passive_twoport(nl, prev, next, kGround, [r, l](double f) {
+          const Complex y = 1.0 / Complex{r, 2.0 * std::numbers::pi * f * l};
+          rf::YParams yp;
+          yp.frequency_hz = f;
+          yp.y11 = y;
+          yp.y12 = -y;
+          yp.y21 = -y;
+          yp.y22 = y;
+          return yp;
+        });
+        break;
+      }
+      default: {
+        const double gm = 0.01 + 0.05 * ur(rng);
+        add_noisy_three_terminal(
+            nl, prev, next, kGround,
+            [gm](double f) {
+              rf::YParams yp;
+              yp.frequency_hz = f;
+              yp.y11 = Complex{1e-3, 2.0 * std::numbers::pi * f * 0.4e-12};
+              yp.y12 = Complex{-1e-4, 0.0};
+              yp.y21 = Complex{gm, -1e-3};
+              yp.y22 = Complex{2e-3, 2.0 * std::numbers::pi * f * 0.2e-12};
+              return yp;
+            },
+            [](double f) {
+              rf::NoiseParams np;
+              np.frequency_hz = f;
+              np.f_min = 1.2;
+              np.r_n = 12.0;
+              np.gamma_opt = Complex{0.3, 0.2};
+              return np;
+            });
+        break;
+      }
+    }
+    if (ur(rng) < 0.7) {
+      nl.add_resistor(next, kGround, 5.0 * r_val());
+    } else {
+      nl.add_inductor(next, kGround, l_val());
+    }
+    prev = next;
+  }
+  nl.add_port(first);
+  nl.add_port(prev);
+  return nl;
+}
+
+/// Runs the batched plan over `grid` split into `nchunks` contiguous
+/// workspace chunks and checks every lane bit-identical against the
+/// compiled scalar plan AND the legacy per-call analyses; also checks
+/// noise_sweep against lane-by-lane noise_at.
+void expect_batched_matches(const Netlist& nl, const std::vector<double>& grid,
+                            std::size_t nchunks) {
+  CompiledNetlist cplan(nl, grid);
+  const BatchedPlan bplan(nl, grid);
+  const std::size_t nf = grid.size();
+  nchunks = std::min(nchunks, nf);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const ChunkRange r = chunk_range(c, nchunks, nf);
+    EvalWorkspace ws;
+    bplan.factor(ws, r.begin, r.end);
+    bplan.solve_ports(ws);
+    bplan.solve_output_transfer(ws, 1);
+    std::vector<NoiseResult> sweep(r.end - r.begin);
+    bplan.noise_sweep(ws, 0, 1, sweep.data());
+    for (std::size_t fi = r.begin; fi < r.end; ++fi) {
+      SCOPED_TRACE("lane " + std::to_string(fi) + " of chunk " +
+                   std::to_string(c) + "/" + std::to_string(nchunks));
+      const rf::SParams s = bplan.s_params_at(ws, fi);
+      expect_bitwise_eq(s, cplan.s_params_at(fi));
+      expect_bitwise_eq(s, s_params(nl, grid[fi]));
+      const NoiseResult n = bplan.noise_at(ws, fi, 0, 1);
+      expect_bitwise_eq(n, cplan.noise_at(fi, 0, 1));
+      expect_bitwise_eq(n, noise_analysis(nl, 0, 1, grid[fi]));
+      expect_bitwise_eq(sweep[fi - r.begin], n);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence on the fig. 3 preamplifier netlist, every chunking
+
+TEST(BatchedPlan, MatchesCompiledAndLegacyOnPreamplifier) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::LnaDesign lna(dev, amplifier::AmplifierConfig{},
+                                 amplifier::DesignVector{});
+  const Netlist nl = lna.build_netlist();
+  std::vector<double> grid = amplifier::LnaDesign::default_band();
+  const std::vector<double> mu = amplifier::LnaDesign::stability_grid();
+  grid.insert(grid.end(), mu.begin(), mu.end());
+  for (const std::size_t nchunks : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("chunks " + std::to_string(nchunks));
+    expect_batched_matches(nl, grid, nchunks);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence on a randomized corpus: >= 200 netlist perturbations, each
+// checked at every thread-chunk count
+
+TEST(BatchedPlan, MatchesCompiledAndLegacyOnRandomCorpus) {
+  std::mt19937 rng(20260807u);
+  const std::vector<double> grid = rf::linear_grid(0.8e9, 2.4e9, 5);
+  for (int k = 0; k < 200; ++k) {
+    SCOPED_TRACE("random netlist #" + std::to_string(k));
+    const Netlist nl = random_netlist(rng);
+    for (const std::size_t nchunks : {1u, 2u, 4u, 8u}) {
+      expect_batched_matches(nl, grid, nchunks);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sub-range transfer solves
+
+TEST(BatchedPlan, TransferSubRangeMatchesFullRange) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::LnaDesign lna(dev, amplifier::AmplifierConfig{},
+                                 amplifier::DesignVector{});
+  const Netlist nl = lna.build_netlist();
+  std::vector<double> grid = amplifier::LnaDesign::default_band();
+  const std::vector<double> mu = amplifier::LnaDesign::stability_grid();
+  grid.insert(grid.end(), mu.begin(), mu.end());
+  const std::size_t band = amplifier::LnaDesign::default_band().size();
+
+  const BatchedPlan plan(nl, grid);
+  EvalWorkspace full, sub;
+  plan.factor(full, 0, grid.size());
+  plan.solve_output_transfer(full, 1);
+  plan.factor(sub, 0, grid.size());
+  plan.solve_output_transfer(sub, 1, 0, band);  // band lanes only
+  std::vector<NoiseResult> nf(grid.size()), ns(band);
+  plan.noise_sweep(full, 0, 1, nf.data());  // whole range...
+  plan.noise_sweep(sub, 0, 1, ns.data());
+  for (std::size_t fi = 0; fi < band; ++fi) {
+    SCOPED_TRACE("band lane " + std::to_string(fi));
+    expect_bitwise_eq(plan.noise_at(sub, fi, 0, 1),
+                      plan.noise_at(full, fi, 0, 1));
+    expect_bitwise_eq(ns[fi], nf[fi]);  // ...agrees on the shared prefix
+  }
+  // Lanes outside the solved transfer range refuse to answer.
+  EXPECT_THROW(plan.noise_at(sub, band, 0, 1), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// BandReport three-path identity across thread counts and design steps
+
+TEST(BatchedPlan, BandReportIdenticalAcrossPathsAndThreads) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const std::vector<double> band = amplifier::LnaDesign::default_band();
+
+  amplifier::AmplifierConfig batched;           // default: batched plan
+  amplifier::AmplifierConfig compiled;
+  compiled.use_batched_plan = false;
+  amplifier::AmplifierConfig legacy;
+  legacy.use_eval_plan = false;
+
+  amplifier::BandEvaluator ev_batched(dev, batched);
+  amplifier::BandEvaluator ev_compiled(dev, compiled);
+
+  // A short random walk through design space: every step must agree on
+  // all three paths, at several thread counts, and between the rebinding
+  // evaluators (incremental re-tabulation) and one-shot evaluation.
+  std::mt19937 rng(7u);
+  std::uniform_real_distribution<double> ur(0.0, 1.0);
+  amplifier::DesignVector d;
+  for (int step = 0; step < 12; ++step) {
+    SCOPED_TRACE("design step " + std::to_string(step));
+    const amplifier::LnaDesign on(dev, batched, d);
+    const amplifier::BandReport ref = on.evaluate(band, 1);
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      expect_report_eq(ref, on.evaluate(band, threads));
+    }
+    const amplifier::LnaDesign off(dev, compiled, d);
+    expect_report_eq(ref, off.evaluate(band, 1));
+    expect_report_eq(ref, off.evaluate(band, 4));
+    const amplifier::LnaDesign old(dev, legacy, d);
+    expect_report_eq(ref, old.evaluate(band, 1));
+    // Rebinding evaluators: direct table writes (batched) and
+    // rebind+sync (compiled) land on the same report.
+    const amplifier::BandReport via_batched = ev_batched.evaluate(d);
+    expect_report_eq(ref, via_batched);
+    expect_report_eq(ref, ev_compiled.evaluate(d));
+    // Both evaluators refresh the same number of value tables per step
+    // (the cold first call counts differently: direct tabulation at plan
+    // construction vs a post-build sync).
+    if (step > 0) {
+      EXPECT_EQ(ev_batched.last_retabulated(), ev_compiled.last_retabulated());
+    }
+
+    // Random single-field step for the next round.
+    switch (step % 4) {
+      case 0: d.l_in_m = 2e-3 + 30e-3 * ur(rng); break;
+      case 1: d.c_mid_f = 0.5e-12 + 5e-12 * ur(rng); break;
+      case 2: d.vgs = -0.55 + 0.3 * ur(rng); break;
+      default: d.r_fb_ohm = 300.0 + 900.0 * ur(rng); break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EvalWorkspace properties
+
+TEST(EvalWorkspace, RebindsAcrossPlansOfDifferentShape) {
+  // One workspace cycled between two plans of different unknown/element
+  // counts answers exactly like a fresh workspace each time, and its
+  // arena only ever grows to the larger footprint (reuse, not realloc).
+  std::mt19937 rng(99u);
+  const std::vector<double> grid = rf::linear_grid(0.9e9, 2.1e9, 6);
+  const Netlist small = random_netlist(rng);
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::LnaDesign lna(dev, amplifier::AmplifierConfig{},
+                                 amplifier::DesignVector{});
+  const Netlist big = lna.build_netlist();
+  const BatchedPlan ps(small, grid);
+  const BatchedPlan pb(big, grid);
+
+  EvalWorkspace shared;
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    for (const BatchedPlan* plan : {&ps, &pb}) {
+      plan->factor(shared, 0, grid.size());
+      plan->solve_ports(shared);
+      EvalWorkspace fresh;
+      plan->factor(fresh, 0, grid.size());
+      plan->solve_ports(fresh);
+      for (std::size_t fi = 0; fi < grid.size(); ++fi) {
+        expect_bitwise_eq(plan->s_params_at(shared, fi),
+                          plan->s_params_at(fresh, fi));
+      }
+    }
+  }
+  const std::size_t hwm = shared.arena_high_water();
+  EXPECT_GT(hwm, 0u);
+  // Another full cycle must not move the high-water mark by a byte.
+  pb.factor(shared, 0, grid.size());
+  ps.factor(shared, 0, grid.size());
+  EXPECT_EQ(shared.arena_high_water(), hwm);
+}
+
+TEST(EvalWorkspace, PartialRangeRebindKeepsLaneIdentity) {
+  // Rebinding the same workspace to different lane sub-ranges of one plan
+  // never changes what a lane answers.
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::LnaDesign lna(dev, amplifier::AmplifierConfig{},
+                                 amplifier::DesignVector{});
+  const Netlist nl = lna.build_netlist();
+  const std::vector<double> grid = amplifier::LnaDesign::stability_grid();
+  const BatchedPlan plan(nl, grid);
+
+  EvalWorkspace ref;
+  plan.factor(ref, 0, grid.size());
+  plan.solve_ports(ref);
+
+  EvalWorkspace ws;
+  for (const auto& [b, e] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 3}, {3, grid.size()}, {1, 4}, {0, grid.size()}}) {
+    SCOPED_TRACE("range [" + std::to_string(b) + ", " + std::to_string(e) +
+                 ")");
+    plan.factor(ws, b, e);
+    EXPECT_EQ(ws.f_begin(), b);
+    EXPECT_EQ(ws.f_end(), e);
+    plan.solve_ports(ws);
+    for (std::size_t fi = b; fi < e; ++fi) {
+      expect_bitwise_eq(plan.s_params_at(ws, fi), plan.s_params_at(ref, fi));
+    }
+    // Lanes outside the bound range are refused, not misread.
+    if (b > 0) {
+      EXPECT_THROW(plan.s_params_at(ws, b - 1), std::logic_error);
+    }
+    if (e < grid.size()) {
+      EXPECT_THROW(plan.s_params_at(ws, e), std::logic_error);
+    }
+  }
+}
+
+TEST(EvalWorkspace, RevisionBumpInvalidatesFactorization) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::AmplifierConfig config;
+  amplifier::DesignVector d;
+  const amplifier::LnaDesign lna(dev, config, d);
+  amplifier::DesignBindings b;
+  Netlist nl = lna.build_netlist(&b);
+  const std::vector<double> grid = amplifier::LnaDesign::default_band();
+
+  BatchedPlan plan(nl, grid);
+  EvalWorkspace ws;
+  plan.factor(ws, 0, grid.size());
+  plan.solve_ports(ws);
+  EXPECT_TRUE(ws.factored());
+
+  // Mutating a matrix-side element bumps the plan revision: the old
+  // factorization must refuse to serve solves...
+  d.c_mid_f = 0.9e-12;
+  const amplifier::LnaDesign lna2(dev, config, d);
+  lna2.rebind_netlist(nl, b, &lna.design());
+  const std::uint64_t before = plan.revision();
+  plan.sync(nl);
+  EXPECT_GT(plan.revision(), before);
+  EXPECT_THROW(plan.solve_ports(ws), std::logic_error);
+  EXPECT_THROW(plan.s_params_at(ws, 0), std::logic_error);
+
+  // ...and a re-factor answers exactly like a plan compiled fresh.
+  plan.factor(ws, 0, grid.size());
+  plan.solve_ports(ws);
+  const BatchedPlan fresh_plan(nl, grid);
+  EvalWorkspace fresh_ws;
+  fresh_plan.factor(fresh_ws, 0, grid.size());
+  fresh_plan.solve_ports(fresh_ws);
+  for (std::size_t fi = 0; fi < grid.size(); ++fi) {
+    expect_bitwise_eq(plan.s_params_at(ws, fi),
+                      fresh_plan.s_params_at(fresh_ws, fi));
+  }
+
+  // A sync that changes nothing keeps the factorization valid.
+  plan.sync(nl);
+  expect_bitwise_eq(plan.s_params_at(ws, 0),
+                    fresh_plan.s_params_at(fresh_ws, 0));
+}
+
+TEST(EvalWorkspace, TwoThreadsWithDistinctWorkspacesAgreeWithSerial) {
+  // One shared (const) plan, one workspace per thread: the TSan job runs
+  // this to prove the factor/solve/read path is data-race-free, and the
+  // results must equal the serial single-chunk evaluation bit for bit.
+  const device::Phemt dev = device::Phemt::reference_device();
+  const amplifier::LnaDesign lna(dev, amplifier::AmplifierConfig{},
+                                 amplifier::DesignVector{});
+  const Netlist nl = lna.build_netlist();
+  std::vector<double> grid = amplifier::LnaDesign::default_band();
+  const std::vector<double> mu = amplifier::LnaDesign::stability_grid();
+  grid.insert(grid.end(), mu.begin(), mu.end());
+  const BatchedPlan plan(nl, grid);
+
+  EvalWorkspace serial;
+  plan.factor(serial, 0, grid.size());
+  plan.solve_ports(serial);
+
+  std::vector<rf::SParams> threaded(grid.size());
+  const std::size_t mid = grid.size() / 2;
+  const auto run = [&](std::size_t begin, std::size_t end) {
+    EvalWorkspace ws;
+    plan.factor(ws, begin, end);
+    plan.solve_ports(ws);
+    for (std::size_t fi = begin; fi < end; ++fi) {
+      threaded[fi] = plan.s_params_at(ws, fi);
+    }
+  };
+  std::thread t1(run, 0, mid);
+  std::thread t2(run, mid, grid.size());
+  t1.join();
+  t2.join();
+  for (std::size_t fi = 0; fi < grid.size(); ++fi) {
+    expect_bitwise_eq(threaded[fi], plan.s_params_at(serial, fi));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Swept analyses route through the batched core
+
+TEST(BatchedPlan, SweepsMatchPerCallAnalyses) {
+  std::mt19937 rng(123u);
+  const std::vector<double> grid = rf::linear_grid(0.8e9, 2.4e9, 9);
+  for (int k = 0; k < 5; ++k) {
+    SCOPED_TRACE("random netlist #" + std::to_string(k));
+    const Netlist nl = random_netlist(rng);
+    const rf::SweepData serial = s_sweep(nl, grid, 1);
+    const rf::SweepData fanned = s_sweep(nl, grid, 4);
+    const std::vector<double> nf = noise_figure_sweep(nl, 0, 1, grid);
+    ASSERT_EQ(serial.size(), grid.size());
+    ASSERT_EQ(nf.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      expect_bitwise_eq(serial[i], s_params(nl, grid[i]));
+      expect_bitwise_eq(fanned[i], serial[i]);
+      EXPECT_EQ(nf[i], noise_analysis(nl, 0, 1, grid[i]).noise_figure_db);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 golden pin: absolute band figures of the default design
+
+TEST(BatchedPlan, Fig3DefaultDesignGoldenReport) {
+  // Guards the physics end to end (element models -> assembly -> batched
+  // solve -> reduction) against silent drift.  Tolerances are loose
+  // enough for libm differences across toolchains, tight enough that any
+  // modelling or kernel regression trips them.
+  amplifier::BandEvaluator ev(device::Phemt::reference_device(),
+                              amplifier::AmplifierConfig{});
+  const amplifier::BandReport r = ev.evaluate(amplifier::DesignVector{});
+  EXPECT_NEAR(r.nf_avg_db, 0.680293477717, 1e-6);
+  EXPECT_NEAR(r.nf_max_db, 0.807885110992, 1e-6);
+  EXPECT_NEAR(r.gt_min_db, 12.1852387924, 1e-5);
+  EXPECT_NEAR(r.gt_avg_db, 14.5619521333, 1e-5);
+  EXPECT_NEAR(r.s11_worst_db, -2.56393544639, 1e-5);
+  EXPECT_NEAR(r.s22_worst_db, -1.96303213864, 1e-5);
+  EXPECT_NEAR(r.mu_min, 1.09509396899, 1e-6);
+  EXPECT_NEAR(r.id_a, 0.0404973351933, 1e-9);
+}
+
+}  // namespace
+}  // namespace gnsslna::circuit

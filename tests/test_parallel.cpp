@@ -395,9 +395,10 @@ TEST(ParallelAmplifier, BandEvaluationIsBitIdenticalAcrossThreadCounts) {
 
 // The telemetry layer promises that counter TOTALS are bit-identical for
 // any thread count (thread-local shards + commutative integer merge).  The
-// only exceptions are the three counters tracking per-thread evaluator
-// rebind state — which design a thread's persistent CompiledNetlist plan
-// saw last depends on work distribution by construction.
+// only exceptions are the counters tracking per-thread evaluator rebind
+// and workspace state — which design a thread's persistent evaluation
+// plan saw last, and how much arena each thread's workspace committed,
+// depend on work distribution by construction.
 TEST(ParallelObs, EvaluationCounterTotalsAreBitIdenticalAcrossThreadCounts) {
   const bool was_enabled = obs::enabled();
   obs::set_enabled(true);
@@ -412,7 +413,9 @@ TEST(ParallelObs, EvaluationCounterTotalsAreBitIdenticalAcrossThreadCounts) {
   const auto is_rebind_counter = [](const std::string& name) {
     return name == "circuit.plan.syncs" ||
            name == "circuit.plan.stamp_retabulations" ||
-           name == "circuit.plan.noise_retabulations";
+           name == "circuit.plan.noise_retabulations" ||
+           name == "circuit.batch.workspace_reuses" ||
+           name == "circuit.batch.arena_bytes_hwm";
   };
   const auto run = [&](std::size_t threads) {
     obs::reset();
@@ -436,9 +439,10 @@ TEST(ParallelObs, EvaluationCounterTotalsAreBitIdenticalAcrossThreadCounts) {
     }
     return std::uint64_t{0};
   };
-  // The workload must actually exercise the instrumented evaluation path.
+  // The workload must actually exercise the instrumented evaluation path
+  // (the batched core by default).
   EXPECT_GT(named("amplifier.band_evaluations"), 0u);
-  EXPECT_GT(named("circuit.plan.lu_factorizations"), 0u);
+  EXPECT_GT(named("circuit.batch.solves"), 0u);
 
   for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
     const auto par = run(threads);
