@@ -25,6 +25,7 @@
 
 #include "amplifier/lna.h"
 #include "amplifier/objectives.h"
+#include "amplifier/yield.h"
 #include "circuit/analysis.h"
 #include "circuit/batched.h"
 #include "device/phemt.h"
@@ -181,6 +182,61 @@ void BM_BatchedSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedSolve);
 
+/// One yield trial through the persistent engine: a pseudo-random draw,
+/// a full re-stamp of every tolerance-perturbed table (including the
+/// substrate-dependent bias line and tee), and one batched evaluate.
+/// This is the per-sample cost of a production Monte-Carlo run; the perf
+/// gate pins its ratio to BM_BandEvaluation.
+void BM_YieldSampleMc(benchmark::State& state) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  config.resolve();
+  const amplifier::DesignVector nominal;
+  amplifier::YieldTrialEvaluator evaluator(dev, config, nominal);
+  const amplifier::DesignGoals goals;
+  const numeric::Rng root(12345);
+  std::uint64_t trial = 0;
+  // Warm up as in BM_BandEvaluation: cold build + one trial for the
+  // lazily registered obs counters.
+  (void)evaluator.evaluate(
+      amplifier::pseudo_trial_draw(root, trial++, nominal, config.substrate,
+                                   {}),
+      goals);
+  (void)evaluator.evaluate(
+      amplifier::pseudo_trial_draw(root, trial++, nominal, config.substrate,
+                                   {}),
+      goals);
+  run_counted(state, "BM_YieldSampleMc", [&] {
+    const amplifier::TrialDraw draw = amplifier::pseudo_trial_draw(
+        root, trial++, nominal, config.substrate, {});
+    benchmark::DoNotOptimize(evaluator.evaluate(draw, goals));
+  });
+}
+BENCHMARK(BM_YieldSampleMc);
+
+/// The pre-engine yield path for comparison: full LnaDesign rebuild per
+/// trial (what run_yield falls back to with reuse_plan == false).  The
+/// BM_YieldSampleMc / BM_YieldSampleRebuild ratio is the engine's speedup.
+void BM_YieldSampleRebuild(benchmark::State& state) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  config.resolve();
+  const amplifier::DesignVector nominal;
+  const amplifier::DesignGoals goals;
+  const std::vector<double> band = amplifier::LnaDesign::default_band();
+  const numeric::Rng root(12345);
+  std::uint64_t trial = 0;
+  run_counted(state, "BM_YieldSampleRebuild", [&] {
+    const amplifier::TrialDraw draw = amplifier::pseudo_trial_draw(
+        root, trial++, nominal, config.substrate, {});
+    amplifier::AmplifierConfig cfg = config;
+    cfg.substrate = draw.substrate;
+    benchmark::DoNotOptimize(
+        amplifier::LnaDesign(dev, cfg, draw.design).evaluate(band));
+  });
+}
+BENCHMARK(BM_YieldSampleRebuild);
+
 void BM_BandEvaluationLegacy(benchmark::State& state) {
   const device::Phemt dev = device::Phemt::reference_device();
   amplifier::AmplifierConfig config;
@@ -265,6 +321,48 @@ double time_batched_solve_ns() {
       plan.solve_output_transfer(ws, 1);
     }
     best = std::min(best, (thread_cpu_seconds() - t0) * 1e9 / iters);
+  }
+  return best;
+}
+
+/// Times one steady-state yield-engine trial (the BM_YieldSampleMc
+/// workload): pseudo draw + full re-stamp + batched evaluate.  Also
+/// reports steady-state allocations per trial (exactly 0 by contract).
+double time_yield_sample_ns(double* allocs_per_op = nullptr) {
+  const device::Phemt dev = device::Phemt::reference_device();
+  amplifier::AmplifierConfig config;
+  config.resolve();
+  const amplifier::DesignVector nominal;
+  amplifier::YieldTrialEvaluator evaluator(dev, config, nominal);
+  const amplifier::DesignGoals goals;
+  const numeric::Rng root(12345);
+  std::uint64_t trial = 0;
+  (void)evaluator.evaluate(
+      amplifier::pseudo_trial_draw(root, trial++, nominal, config.substrate,
+                                   {}),
+      goals);
+  (void)evaluator.evaluate(
+      amplifier::pseudo_trial_draw(root, trial++, nominal, config.substrate,
+                                   {}),
+      goals);
+  double best = 1e300;
+  std::uint64_t allocs = 0, total_iters = 0;
+  for (int batch = 0; batch < 3; ++batch) {
+    const int iters = 300;
+    const std::uint64_t count0 = bench::alloc_count();
+    const double t0 = thread_cpu_seconds();
+    for (int i = 0; i < iters; ++i) {
+      const amplifier::TrialDraw draw = amplifier::pseudo_trial_draw(
+          root, trial++, nominal, config.substrate, {});
+      (void)evaluator.evaluate(draw, goals);
+    }
+    best = std::min(best, (thread_cpu_seconds() - t0) * 1e9 / iters);
+    allocs += bench::alloc_count() - count0;
+    total_iters += iters;
+  }
+  if (allocs_per_op != nullptr) {
+    *allocs_per_op =
+        static_cast<double>(allocs) / static_cast<double>(total_iters);
   }
   return best;
 }
@@ -377,12 +475,46 @@ int perf_smoke(const std::string& baseline_path) {
   const bool time_regressed =
       now_ns > limit_ns && ratio > ratio_limit &&
       batched_ratio > batched_ratio_limit;
+  // Yield-engine per-sample gate: the cost of one yield trial is pinned
+  // as a RATIO to the band-evaluation kernel measured in the same
+  // process, so host speed cancels exactly; the baseline ratio comes from
+  // the committed BM_YieldSampleMc / BM_BandEvaluation entries.  Skipped
+  // (with a note) against baselines that predate the yield engine.
+  bool yield_regressed = false;
+  const double baseline_yield_ns =
+      bench::bench_json_ns(entries, "BM_YieldSampleMc");
+  if (baseline_yield_ns > 0.0) {
+    double yield_allocs = -1.0;
+    const double yield_ns = time_yield_sample_ns(&yield_allocs);
+    const double yield_ratio = yield_ns / now_ns;
+    const double yield_ratio_limit = 1.25 * baseline_yield_ns / baseline_ns;
+    const double baseline_yield_allocs = bench::bench_json_ns(
+        bench::load_bench_json_field(baseline_path, "allocs_per_op"),
+        "BM_YieldSampleMc");
+    std::printf("[perf_smoke] yield sample: %.0f ns/op; vs band evaluation: "
+                "%.2fx (limit %.2fx); steady-state allocs/op %.3f "
+                "(baseline %.3f)\n",
+                yield_ns, yield_ratio, yield_ratio_limit, yield_allocs,
+                baseline_yield_allocs);
+    yield_regressed = yield_ratio > yield_ratio_limit ||
+                      (baseline_yield_allocs >= 0.0 &&
+                       yield_allocs > baseline_yield_allocs);
+    if (yield_regressed) {
+      std::fprintf(stderr,
+                   "[perf_smoke] FAIL: yield-engine per-sample cost "
+                   "regressed vs the band-evaluation kernel (or its "
+                   "steady-state allocations grew)\n");
+    }
+  } else {
+    std::printf(
+        "[perf_smoke] (no BM_YieldSampleMc baseline; yield gate skipped)\n");
+  }
   // Steady-state allocation regression: the batched path promises exactly
   // zero; any nonzero count against a zero baseline is a hard failure
   // regardless of timing noise.
   const bool allocs_regressed =
       baseline_allocs >= 0.0 && now_allocs > baseline_allocs;
-  if (time_regressed || allocs_regressed) {
+  if (time_regressed || allocs_regressed || yield_regressed) {
     if (time_regressed) {
       std::fprintf(stderr,
                    "[perf_smoke] FAIL: band-evaluation kernel regressed "

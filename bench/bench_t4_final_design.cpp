@@ -66,10 +66,13 @@ int main(int argc, char** argv) {
   numeric::Rng yield_rng(99);
   const amplifier::YieldReport yield = amplifier::monte_carlo_yield(
       dev, config, out.snapped, options.goals, 60, yield_rng, {}, threads);
-  std::printf("pass rate %zu/%zu = %.0f%% | NF_avg p95 = %.3f dB | "
-              "GT_min p5 = %.2f dB\n",
+  std::printf("pass rate %zu/%zu = %.0f%% (Wilson 95%% CI [%.0f%%, %.0f%%]) "
+              "| NF_avg p95 = %.3f dB | GT_min p5 = %.2f dB | "
+              "%zu failed evals\n",
               yield.passes, yield.samples, 100.0 * yield.pass_rate,
-              yield.nf_avg_p95_db, yield.gt_min_p5_db);
+              100.0 * yield.pass_rate_ci95_lo,
+              100.0 * yield.pass_rate_ci95_hi, yield.nf_avg_p95_db,
+              yield.gt_min_p5_db, yield.failed_evals);
   json.add("bench_t4_final_design:total", 1, total_clock.seconds() * 1e9);
   json.write();
   return 0;

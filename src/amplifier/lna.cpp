@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "amplifier/plan_writers.h"
 #include "circuit/noisy_twoport.h"
 #include "microstrip/discontinuity.h"
 #include "obs/obs.h"
@@ -180,17 +181,18 @@ circuit::Netlist LnaDesign::build_netlist(DesignBindings* bindings) const {
     const NodeId nj = nl.add_node("tee");
     n4 = nl.add_node("after_tee");
     n_b = nl.add_node("bias_tap");
-    nl.add_inductor(n3, nj, tee.arm_inductance_main(), "Ltee1");
-    nl.add_inductor(nj, n4, tee.arm_inductance_main(), "Ltee2");
-    nl.add_inductor(nj, n_b, tee.arm_inductance_branch(), "Ltee3");
-    nl.add_capacitor(nj, circuit::kGround, tee.junction_capacitance(),
-                     "Ctee");
+    b.ltee1 = nl.add_inductor(n3, nj, tee.arm_inductance_main(), "Ltee1");
+    b.ltee2 = nl.add_inductor(nj, n4, tee.arm_inductance_main(), "Ltee2");
+    b.ltee3 = nl.add_inductor(nj, n_b, tee.arm_inductance_branch(), "Ltee3");
+    b.ctee = nl.add_capacitor(nj, circuit::kGround, tee.junction_capacitance(),
+                              "Ctee");
+    b.has_tee = true;
   } else {
     n4 = n3;
     n_b = n3;
   }
   const NodeId n_b2 = nl.add_node("bias_dec");
-  circuit::add_passive_twoport(
+  b.tlbias = circuit::add_passive_twoport(
       nl, n_b, n_b2, circuit::kGround,
       line_y(microstrip::Line(config_.substrate, config_.w_bias_m,
                               config_.l_bias_m)),
@@ -574,133 +576,9 @@ BandReport BandEvaluator::evaluate_compiled(const DesignVector& design) {
   return lna.evaluate_from_plan(plan_, band_hz_.size(), /*threads=*/1);
 }
 
-namespace {
-
-// --- Direct-retabulation writers -------------------------------------
-// The batched steady state bypasses the Netlist closures: each writer
-// fills a plan value table with exactly what the corresponding closure
-// builder in netlist.cpp (or noisy_twoport.cpp / fet_closures above)
-// would have returned at every grid frequency, so the direct path stays
-// bit-identical to sync()-driven retabulation (pinned by
-// tests/test_batched.cpp).  Each returns the number of tables rewritten,
-// matching CompiledNetlist::sync's retabulation count.
-
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
-
-// Dispersive one-port (z_of(part) through add_lossy_impedance).
-template <typename Part>
-std::size_t write_lossy(circuit::BatchedPlan& plan,
-                        const circuit::ElementRef& ref, const Part& part,
-                        double temperature_k) {
-  const std::vector<double>& grid = plan.grid();
-  const circuit::BatchedPlan::StampView sv = plan.stamp_view(ref.element.index);
-  for (std::size_t fi = 0; fi < sv.count; ++fi) {
-    const circuit::Complex z = part.impedance(grid[fi]);
-    if (std::abs(z) < 1e-12) {
-      throw std::domain_error("add_lossy_impedance: near-short element");
-    }
-    sv.values[fi] = 1.0 / z;
-  }
-  if (ref.noise_group == circuit::kNoNoiseGroup) return 1;
-  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
-  for (std::size_t fi = 0; fi < nv.count; ++fi) {
-    const circuit::Complex z = part.impedance(grid[fi]);
-    const circuit::Complex y = 1.0 / z;
-    nv.csd[fi] = circuit::Complex{
-        4.0 * rf::kBoltzmann * temperature_k * std::max(0.0, y.real()), 0.0};
-  }
-  return 2;
-}
-
-std::size_t write_capacitor(circuit::BatchedPlan& plan,
-                            const circuit::ElementId& id, double farads) {
-  if (farads <= 0.0) {
-    throw std::invalid_argument("set_capacitor: capacitance must be positive");
-  }
-  const std::vector<double>& grid = plan.grid();
-  const circuit::BatchedPlan::StampView sv = plan.stamp_view(id.index);
-  for (std::size_t fi = 0; fi < sv.count; ++fi) {
-    sv.values[fi] = circuit::Complex{0.0, kTwoPi * grid[fi] * farads};
-  }
-  return 1;
-}
-
-std::size_t write_inductor(circuit::BatchedPlan& plan,
-                           const circuit::ElementId& id, double henries) {
-  if (henries <= 0.0) {
-    throw std::invalid_argument("set_inductor: inductance must be positive");
-  }
-  const std::vector<double>& grid = plan.grid();
-  const circuit::BatchedPlan::StampView sv = plan.stamp_view(id.index);
-  for (std::size_t fi = 0; fi < sv.count; ++fi) {
-    sv.values[fi] = circuit::Complex{0.0, -1.0 / (kTwoPi * grid[fi] * henries)};
-  }
-  return 1;
-}
-
-std::size_t write_resistor(circuit::BatchedPlan& plan,
-                           const circuit::ElementRef& ref, double ohms,
-                           double temperature_k) {
-  if (ohms <= 0.0) {
-    throw std::invalid_argument("set_resistor: resistance must be positive");
-  }
-  const double g = 1.0 / ohms;
-  const circuit::BatchedPlan::StampView sv = plan.stamp_view(ref.element.index);
-  for (std::size_t fi = 0; fi < sv.count; ++fi) {  // 1: freq-independent
-    sv.values[fi] = circuit::Complex{g, 0.0};
-  }
-  if (ref.noise_group == circuit::kNoNoiseGroup) return 1;
-  const double psd = 4.0 * rf::kBoltzmann * temperature_k * g;
-  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
-  for (std::size_t fi = 0; fi < nv.count; ++fi) {
-    nv.csd[fi] = circuit::Complex{psd, 0.0};
-  }
-  return 2;
-}
-
-std::size_t write_line(circuit::BatchedPlan& plan,
-                       const circuit::ElementRef& ref,
-                       const microstrip::Line& line,
-                       const std::vector<microstrip::Line::Propagation>& prop,
-                       double temperature_k) {
-  // `prop` caches the length-independent dispersion curve of this line's
-  // (substrate, width) over the plan grid; abcd_from(propagation(f)) is
-  // bit-identical to abcd(f), so the written tables match the closure
-  // path's exactly while skipping the dispersion-model re-evaluation.
-  const circuit::BatchedPlan::TwoPortView tv =
-      plan.twoport_view(ref.element.index);
-  for (std::size_t fi = 0; fi < tv.count; ++fi) {
-    tv.set(fi, rf::y_from_abcd(line.abcd_from(prop[fi])));
-  }
-  if (ref.noise_group == circuit::kNoNoiseGroup) return 1;
-  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
-  for (std::size_t fi = 0; fi < nv.count; ++fi) {
-    circuit::passive_twoport_csd_into(tv.values[fi], temperature_k,
-                                      nv.csd + fi * 4);
-  }
-  return 2;
-}
-
-std::size_t write_fet(circuit::BatchedPlan& plan,
-                      const circuit::ElementRef& ref,
-                      const device::IntrinsicParams& ip,
-                      const device::ExtrinsicParams& ex,
-                      const device::NoiseTemperatures& nt) {
-  const std::vector<double>& grid = plan.grid();
-  const circuit::BatchedPlan::TwoPortView tv =
-      plan.twoport_view(ref.element.index);
-  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
-  for (std::size_t fi = 0; fi < tv.count; ++fi) {
-    const rf::YParams yp = rf::y_from_s(device::fet_s_params(ip, ex, grid[fi]));
-    tv.set(fi, yp);
-    const rf::NoiseParams np =
-        device::pospieszalski_noise(ip, ex, nt, grid[fi]);
-    circuit::noise_correlation_y_into(yp, np, nv.csd + fi * 4);
-  }
-  return 2;
-}
-
-}  // namespace
+// The direct-retabulation writers used below live in
+// amplifier/plan_writers.h (namespace planw), shared with the yield
+// engine's per-trial evaluator.
 
 BandReport BandEvaluator::evaluate_batched(const DesignVector& design) {
   if (!built_) {
@@ -780,78 +658,78 @@ void BandEvaluator::retabulate_batched(const DesignVector& design) {
   const double t = config_.t_ambient_k;
   if (config_.dispersive_passives) {
     if (changed(&DesignVector::c_in_f)) {
-      retabulated += write_lossy(
+      retabulated += planw::write_lossy(
           bplan_, bindings_.cin,
           passives::make_capacitor(design.c_in_f, config_.package), t);
     }
     if (changed(&DesignVector::l_shunt_h)) {
-      retabulated += write_lossy(
+      retabulated += planw::write_lossy(
           bplan_, bindings_.lshunt,
           passives::make_inductor(design.l_shunt_h, config_.package), t);
     }
     if (changed(&DesignVector::c_mid_f)) {
-      retabulated += write_lossy(
+      retabulated += planw::write_lossy(
           bplan_, bindings_.cmid,
           passives::make_capacitor(design.c_mid_f, config_.package), t);
     }
     if (changed(&DesignVector::l_sdeg_h)) {
-      retabulated += write_lossy(
+      retabulated += planw::write_lossy(
           bplan_, bindings_.lsdeg,
           passives::make_inductor(design.l_sdeg_h, config_.package), t);
     }
     if (changed(&DesignVector::c_out_sh_f)) {
-      retabulated += write_lossy(
+      retabulated += planw::write_lossy(
           bplan_, bindings_.coutsh,
           passives::make_capacitor(design.c_out_sh_f, config_.package), t);
     }
   } else {
     if (changed(&DesignVector::c_in_f)) {
-      retabulated += write_capacitor(bplan_, bindings_.cin.element,
+      retabulated += planw::write_capacitor(bplan_, bindings_.cin.element,
                                      design.c_in_f);
     }
     if (changed(&DesignVector::l_shunt_h)) {
-      retabulated += write_inductor(bplan_, bindings_.lshunt.element,
+      retabulated += planw::write_inductor(bplan_, bindings_.lshunt.element,
                                     design.l_shunt_h);
     }
     if (changed(&DesignVector::c_mid_f)) {
-      retabulated += write_capacitor(bplan_, bindings_.cmid.element,
+      retabulated += planw::write_capacitor(bplan_, bindings_.cmid.element,
                                      design.c_mid_f);
     }
     if (changed(&DesignVector::l_sdeg_h)) {
-      retabulated += write_inductor(bplan_, bindings_.lsdeg.element,
+      retabulated += planw::write_inductor(bplan_, bindings_.lsdeg.element,
                                     design.l_sdeg_h);
     }
     if (changed(&DesignVector::c_out_sh_f)) {
-      retabulated += write_capacitor(bplan_, bindings_.coutsh.element,
+      retabulated += planw::write_capacitor(bplan_, bindings_.coutsh.element,
                                      design.c_out_sh_f);
     }
   }
   if (changed(&DesignVector::r_fb_ohm)) {
-    retabulated += write_resistor(bplan_, bindings_.rfb, design.r_fb_ohm, t);
+    retabulated += planw::write_resistor(bplan_, bindings_.rfb, design.r_fb_ohm, t);
   }
   if (bias_changed) {
-    retabulated += write_resistor(bplan_, bindings_.rdrain, bias.r_drain, t);
+    retabulated += planw::write_resistor(bplan_, bindings_.rdrain, bias.r_drain, t);
   }
   if (changed(&DesignVector::l_in_m)) {
-    retabulated += write_line(
+    retabulated += planw::write_line(
         bplan_, bindings_.tlin1,
         microstrip::Line(config_.substrate, config_.w50_m, design.l_in_m),
         w50_prop_, t);
   }
   if (changed(&DesignVector::l_in2_m)) {
-    retabulated += write_line(
+    retabulated += planw::write_line(
         bplan_, bindings_.tlin2,
         microstrip::Line(config_.substrate, config_.w50_m, design.l_in2_m),
         w50_prop_, t);
   }
   if (changed(&DesignVector::l_out_m)) {
-    retabulated += write_line(
+    retabulated += planw::write_line(
         bplan_, bindings_.tlout1,
         microstrip::Line(config_.substrate, config_.w50_m, design.l_out_m),
         w50_prop_, t);
   }
   if (changed(&DesignVector::l_out2_m)) {
-    retabulated += write_line(
+    retabulated += planw::write_line(
         bplan_, bindings_.tlout2,
         microstrip::Line(config_.substrate, config_.w50_m, design.l_out2_m),
         w50_prop_, t);
@@ -862,7 +740,7 @@ void BandEvaluator::retabulate_batched(const DesignVector& design) {
     // ambient-adjusted device of build_netlist yields identical values).
     const device::IntrinsicParams ip =
         device_.small_signal(device::Bias{design.vgs, design.vds});
-    retabulated += write_fet(bplan_, bindings_.q1, ip, device_.extrinsics(),
+    retabulated += planw::write_fet(bplan_, bindings_.q1, ip, device_.extrinsics(),
                              nt_adj_);
   }
   force_full_retab_ = false;

@@ -32,10 +32,21 @@ struct BandReport {
 /// vector (or its derived bias network).  Everything else — decoupling,
 /// bias line, tee parasitics, blocking caps — is fixed by the config, so a
 /// compiled plan never needs to re-tabulate it between design points.
+///
+/// The yield engine additionally perturbs the SUBSTRATE (epsilon_r,
+/// height), which reaches elements a design step never moves: the
+/// high-impedance bias line and the tee-junction parasitics.  Their
+/// handles are carried here too so a tolerance trial can re-tabulate them
+/// in place; optimizer loops (fixed board) simply never touch them.
 struct DesignBindings {
   circuit::ElementRef cin, lshunt, cmid, lsdeg, rfb, coutsh, rdrain;
   circuit::ElementRef tlin1, tlin2, tlout1, tlout2;
   circuit::ElementRef q1;
+  // Substrate-dependent fixed elements (see above).  The tee handles are
+  // only meaningful when `has_tee` (config.model_tee).
+  circuit::ElementRef tlbias;
+  circuit::ElementId ltee1, ltee2, ltee3, ctee;
+  bool has_tee = false;
 };
 
 class LnaDesign {

@@ -1,0 +1,170 @@
+// Direct-retabulation writers for frequency-batched plans.
+//
+// The batched steady state bypasses the Netlist closures: each writer
+// fills a plan value table with exactly what the corresponding closure
+// builder in netlist.cpp (or noisy_twoport.cpp / the FET closures in
+// lna.cpp) would have returned at every grid frequency, so the direct
+// path stays bit-identical to sync()-driven retabulation (pinned by
+// tests/test_batched.cpp).  Each writer returns the number of tables
+// rewritten, matching CompiledNetlist::sync's retabulation count.
+//
+// Shared by BandEvaluator (optimizer loops) and the yield engine's
+// YieldTrialEvaluator (tolerance trials).  `noise_lanes` bounds how many
+// leading grid lanes get their noise CSDs rewritten: noise data are only
+// ever read for the in-band lanes (noise_sweep / noise_at stop at the
+// band), so a caller that knows its band size can skip the stability
+// lanes' CSDs without changing any produced figure.  The default rewrites
+// every lane.
+//
+// Internal amplifier header, not part of the public API surface.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/batched.h"
+#include "circuit/noisy_twoport.h"
+#include "device/small_signal.h"
+#include "microstrip/line.h"
+#include "rf/twoport.h"
+#include "rf/units.h"
+
+namespace gnsslna::amplifier::planw {
+
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+inline constexpr std::size_t kAllLanes =
+    std::numeric_limits<std::size_t>::max();
+
+/// Dispersive one-port (z_of(part) through add_lossy_impedance).  The
+/// impedance model is evaluated once per lane and feeds both the stamp
+/// and (for the first noise_lanes lanes) the thermal-noise CSD — the same
+/// values the two closure tabulations would compute independently.
+template <typename Part>
+std::size_t write_lossy(circuit::BatchedPlan& plan,
+                        const circuit::ElementRef& ref, const Part& part,
+                        double temperature_k,
+                        std::size_t noise_lanes = kAllLanes) {
+  const std::vector<double>& grid = plan.grid();
+  const circuit::BatchedPlan::StampView sv = plan.stamp_view(ref.element.index);
+  const bool noisy = ref.noise_group != circuit::kNoNoiseGroup;
+  const circuit::BatchedPlan::NoiseView nv =
+      noisy ? plan.noise_view(ref.noise_group)
+            : circuit::BatchedPlan::NoiseView{};
+  for (std::size_t fi = 0; fi < sv.count; ++fi) {
+    const circuit::Complex z = part.impedance(grid[fi]);
+    if (std::abs(z) < 1e-12) {
+      throw std::domain_error("add_lossy_impedance: near-short element");
+    }
+    const circuit::Complex y = 1.0 / z;
+    sv.values[fi] = y;
+    if (noisy && fi < noise_lanes) {
+      nv.csd[fi] = circuit::Complex{
+          4.0 * rf::kBoltzmann * temperature_k * std::max(0.0, y.real()), 0.0};
+    }
+  }
+  return noisy ? 2 : 1;
+}
+
+inline std::size_t write_capacitor(circuit::BatchedPlan& plan,
+                                   const circuit::ElementId& id,
+                                   double farads) {
+  if (farads <= 0.0) {
+    throw std::invalid_argument("set_capacitor: capacitance must be positive");
+  }
+  const std::vector<double>& grid = plan.grid();
+  const circuit::BatchedPlan::StampView sv = plan.stamp_view(id.index);
+  for (std::size_t fi = 0; fi < sv.count; ++fi) {
+    sv.values[fi] = circuit::Complex{0.0, kTwoPi * grid[fi] * farads};
+  }
+  return 1;
+}
+
+inline std::size_t write_inductor(circuit::BatchedPlan& plan,
+                                  const circuit::ElementId& id,
+                                  double henries) {
+  if (henries <= 0.0) {
+    throw std::invalid_argument("set_inductor: inductance must be positive");
+  }
+  const std::vector<double>& grid = plan.grid();
+  const circuit::BatchedPlan::StampView sv = plan.stamp_view(id.index);
+  for (std::size_t fi = 0; fi < sv.count; ++fi) {
+    sv.values[fi] = circuit::Complex{0.0, -1.0 / (kTwoPi * grid[fi] * henries)};
+  }
+  return 1;
+}
+
+inline std::size_t write_resistor(circuit::BatchedPlan& plan,
+                                  const circuit::ElementRef& ref, double ohms,
+                                  double temperature_k,
+                                  std::size_t noise_lanes = kAllLanes) {
+  if (ohms <= 0.0) {
+    throw std::invalid_argument("set_resistor: resistance must be positive");
+  }
+  const double g = 1.0 / ohms;
+  const circuit::BatchedPlan::StampView sv = plan.stamp_view(ref.element.index);
+  for (std::size_t fi = 0; fi < sv.count; ++fi) {  // 1: freq-independent
+    sv.values[fi] = circuit::Complex{g, 0.0};
+  }
+  if (ref.noise_group == circuit::kNoNoiseGroup) return 1;
+  const double psd = 4.0 * rf::kBoltzmann * temperature_k * g;
+  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
+  const std::size_t nn = std::min(noise_lanes, nv.count);
+  for (std::size_t fi = 0; fi < nn; ++fi) {
+    nv.csd[fi] = circuit::Complex{psd, 0.0};
+  }
+  return 2;
+}
+
+inline std::size_t write_line(
+    circuit::BatchedPlan& plan, const circuit::ElementRef& ref,
+    const microstrip::Line& line,
+    const std::vector<microstrip::Line::Propagation>& prop,
+    double temperature_k, std::size_t noise_lanes = kAllLanes) {
+  // `prop` caches the length-independent dispersion curve of this line's
+  // (substrate, width) over the plan grid; abcd_from(propagation(f)) is
+  // bit-identical to abcd(f), so the written tables match the closure
+  // path's exactly while skipping the dispersion-model re-evaluation.
+  const circuit::BatchedPlan::TwoPortView tv =
+      plan.twoport_view(ref.element.index);
+  for (std::size_t fi = 0; fi < tv.count; ++fi) {
+    tv.set(fi, rf::y_from_abcd(line.abcd_from(prop[fi])));
+  }
+  if (ref.noise_group == circuit::kNoNoiseGroup) return 1;
+  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
+  const std::size_t nn = std::min(noise_lanes, nv.count);
+  for (std::size_t fi = 0; fi < nn; ++fi) {
+    circuit::passive_twoport_csd_into(tv.values[fi], temperature_k,
+                                      nv.csd + fi * 4);
+  }
+  return 2;
+}
+
+inline std::size_t write_fet(circuit::BatchedPlan& plan,
+                             const circuit::ElementRef& ref,
+                             const device::IntrinsicParams& ip,
+                             const device::ExtrinsicParams& ex,
+                             const device::NoiseTemperatures& nt,
+                             std::size_t noise_lanes = kAllLanes) {
+  const std::vector<double>& grid = plan.grid();
+  const circuit::BatchedPlan::TwoPortView tv =
+      plan.twoport_view(ref.element.index);
+  const circuit::BatchedPlan::NoiseView nv = plan.noise_view(ref.noise_group);
+  const std::size_t nn = std::min(noise_lanes, nv.count);
+  for (std::size_t fi = 0; fi < tv.count; ++fi) {
+    const rf::YParams yp = rf::y_from_s(device::fet_s_params(ip, ex, grid[fi]));
+    tv.set(fi, yp);
+    if (fi < nn) {
+      const rf::NoiseParams np =
+          device::pospieszalski_noise(ip, ex, nt, grid[fi]);
+      circuit::noise_correlation_y_into(yp, np, nv.csd + fi * 4);
+    }
+  }
+  return 2;
+}
+
+}  // namespace gnsslna::amplifier::planw

@@ -1,0 +1,133 @@
+#include "numeric/sobol.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace gnsslna::numeric {
+
+namespace {
+
+/// One primitive polynomial over GF(2) with its initial direction integers
+/// m_1..m_s (odd, m_k < 2^k), from Joe & Kuo, "Constructing Sobol
+/// sequences with better two-dimensional projections" (SIAM J. Sci.
+/// Comput. 30, 2008), new-joe-kuo-6 table.  Dimension 1 (the van der
+/// Corput radical inverse) has no polynomial and all m_k = 1.
+struct JoeKuoRow {
+  unsigned s;               ///< polynomial degree
+  unsigned a;               ///< interior coefficient bits a_1..a_{s-1}
+  std::uint32_t m[8];       ///< m_1..m_s (unused tail zero)
+};
+
+constexpr JoeKuoRow kJoeKuo[] = {
+    // dimensions 2..21 of the new-joe-kuo-6 table
+    {1, 0, {1}},
+    {2, 1, {1, 3}},
+    {3, 1, {1, 3, 1}},
+    {3, 2, {1, 1, 1}},
+    {4, 1, {1, 1, 3, 3}},
+    {4, 4, {1, 3, 5, 13}},
+    {5, 2, {1, 1, 5, 5, 17}},
+    {5, 4, {1, 1, 5, 5, 5}},
+    {5, 7, {1, 1, 7, 11, 19}},
+    {5, 11, {1, 1, 5, 1, 1}},
+    {5, 13, {1, 1, 1, 3, 11}},
+    {5, 14, {1, 3, 5, 5, 31}},
+    {6, 1, {1, 3, 3, 9, 7, 49}},
+    {6, 13, {1, 1, 1, 15, 21, 21}},
+    {6, 16, {1, 3, 1, 13, 27, 49}},
+    {6, 19, {1, 1, 1, 15, 7, 5}},
+    {6, 22, {1, 3, 1, 15, 13, 25}},
+    {6, 25, {1, 1, 5, 5, 19, 61}},
+    {7, 1, {1, 3, 7, 11, 23, 15, 103}},
+    {7, 4, {1, 3, 7, 13, 13, 15, 69}},
+};
+
+/// Fills the kBits direction integers V_k = m_k * 2^(kBits - k) of one
+/// dimension, extending m via the Joe-Kuo recurrence
+///   m_k = 2 a_1 m_{k-1} ^ ... ^ 2^{s-1} a_{s-1} m_{k-s+1}
+///         ^ 2^s m_{k-s} ^ m_{k-s}.
+void fill_direction(std::size_t dim, std::uint32_t* v) {
+  constexpr unsigned bits = ScrambledSobol::kBits;
+  std::uint32_t m[bits];
+  if (dim == 0) {
+    for (unsigned k = 0; k < bits; ++k) m[k] = 1;
+  } else {
+    const JoeKuoRow& row = kJoeKuo[dim - 1];
+    for (unsigned k = 0; k < row.s; ++k) m[k] = row.m[k];
+    for (unsigned k = row.s; k < bits; ++k) {
+      std::uint32_t mk = m[k - row.s] ^ (m[k - row.s] << row.s);
+      for (unsigned i = 1; i < row.s; ++i) {
+        if ((row.a >> (row.s - 1 - i)) & 1u) mk ^= m[k - i] << i;
+      }
+      m[k] = mk;
+    }
+  }
+  for (unsigned k = 0; k < bits; ++k) v[k] = m[k] << (bits - 1 - k);
+}
+
+std::vector<std::uint32_t> build_directions(std::size_t dimensions) {
+  if (dimensions == 0 || dimensions > ScrambledSobol::kMaxDimensions) {
+    throw std::invalid_argument(
+        "ScrambledSobol: dimensions must be in [1, kMaxDimensions]");
+  }
+  std::vector<std::uint32_t> v(dimensions * ScrambledSobol::kBits);
+  for (std::size_t d = 0; d < dimensions; ++d) {
+    fill_direction(d, v.data() + d * ScrambledSobol::kBits);
+  }
+  return v;
+}
+
+/// Stream offset for the per-dimension shift masks; 2^63 keeps them clear
+/// of the trial indices the pseudo-random sampler feeds to split().
+constexpr std::uint64_t kShiftStreamBase = 0x8000000000000000ull;
+
+}  // namespace
+
+ScrambledSobol::ScrambledSobol(std::size_t dimensions)
+    : dimensions_(dimensions),
+      direction_(build_directions(dimensions)),
+      shift_(dimensions, 0u) {}
+
+ScrambledSobol::ScrambledSobol(std::size_t dimensions, const Rng& root)
+    : dimensions_(dimensions),
+      direction_(build_directions(dimensions)),
+      shift_(dimensions) {
+  for (std::size_t d = 0; d < dimensions_; ++d) {
+    shift_[d] = static_cast<std::uint32_t>(
+        root.split(kShiftStreamBase + d).next_u64() >> 32);
+  }
+}
+
+std::uint32_t ScrambledSobol::raw(std::uint64_t index, std::size_t dim) const {
+  if (index >> kBits) {
+    throw std::invalid_argument("ScrambledSobol: index must be < 2^32");
+  }
+  // Gray-code order admits a direct (stateless) formula: point i XORs the
+  // direction integers selected by the bits of gray(i) = i ^ (i >> 1).
+  // Gray-code reordering permutes the sequence within every block of 2^k
+  // points, so all (t,m,s)-net properties are retained.
+  std::uint64_t gray = index ^ (index >> 1);
+  const std::uint32_t* v = direction_.data() + dim * kBits;
+  std::uint32_t x = shift_[dim];
+  while (gray) {
+    const int k = std::countr_zero(gray);
+    x ^= v[k];
+    gray &= gray - 1;
+  }
+  return x;
+}
+
+double ScrambledSobol::sample(std::uint64_t index, std::size_t dim) const {
+  if (dim >= dimensions_) {
+    throw std::invalid_argument("ScrambledSobol: dimension out of range");
+  }
+  return static_cast<double>(raw(index, dim)) * 0x1.0p-32;
+}
+
+void ScrambledSobol::point(std::uint64_t index, double* out) const {
+  for (std::size_t d = 0; d < dimensions_; ++d) {
+    out[d] = static_cast<double>(raw(index, d)) * 0x1.0p-32;
+  }
+}
+
+}  // namespace gnsslna::numeric

@@ -1,6 +1,7 @@
 // Descriptive statistics used by the benchmark harness and robust fitting.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace gnsslna::numeric {
@@ -23,5 +24,27 @@ double mad_sigma(const std::vector<double>& v);
 
 /// Root mean square of the entries.
 double rms(const std::vector<double>& v);
+
+/// Inverse standard-normal CDF (probit), p in (0, 1); returns -inf/+inf at
+/// the closed endpoints.  Acklam's rational approximation, |relative
+/// error| < 1.2e-9 — a fixed polynomial evaluation (no iterative
+/// refinement), so the result is a pure deterministic function of p.
+/// This is how the Sobol sampler maps uniforms to Gaussian tolerance
+/// draws: quantile transform instead of Box-Muller, because QMC points
+/// must map one coordinate to one variate to preserve the net structure.
+double normal_quantile(double p);
+
+/// Wilson score confidence interval for a binomial proportion.
+struct WilsonInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Wilson interval on successes/trials at normal quantile z (default
+/// two-sided 95%).  Unlike the Wald interval it never leaves [0, 1] and
+/// stays honest at pass rates near 0 or 1 — exactly the small-n yield
+/// regime.  trials == 0 returns the vacuous [0, 1].
+WilsonInterval wilson_interval(std::size_t successes, std::size_t trials,
+                               double z = 1.959963984540054);
 
 }  // namespace gnsslna::numeric

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "amplifier/lna.h"
+#include "amplifier/yield.h"
 #include "device/phemt.h"
 
 namespace gnsslna::amplifier {
@@ -84,6 +85,48 @@ TEST(AllocFree, WorkspaceHighWaterMarkIsPinned) {
     d.l_in_m += 1e-4;
     (void)ev.evaluate(d);
     ASSERT_EQ(ev.workspace_high_water(), after_first) << "step " << i;
+  }
+}
+
+TEST(AllocFree, SteadyStateYieldTrialDoesNotTouchTheHeap) {
+  // The yield engine's per-trial contract: after the first evaluate() has
+  // warmed the plan tables and workspace arena, every subsequent trial —
+  // a FULL re-stamp of all tolerance-perturbed tables plus one batched
+  // evaluate — performs zero heap allocations, even though each trial
+  // carries a fresh design AND a fresh substrate.
+  const AmplifierConfig config = [] {
+    AmplifierConfig c;
+    c.resolve();
+    return c;
+  }();
+  const DesignVector nominal;
+  YieldTrialEvaluator ev(device::Phemt::reference_device(), config, nominal);
+  DesignGoals goals;
+  goals.nf_goal_db = 10.0;
+  goals.gain_goal_db = 0.0;
+  goals.s11_goal_db = 0.0;
+  goals.s22_goal_db = 0.0;
+  goals.mu_margin = 0.0;
+  const numeric::Rng root(1234);
+
+  // Cold trial sizes the arena; a second warm-up covers lazily registered
+  // obs counters (function-local statics), as in the BandEvaluator test.
+  const TrialDraw warm =
+      pseudo_trial_draw(root, 0, nominal, config.substrate, {});
+  (void)ev.evaluate(warm, goals);
+  (void)ev.evaluate(warm, goals);
+
+  const std::size_t high_water = ev.workspace_high_water();
+  for (std::uint64_t trial = 1; trial <= 40; ++trial) {
+    const TrialDraw draw =
+        pseudo_trial_draw(root, trial, nominal, config.substrate, {});
+    const std::uint64_t count0 = bench::alloc_count();
+    const TrialOutcome out = ev.evaluate(draw, goals);
+    const std::uint64_t allocs = bench::alloc_count() - count0;
+    EXPECT_EQ(allocs, 0u) << "trial " << trial;
+    EXPECT_FALSE(out.failed) << "trial " << trial;
+    EXPECT_GT(out.gt_min_db, -50.0);  // keep the result observable
+    ASSERT_EQ(ev.workspace_high_water(), high_water) << "trial " << trial;
   }
 }
 

@@ -209,8 +209,15 @@ TEST(Yield, ReportsSaneStatistics) {
                                             goals, 12, rng);
   EXPECT_EQ(rep.samples, 12u);
   EXPECT_GT(rep.pass_rate, 0.9);
-  EXPECT_GE(rep.nf_avg_p95_db, rep.nf_avg_mean_db - 1e-9);
-  EXPECT_LE(rep.gt_min_p5_db, rep.gt_min_mean_db + 1e-9);
+  // The percentiles come from the engine's streaming fixed-grid
+  // histograms, which interpolate inside a bin: p95 >= mean holds only up
+  // to one bin width of the default windows (NF: 10 dB / 4096 bins,
+  // GT: 100 dB / 4096 bins).
+  EXPECT_GE(rep.nf_avg_p95_db, rep.nf_avg_mean_db - 10.0 / 4096.0);
+  EXPECT_LE(rep.gt_min_p5_db, rep.gt_min_mean_db + 100.0 / 4096.0);
+  // The Wilson interval brackets the point estimate.
+  EXPECT_GE(rep.pass_rate, rep.pass_rate_ci95_lo);
+  EXPECT_LE(rep.pass_rate, rep.pass_rate_ci95_hi);
 }
 
 TEST(Yield, ImpossibleGoalsFailEverything) {
