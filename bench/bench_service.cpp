@@ -1,0 +1,163 @@
+// Service-layer benchmark: scheduler throughput and end-to-end job
+// latency for the design-as-a-service server (src/service/).
+//
+// Measures three numbers:
+//
+//   1. Mixed-traffic throughput: a deterministic evaluate/sweep-heavy mix
+//      (the load_gen.cpp distribution) pushed through the scheduler at
+//      full admission, jobs per second across --threads workers.
+//   2. Single-job round trip: one evaluate job submitted and awaited in a
+//      closed loop — queueing + dispatch + plan-cache lease + evaluation.
+//   3. Server-side p99: the log2-microsecond obs latency histogram the
+//      stats op exports, after the mixed run.
+//
+//   --json <path>   write bench_util schema-v2 records:
+//                     BM_ServiceMixedJob      ns per job, mixed traffic
+//                     BM_ServiceEvaluateJob   ns per closed-loop evaluate
+//                     BM_ServiceLatencyP99    p99 in ns (from the obs
+//                                             histogram upper bound)
+//   --count <n>     mixed jobs (default 512)
+//   --threads <n>   scheduler workers (default 0 = all hardware threads)
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "numeric/rng.h"
+#include "obs/obs.h"
+#include "service/jobs.h"
+#include "service/json.h"
+#include "service/scheduler.h"
+
+namespace {
+
+using namespace gnsslna;
+using service::Json;
+
+double wall_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+/// The load_gen.cpp mix, minus the slow optimizer tail: evaluations over
+/// several designs/configs (plan-cache churn) and small sweeps.
+std::pair<std::string, std::string> mixed_request(const numeric::Rng& root,
+                                                  std::size_t i) {
+  numeric::Rng rng = root.split(i);
+  char buf[256];
+  if (rng.uniform() < 0.8) {
+    std::snprintf(buf, sizeof buf,
+                  R"({"design":{"vgs":%.4f,"vds":%.3f},)"
+                  R"("config":{"t_ambient_k":%g}})",
+                  rng.uniform(-0.45, -0.25), rng.uniform(2.0, 3.0),
+                  rng.bernoulli(0.3) ? 310.0 : 290.0);
+    return {"evaluate", buf};
+  }
+  std::snprintf(buf, sizeof buf,
+                R"({"f_lo_hz":1.1e9,"f_hi_hz":1.7e9,"n_points":%llu})",
+                static_cast<unsigned long long>(5 + rng.uniform_index(12)));
+  return {"sweep", buf};
+}
+
+Json parse(const std::string& text) {
+  Json doc;
+  Json::parse(text, &doc);
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::size_t count = 512;
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--count" && i + 1 < argc) {
+      count = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json path] [--count n] [--threads n]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  obs::set_enabled(true);
+  obs::reset();
+  bench::JsonRecorder json(json_path);
+
+  service::SchedulerOptions options;
+  options.workers = threads;
+  options.queue_capacity = 4096;
+  options.max_queued_per_client = 4096;
+
+  // 1. Mixed throughput at saturation.
+  double mixed_ns = 0.0;
+  {
+    service::PlanCache cache;
+    service::Scheduler scheduler(options, &cache);
+    const numeric::Rng root(42);
+    // Warm the plan cache and the lazily built reference device tables so
+    // the timed region measures steady-state service, not cold start.
+    scheduler.submit("warm", "evaluate", parse("{}"))->wait();
+
+    std::vector<service::Scheduler::TicketPtr> tickets;
+    tickets.reserve(count);
+    const double t0 = wall_seconds();
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto [type, params] = mixed_request(root, i);
+      auto t = scheduler.submit("bench", type, parse(params));
+      if (t != nullptr) tickets.push_back(std::move(t));
+    }
+    std::size_t ok = 0;
+    for (const auto& t : tickets) {
+      if (t->wait().status == "ok") ++ok;
+    }
+    const double wall = wall_seconds() - t0;
+    mixed_ns = wall * 1e9 / static_cast<double>(tickets.size());
+    std::printf(
+        "== service: mixed traffic, %zu workers ==\n"
+        "  %zu jobs (%zu ok) in %.2f s  ->  %.0f jobs/s  (%.0f us/job)\n",
+        scheduler.workers(), tickets.size(), ok, wall,
+        static_cast<double>(tickets.size()) / wall, mixed_ns / 1e3);
+    json.add("BM_ServiceMixedJob", tickets.size(), mixed_ns);
+    scheduler.shutdown();
+  }
+
+  // 2. Closed-loop single evaluate round trip (dispatch overhead + job).
+  {
+    service::PlanCache cache;
+    service::Scheduler scheduler(options, &cache);
+    scheduler.submit("warm", "evaluate", parse("{}"))->wait();
+    const int iters = 200;
+    const double t0 = wall_seconds();
+    for (int i = 0; i < iters; ++i) {
+      scheduler.submit("bench", "evaluate", parse("{}"))->wait();
+    }
+    const double ns = (wall_seconds() - t0) * 1e9 / iters;
+    std::printf("  closed-loop evaluate: %.0f us/job\n", ns / 1e3);
+    json.add("BM_ServiceEvaluateJob", iters, ns);
+    scheduler.shutdown();
+  }
+
+  // 3. Server-side percentile export (conservative log2-bucket bounds).
+  const Json stats = service::service_stats_json();
+  const double p50_us = stats.number_at("latency_p50_us", 0);
+  const double p99_us = stats.number_at("latency_p99_us", 0);
+  std::printf("  obs histogram over %lld jobs: p50 <= %.0f us, p99 <= %.0f us\n",
+              static_cast<long long>(stats.number_at("latency_jobs", 0)),
+              p50_us, p99_us);
+  json.add("BM_ServiceLatencyP99",
+           static_cast<std::uint64_t>(stats.number_at("latency_jobs", 0)),
+           p99_us * 1e3);
+
+  if (json.enabled()) json.write();
+  return 0;
+}

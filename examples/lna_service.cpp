@@ -1,0 +1,100 @@
+// Design-as-a-service job server.
+//
+// Exposes the whole library — band evaluation, S-parameter sweeps, the
+// goal-attainment design flow, Monte-Carlo/QMC yield, three-step model
+// extraction — as batch jobs over the length-prefixed JSON protocol
+// (src/service/server.h documents the frames).  Two transports:
+//
+//   lna_service --worker
+//       serve one client on stdin/stdout (the mode a supervisor spawns;
+//       examples/load_gen.cpp --spawn drives it end to end)
+//   lna_service --socket /tmp/gnsslna.sock
+//       accept any number of concurrent clients on a unix socket
+//
+//   --threads N   scheduler workers (default 2, 0 = all hardware threads)
+//   --queue N     global queue bound (default 64)
+//
+// Every job result is bit-identical to the same job run alone in-process
+// (tests/test_service.cpp pins this under saturating mixed traffic), so a
+// server farm is just a faster way to run the reproduction — never a
+// different answer.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <unistd.h>
+
+#include "obs/obs.h"
+#include "service/scheduler.h"
+#include "service/server_io.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --worker | --socket <path> [--threads N] "
+               "[--queue N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gnsslna;
+
+  bool worker = false;
+  std::string socket_path;
+  service::SchedulerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--worker") {
+      worker = true;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.workers = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--queue" && i + 1 < argc) {
+      options.queue_capacity = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  // Exactly one transport: --worker (socket path empty) or --socket.
+  if (worker != socket_path.empty()) return usage(argv[0]);
+
+  // Latency percentiles and the stats op read the obs counters; a server
+  // without them would report all zeros.
+  obs::set_enabled(true);
+  // A client vanishing mid-reply must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  service::Scheduler scheduler(options);
+
+  if (worker) {
+    // Protocol frames own stdout; human-readable notes go to stderr.
+    std::fprintf(stderr, "lna_service: worker mode, %zu workers\n",
+                 scheduler.workers());
+    const int rc = service::serve_stream(scheduler, 0, 1, "stdin");
+    scheduler.shutdown();
+    std::fprintf(stderr, "lna_service: %s\n",
+                 rc == 1 ? "shutdown requested" : "client disconnected");
+    return 0;
+  }
+
+  service::SocketServer server(scheduler, socket_path);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "lna_service: cannot listen on %s: %s\n",
+                 socket_path.c_str(), error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "lna_service: listening on %s, %zu workers\n",
+               socket_path.c_str(), scheduler.workers());
+  // Serve until killed; pause() returns on any signal.
+  ::pause();
+  server.stop();
+  scheduler.shutdown();
+  return 0;
+}

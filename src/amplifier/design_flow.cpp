@@ -1,6 +1,7 @@
 #include "amplifier/design_flow.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace gnsslna::amplifier {
 
@@ -39,19 +40,31 @@ DesignOutcome run_design_flow(const device::Phemt& device,
                                        ? LnaDesign::default_band()
                                        : options.band_hz;
 
+  if (options.evaluator && options.optimizer.threads != 1) {
+    throw std::invalid_argument(
+        "run_design_flow: a shared evaluator is serial-only "
+        "(optimizer.threads must be 1)");
+  }
   optimize::GoalProblem problem =
-      make_goal_problem(device, config, options.goals, band);
+      make_goal_problem(device, config, options.goals, band, options.evaluator);
 
   DesignOutcome out;
   out.optimization =
       optimize::improved_goal_attainment(problem, rng, options.optimizer);
   out.continuous = DesignVector::from_vector(out.optimization.x);
+  // The verification reports run through the shared evaluator when one is
+  // leased; evaluator and per-design LnaDesign reports are bit-identical
+  // (the plan-equivalence contract pinned by tests/test_batched.cpp).
   out.continuous_report =
-      LnaDesign(device, config, out.continuous).evaluate(band);
+      options.evaluator
+          ? options.evaluator->evaluate(out.continuous)
+          : LnaDesign(device, config, out.continuous).evaluate(band);
 
   out.snapped = snap_design(out.continuous, options.series);
   const LnaDesign snapped_lna(device, config, out.snapped);
-  out.snapped_report = snapped_lna.evaluate(band);
+  out.snapped_report = options.evaluator
+                           ? options.evaluator->evaluate(out.snapped)
+                           : snapped_lna.evaluate(band);
   out.bias = snapped_lna.bias();
   return out;
 }

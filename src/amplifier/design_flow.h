@@ -4,6 +4,8 @@
 // E-series values and re-verification.
 #pragma once
 
+#include <memory>
+
 #include "amplifier/objectives.h"
 #include "passives/eseries.h"
 
@@ -29,6 +31,14 @@ struct DesignFlowOptions {
   optimize::ImprovedGoalOptions optimizer = {};
   passives::ESeries series = passives::ESeries::kE24;
   std::vector<double> band_hz = {};  ///< empty -> LnaDesign::default_band()
+  /// Optional externally owned evaluation engine (see make_goal_problem):
+  /// every band evaluation of the flow — the optimizer's, plus the
+  /// continuous/snapped verification reports — runs through it, so
+  /// concurrent flows on one topology share compiled stamps.  Must have
+  /// been built for the same (device, resolved config, band); serial-only
+  /// (requires optimizer.threads == 1).  Results are bit-identical with
+  /// and without a shared evaluator (pinned by tests/test_service.cpp).
+  std::shared_ptr<BandEvaluator> evaluator = nullptr;
 };
 
 /// Runs the full flow.  Deterministic per rng seed.

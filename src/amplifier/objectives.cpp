@@ -39,23 +39,37 @@ BandReport infeasible_report() {
 /// count while preserving the objective-then-constraints memo hit.
 class ReportCache {
  public:
+  /// `borrowed` (optional) is an externally owned evaluator built for the
+  /// same (device, resolved config, band): when set, at() evaluates
+  /// through it from a single dedicated slot instead of the per-thread
+  /// ones — the hook behind the service layer's process-wide plan-cache
+  /// tier.  Borrowed mode is serial-only: the caller must not evaluate
+  /// the closures concurrently (BandEvaluator is not thread-safe).
   ReportCache(device::Phemt device, AmplifierConfig config,
-              std::vector<double> band)
+              std::vector<double> band,
+              std::shared_ptr<BandEvaluator> borrowed = nullptr)
       : device_(std::move(device)),
         config_(std::move(config)),
         band_(std::move(band)),
+        borrowed_(std::move(borrowed)),
         id_(next_id()) {
     config_.resolve();
   }
 
   const BandReport& at(const std::vector<double>& x) const {
-    Slot& slot = local_slot();
+    Slot& slot = borrowed_ ? borrowed_slot_ : local_slot();
     if (!slot.valid || x != slot.x) {
       GNSSLNA_OBS_COUNT("amplifier.report_cache.misses");
       slot.valid = true;
       slot.x = x;
       try {
-        if (config_.use_eval_plan) {
+        if (borrowed_) {
+          // Borrowed-evaluator path: same values as below (the rebind
+          // machinery only decides WHICH elements re-stamp, never what
+          // they evaluate to), so reports are bit-identical whatever
+          // design the lease last touched.
+          slot.report = borrowed_->evaluate(DesignVector::from_vector(x));
+        } else if (config_.use_eval_plan) {
           // Persistent per-thread evaluator: the netlist skeleton, the
           // fixed-element tables, and all solver workspaces live across
           // design points; only the design-dependent elements re-stamp.
@@ -102,6 +116,8 @@ class ReportCache {
   device::Phemt device_;
   AmplifierConfig config_;
   std::vector<double> band_;
+  std::shared_ptr<BandEvaluator> borrowed_;
+  mutable Slot borrowed_slot_;  ///< single slot of the serial borrowed mode
   std::uint64_t id_;
 };
 
@@ -132,12 +148,13 @@ std::vector<double> evaluate_objectives(const device::Phemt& device,
   return {rep.nf_avg_db, -rep.gt_min_db, rep.s11_worst_db, rep.s22_worst_db};
 }
 
-optimize::GoalProblem make_goal_problem(const device::Phemt& device,
-                                        AmplifierConfig config,
-                                        DesignGoals goals,
-                                        std::vector<double> band_hz) {
-  auto cache = std::make_shared<ReportCache>(device, std::move(config),
-                                             band_or_default(std::move(band_hz)));
+optimize::GoalProblem make_goal_problem(
+    const device::Phemt& device, AmplifierConfig config, DesignGoals goals,
+    std::vector<double> band_hz,
+    std::shared_ptr<BandEvaluator> shared_evaluator) {
+  auto cache = std::make_shared<ReportCache>(
+      device, std::move(config), band_or_default(std::move(band_hz)),
+      std::move(shared_evaluator));
 
   optimize::GoalProblem problem;
   problem.objectives = [cache](const std::vector<double>& x) {
@@ -162,12 +179,13 @@ optimize::GoalProblem make_goal_problem(const device::Phemt& device,
   return problem;
 }
 
-optimize::GoalProblem make_nf_gain_problem(const device::Phemt& device,
-                                           AmplifierConfig config,
-                                           DesignGoals goals,
-                                           std::vector<double> band_hz) {
-  auto cache = std::make_shared<ReportCache>(device, std::move(config),
-                                             band_or_default(std::move(band_hz)));
+optimize::GoalProblem make_nf_gain_problem(
+    const device::Phemt& device, AmplifierConfig config, DesignGoals goals,
+    std::vector<double> band_hz,
+    std::shared_ptr<BandEvaluator> shared_evaluator) {
+  auto cache = std::make_shared<ReportCache>(
+      device, std::move(config), band_or_default(std::move(band_hz)),
+      std::move(shared_evaluator));
 
   optimize::GoalProblem problem;
   problem.objectives = [cache](const std::vector<double>& x) {

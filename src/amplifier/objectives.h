@@ -47,16 +47,25 @@ std::vector<double> evaluate_objectives(const device::Phemt& device,
                                         const std::vector<double>& band_hz);
 
 /// Builds the full goal-attainment problem over DesignVector::bounds().
-optimize::GoalProblem make_goal_problem(const device::Phemt& device,
-                                        AmplifierConfig config,
-                                        DesignGoals goals,
-                                        std::vector<double> band_hz = {});
+///
+/// `shared_evaluator` is an optional externally owned evaluation engine
+/// (e.g. a service::PlanCache lease): when non-null the problem's closures
+/// evaluate through IT instead of building per-thread evaluators, so
+/// concurrent jobs on the same topology reuse one set of compiled stamps.
+/// The lease must have been built for the SAME (device, resolved config,
+/// band) — reports are then bit-identical to the per-thread path — and,
+/// because BandEvaluator is not thread-safe, the caller must evaluate the
+/// problem serially (optimizer threads == 1).
+optimize::GoalProblem make_goal_problem(
+    const device::Phemt& device, AmplifierConfig config, DesignGoals goals,
+    std::vector<double> band_hz = {},
+    std::shared_ptr<BandEvaluator> shared_evaluator = nullptr);
 
 /// Reduced bi-objective (NF, -GT) problem for the Pareto sweep (Fig. 2);
-/// match goals become hard constraints.
-optimize::GoalProblem make_nf_gain_problem(const device::Phemt& device,
-                                           AmplifierConfig config,
-                                           DesignGoals goals,
-                                           std::vector<double> band_hz = {});
+/// match goals become hard constraints.  `shared_evaluator` as above.
+optimize::GoalProblem make_nf_gain_problem(
+    const device::Phemt& device, AmplifierConfig config, DesignGoals goals,
+    std::vector<double> band_hz = {},
+    std::shared_ptr<BandEvaluator> shared_evaluator = nullptr);
 
 }  // namespace gnsslna::amplifier

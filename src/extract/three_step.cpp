@@ -47,12 +47,26 @@ ExtractionResult three_step_extract(const device::FetModel& prototype,
   de.max_generations = options.de_generations;
   de.population = options.de_population;
   de.threads = options.threads;
+  de.trace = options.trace;
   const optimize::Result global = optimize::differential_evolution(
       [&](const std::vector<double>& x) {
         ++evals;
         return robust(x);
       },
       bounds, rng, de);
+
+  // Stage-boundary telemetry for the direct stages (the DE stage already
+  // emitted per-generation "de" records through de.trace).
+  std::size_t stage_iteration = 0;
+  const auto emit_stage = [&](const char* phase, double best) {
+    if (!options.trace) return;
+    obs::TraceRecord rec;
+    rec.phase = phase;
+    rec.iteration = stage_iteration++;
+    rec.evaluations = evals.load();
+    rec.best_value = best;
+    options.trace(rec);
+  };
 
   // ---- Step 2: local least-squares refinement.
   const optimize::ResidualFn residuals =
@@ -63,6 +77,7 @@ ExtractionResult three_step_extract(const device::FetModel& prototype,
   };
   optimize::LeastSquaresResult local = optimize::levenberg_marquardt(
       counted, bounds, global.x, {}, options.lm);
+  emit_stage("lm", local.sum_squares);
 
   // ---- Step 3: IRLS robust polish.  Huber weights from the MAD sigma.
   for (int it = 0; it < options.irls_iterations; ++it) {
@@ -81,8 +96,10 @@ ExtractionResult three_step_extract(const device::FetModel& prototype,
     if (!any_downweighted) break;  // clean data: weights are all 1
     local = optimize::levenberg_marquardt(counted, bounds, local.x,
                                           std::move(w), options.lm);
+    emit_stage("irls", local.sum_squares);
   }
 
+  emit_stage("final", local.sum_squares);
   return finish(prototype, local.x, data, extrinsics, evals.load(),
                 local.converged);
 }

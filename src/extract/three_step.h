@@ -20,6 +20,7 @@
 #include <string>
 
 #include "extract/objective.h"
+#include "obs/trace.h"
 #include "optimize/levenberg_marquardt.h"
 
 namespace gnsslna::extract {
@@ -38,6 +39,14 @@ struct ThreeStepOptions {
   std::size_t threads = 1;  ///< 0 = hardware_concurrency(), 1 = serial.
                             ///< Fans out the population stages (DE); the
                             ///< LM/IRLS refinement stays sequential.
+  /// Optional convergence telemetry (obs/trace.h), invoked on the calling
+  /// thread at stage boundaries: the DE stage's per-generation records
+  /// (phase "de"), one record after the LM refinement (phase "lm"), one
+  /// per IRLS pass (phase "irls", best_value = weighted sum of squares),
+  /// and a closing record (phase "final").  Attaching a sink never changes
+  /// the extraction result.  These barriers are also where the service
+  /// layer cancels an extraction job mid-run.
+  obs::TraceSink trace = {};
 };
 
 struct ExtractionResult {

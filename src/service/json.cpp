@@ -1,0 +1,464 @@
+#include "service/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gnsslna::service {
+
+namespace {
+
+const std::string kEmptyString;
+
+/// Recursive-descent parser over a string_view.  Every byte access is
+/// bounds-checked through peek()/take(); depth is capped by Json::kMaxDepth.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool run(Json* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing garbage after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_ != nullptr) {
+      *error_ = why + " (at byte " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return eof() ? '\0' : text_[pos_]; }
+  char take() { return eof() ? '\0' : text_[pos_++]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Json* out, std::size_t depth) {
+    if (depth > Json::kMaxDepth) return fail("nesting too deep");
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        if (!parse_literal("null")) return false;
+        *out = Json();
+        return true;
+      case 't':
+        if (!parse_literal("true")) return false;
+        *out = Json::boolean(true);
+        return true;
+      case 'f':
+        if (!parse_literal("false")) return false;
+        *out = Json::boolean(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Json::string(std::move(s));
+        return true;
+      }
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_array(Json* out, std::size_t depth) {
+    take();  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      *out = std::move(arr);
+      return true;
+    }
+    for (;;) {
+      Json element;
+      skip_ws();
+      if (!parse_value(&element, depth + 1)) return false;
+      arr.push(std::move(element));
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') return fail("expected ',' or ']' in array");
+    }
+    *out = std::move(arr);
+    return true;
+  }
+
+  bool parse_object(Json* out, std::size_t depth) {
+    take();  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      *out = std::move(obj);
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') return fail("expected string key in object");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (take() != ':') return fail("expected ':' after object key");
+      skip_ws();
+      Json value;
+      if (!parse_value(&value, depth + 1)) return false;
+      obj.set(std::move(key), std::move(value));
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') return fail("expected ',' or '}' in object");
+    }
+    *out = std::move(obj);
+    return true;
+  }
+
+  static int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  bool parse_hex4(unsigned* out) {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const int d = hex_digit(take());
+      if (d < 0) return fail("invalid \\u escape");
+      v = (v << 4) | static_cast<unsigned>(d);
+    }
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string* s, unsigned cp) {
+    if (cp < 0x80) {
+      s->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    take();  // '"'
+    out->clear();
+    for (;;) {
+      if (eof()) return fail("unterminated string");
+      const char c = take();
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (take() != '\\' || take() != 'u') {
+              return fail("unpaired high surrogate");
+            }
+            unsigned lo = 0;
+            if (!parse_hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') take();
+    // Integer part: 0, or [1-9][0-9]*.
+    if (peek() == '0') {
+      take();
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (peek() >= '0' && peek() <= '9') take();
+    } else {
+      return fail("invalid number");
+    }
+    if (peek() == '.') {
+      take();
+      if (peek() < '0' || peek() > '9') return fail("invalid number fraction");
+      while (peek() >= '0' && peek() <= '9') take();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      take();
+      if (peek() == '+' || peek() == '-') take();
+      if (peek() < '0' || peek() > '9') return fail("invalid number exponent");
+      while (peek() >= '0' && peek() <= '9') take();
+    }
+    // The validated slice is a well-formed C number literal; strtod cannot
+    // run past it because the byte after the slice is not number syntax.
+    const std::string slice(text_.substr(start, pos_ - start));
+    *out = Json::number(std::strtod(slice.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+void dump_string(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void dump_number(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    out->append("null");  // JSON has no NaN/Inf spelling
+    return;
+  }
+  char buf[40];
+  // Exactly-integral values print as integers (stable and readable);
+  // everything else round-trips through %.17g.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out->append(buf);
+}
+
+void dump_value(const Json& v, std::string* out) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      out->append("null");
+      return;
+    case Json::Type::kBool:
+      out->append(v.as_bool() ? "true" : "false");
+      return;
+    case Json::Type::kNumber:
+      dump_number(v.as_number(), out);
+      return;
+    case Json::Type::kString:
+      dump_string(v.as_string(), out);
+      return;
+    case Json::Type::kArray: {
+      out->push_back('[');
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        dump_value(v.at(i), out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Json::Type::kObject: {
+      out->push_back('{');
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        dump_string(v.key(i), out);
+        out->push_back(':');
+        dump_value(v.at(i), out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+double Json::as_number(double fallback) const {
+  return type_ == Type::kNumber ? number_ : fallback;
+}
+
+const std::string& Json::as_string() const {
+  return type_ == Type::kString ? string_ : kEmptyString;
+}
+
+const Json& Json::at(std::size_t i) const {
+  if ((type_ != Type::kArray && type_ != Type::kObject) || i >= items_.size()) {
+    throw std::out_of_range("Json::at: index out of range");
+  }
+  return items_[i];
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return &items_[i];
+  }
+  return nullptr;
+}
+
+const std::string& Json::key(std::size_t i) const {
+  if (type_ != Type::kObject || i >= keys_.size()) {
+    throw std::out_of_range("Json::key: index out of range");
+  }
+  return keys_[i];
+}
+
+double Json::number_at(std::string_view key, double fallback) const {
+  const Json* v = find(key);
+  return v != nullptr ? v->as_number(fallback) : fallback;
+}
+
+bool Json::bool_at(std::string_view key, bool fallback) const {
+  const Json* v = find(key);
+  return v != nullptr ? v->as_bool(fallback) : fallback;
+}
+
+std::string Json::string_at(std::string_view key,
+                            const std::string& fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (type_ != Type::kObject) {
+    throw std::logic_error("Json::set: not an object");
+  }
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) {
+      items_[i] = std::move(value);
+      return *this;
+    }
+  }
+  keys_.push_back(std::move(key));
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (type_ != Type::kArray) {
+    throw std::logic_error("Json::push: not an array");
+  }
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, &out);
+  return out;
+}
+
+bool Json::parse(std::string_view text, Json* out, std::string* error) {
+  *out = Json();
+  Parser parser(text, error);
+  Json parsed;
+  if (!parser.run(&parsed)) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
+}  // namespace gnsslna::service

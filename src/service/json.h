@@ -1,0 +1,101 @@
+// Minimal JSON document model for the service wire protocol.
+//
+// The library deliberately has no external dependencies, so the service
+// layer carries its own parser/writer with the two properties the job
+// server actually needs:
+//
+//   * Hostile-input safety.  parse() is a pure, bounds-checked function of
+//     the input bytes: arbitrary byte garbage (the frame-parser fuzz test
+//     feeds counter-seeded random mutations) must produce either a value
+//     or an error string — never UB, unbounded recursion, or a hang.
+//     Nesting is capped at kMaxDepth; numbers and escapes are validated
+//     against the JSON grammar before conversion.
+//
+//   * Deterministic output.  dump() is a pure function of the document:
+//     object keys keep insertion order, doubles print as integers when
+//     exactly integral and as %.17g otherwise (round-trip exact), and
+//     non-finite numbers (no JSON spelling) print as null.  Two equal
+//     documents always serialize to the same bytes — the property behind
+//     the service's "result frames are bit-identical under load"
+//     guarantee.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnsslna::service {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Maximum array/object nesting parse() accepts.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  Json() = default;  ///< null
+
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const;
+  double as_number(double fallback = 0.0) const;
+  const std::string& as_string() const;  ///< empty when not a string
+
+  /// Array element count / object member count; 0 for scalars.
+  std::size_t size() const { return items_.size(); }
+
+  /// Array element (throws std::out_of_range when absent or not an array).
+  const Json& at(std::size_t i) const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Object member key by index (parallel to at()).
+  const std::string& key(std::size_t i) const;
+
+  // Typed object lookups with fallbacks (scalars only).
+  double number_at(std::string_view key, double fallback) const;
+  bool bool_at(std::string_view key, bool fallback) const;
+  std::string string_at(std::string_view key,
+                        const std::string& fallback = {}) const;
+
+  /// Object member insert-or-replace.  Returns *this for chaining; throws
+  /// std::logic_error when this value is not an object.
+  Json& set(std::string key, Json value);
+
+  /// Array append.  Returns *this; throws when not an array.
+  Json& push(Json value);
+
+  /// Serializes the document (see file comment for the determinism rules).
+  std::string dump() const;
+
+  /// Parses exactly one JSON document (leading/trailing whitespace
+  /// allowed, trailing garbage rejected).  On failure returns false and
+  /// stores a reason with a byte offset in *error when non-null; *out is
+  /// left null.
+  static bool parse(std::string_view text, Json* out,
+                    std::string* error = nullptr);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;       ///< array elements / object values
+  std::vector<std::string> keys_; ///< object keys, parallel to items_
+};
+
+}  // namespace gnsslna::service

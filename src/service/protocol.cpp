@@ -1,0 +1,48 @@
+#include "service/protocol.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace gnsslna::service {
+
+std::string encode_frame(std::string_view payload, std::size_t max_payload) {
+  if (payload.size() > max_payload) {
+    throw std::length_error("encode_frame: payload exceeds frame limit");
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(n & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  if (broken_) return;
+  buffer_.append(bytes);
+}
+
+bool FrameReader::next(std::string* payload) {
+  if (broken_ || buffer_.size() < kFrameHeaderBytes) return false;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t n = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+  if (n > max_payload_) {
+    broken_ = true;
+    error_ = "oversize frame: " + std::to_string(n) + " > " +
+             std::to_string(max_payload_) + " bytes";
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    return false;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + n) return false;
+  payload->assign(buffer_, kFrameHeaderBytes, n);
+  buffer_.erase(0, kFrameHeaderBytes + n);
+  return true;
+}
+
+}  // namespace gnsslna::service

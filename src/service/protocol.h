@@ -1,0 +1,71 @@
+// Length-prefixed JSON framing for the job-server wire protocol.
+//
+// One frame = a 4-byte big-endian payload length followed by exactly that
+// many payload bytes (one JSON document).  The fixed prefix makes framing
+// self-describing on any byte stream (pipes, unix sockets): no sentinel
+// bytes, no escaping, and a reader always knows whether it is mid-frame.
+//
+// Failure taxonomy (exercised by tests/test_service.cpp):
+//   * oversize frame  — a header announcing more than max_payload bytes.
+//     Framing cannot be resynchronized past an untrusted length, so the
+//     reader latches broken() and discards everything after; the transport
+//     replies with a protocol error and closes the stream.
+//   * malformed payload — a complete frame whose bytes are not valid JSON.
+//     Framing is still intact, so the session replies with an error frame
+//     and keeps serving (recoverable).
+//   * truncated stream — EOF with pending() > 0: the peer died mid-frame.
+//     The transport reports it; no partial frame is ever delivered.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace gnsslna::service {
+
+/// Frame header size: 4-byte big-endian unsigned payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Default payload ceiling.  Large enough for any job result (a 4096-point
+/// sweep dumps well under 1 MiB), small enough that a corrupt length byte
+/// cannot make a reader buffer gigabytes.
+inline constexpr std::size_t kMaxFramePayload = 4u * 1024 * 1024;
+
+/// Wraps one payload in a frame.  Throws std::length_error when the
+/// payload exceeds max_payload (the writer-side mirror of the reader's
+/// oversize check).
+std::string encode_frame(std::string_view payload,
+                         std::size_t max_payload = kMaxFramePayload);
+
+/// Incremental frame decoder: feed() arbitrary byte chunks, then drain
+/// complete frames with next().  Single-owner (one reader per stream);
+/// not thread-safe.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends stream bytes.  Ignored once broken().
+  void feed(std::string_view bytes);
+
+  /// Pops the next complete frame payload into *payload; false when no
+  /// complete frame is buffered (or the stream is broken).
+  bool next(std::string* payload);
+
+  /// Latched after an oversize header: the stream cannot be resynchronized
+  /// and every subsequent byte is discarded.
+  bool broken() const { return broken_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes of an incomplete trailing frame (header included).  Non-zero at
+  /// EOF means the peer truncated a frame mid-write.
+  std::size_t pending() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_payload_;
+  std::string buffer_;
+  bool broken_ = false;
+  std::string error_;
+};
+
+}  // namespace gnsslna::service

@@ -1,0 +1,265 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace gnsslna::service {
+
+namespace {
+
+/// Log2 bucket of a microsecond latency: bucket b holds [2^b, 2^(b+1)).
+unsigned latency_bucket(std::uint64_t us) {
+  unsigned b = 0;
+  while (us > 1 && b < 31) {
+    us >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+void count_latency(std::uint64_t us) {
+#if defined(GNSSLNA_OBS_ENABLED)
+  static const std::vector<obs::Counter> buckets = [] {
+    std::vector<obs::Counter> v;
+    v.reserve(32);
+    for (int i = 0; i < 32; ++i) {
+      char name[32];
+      std::snprintf(name, sizeof name, "service.latency.b%02d", i);
+      v.emplace_back(name);
+    }
+    return v;
+  }();
+  buckets[latency_bucket(us)].add(1);
+#else
+  (void)us;
+#endif
+}
+
+}  // namespace
+
+const JobOutcome& Scheduler::Ticket::wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return done_; });
+  return outcome_;
+}
+
+bool Scheduler::Ticket::finished() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+Scheduler::Scheduler(SchedulerOptions options, PlanCache* plans)
+    : workers_(numeric::resolve_threads(options.workers)),
+      options_(options),
+      plans_(plans) {
+  // A dedicated pool: worker loops occupy their threads for the server's
+  // lifetime, which would wedge the process-wide shared() pool.
+  pool_ = std::make_unique<numeric::ThreadPool>(workers_ - 1);
+  engine_ = std::thread([this] {
+    // n == workers_ hands exactly one worker_loop to each pool thread
+    // plus this engine thread (chunking degenerates to one index per
+    // grab), giving workers_ concurrent loops.
+    pool_->parallel_for(workers_, [this](std::size_t) { worker_loop(); },
+                        workers_);
+  });
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+Scheduler::TicketPtr Scheduler::submit(const std::string& client,
+                                       std::string type, Json params,
+                                       double timeout_s,
+                                       obs::TraceSink progress,
+                                       CompletionFn on_complete) {
+  GNSSLNA_OBS_COUNT("service.submitted");
+  auto ticket = std::make_shared<Ticket>();
+  ticket->client_ = client;
+  ticket->type_ = std::move(type);
+  ticket->params_ = std::move(params);
+  ticket->progress_ = std::move(progress);
+  ticket->on_complete_ = std::move(on_complete);
+  if (timeout_s > 0.0) {
+    ticket->has_deadline_ = true;
+    ticket->deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return nullptr;
+    std::deque<TicketPtr>& queue = queues_[client];
+    if (total_queued_ >= options_.queue_capacity ||
+        queue.size() >= options_.max_queued_per_client) {
+      GNSSLNA_OBS_COUNT("service.rejected");
+      if (queue.empty()) queues_.erase(client);
+      return nullptr;
+    }
+    ticket->id_ = next_id_++;
+    if (queue.empty()) round_robin_.push_back(client);
+    queue.push_back(ticket);
+    ++total_queued_;
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+std::size_t Scheduler::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_queued_;
+}
+
+Scheduler::TicketPtr Scheduler::next_job() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_cv_.wait(lock, [this] { return stopping_ || !round_robin_.empty(); });
+  if (round_robin_.empty()) return nullptr;  // stopping, queue drained
+  // Round-robin over clients: take the head client's oldest job, then
+  // rotate the client to the back if it still has work.
+  const std::string client = std::move(round_robin_.front());
+  round_robin_.pop_front();
+  std::deque<TicketPtr>& queue = queues_[client];
+  TicketPtr ticket = std::move(queue.front());
+  queue.pop_front();
+  --total_queued_;
+  if (queue.empty()) {
+    queues_.erase(client);
+  } else {
+    round_robin_.push_back(client);
+  }
+  return ticket;
+}
+
+void Scheduler::worker_loop() {
+  while (TicketPtr ticket = next_job()) run_one(*ticket);
+}
+
+void Scheduler::finish(Ticket& t, JobOutcome outcome) {
+  {
+    const std::lock_guard<std::mutex> lock(t.mutex_);
+    t.outcome_ = std::move(outcome);
+    t.done_ = true;
+  }
+  t.done_cv_.notify_all();
+  if (t.on_complete_) t.on_complete_(t);
+}
+
+void Scheduler::run_one(Ticket& t) {
+  if (t.cancelled_.load(std::memory_order_relaxed)) {
+    GNSSLNA_OBS_COUNT("service.cancelled");
+    finish(t, JobOutcome{"cancelled", {}, {}, {}});
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  JobContext ctx;
+  ctx.plans = plans_;
+  ctx.progress = t.progress_;
+  ctx.check_cancel = [&t] {
+    if (t.cancelled_.load(std::memory_order_relaxed)) throw JobCancelled();
+    if (t.has_deadline_ && std::chrono::steady_clock::now() > t.deadline_) {
+      throw JobTimeout();
+    }
+  };
+
+  JobOutcome outcome;
+  try {
+    outcome.result = run_job(t.type_, t.params_, ctx);
+    outcome.status = "ok";
+    GNSSLNA_OBS_COUNT("service.completed");
+  } catch (const JobCancelled&) {
+    outcome.status = "cancelled";
+    GNSSLNA_OBS_COUNT("service.cancelled");
+  } catch (const JobTimeout&) {
+    outcome.status = "timeout";
+    GNSSLNA_OBS_COUNT("service.timeouts");
+  } catch (const JobError& e) {
+    outcome.status = "error";
+    outcome.error_code = e.code();
+    outcome.error_message = e.what();
+    GNSSLNA_OBS_COUNT("service.errors");
+  } catch (const std::exception& e) {
+    outcome.status = "error";
+    outcome.error_code = "internal";
+    outcome.error_message = e.what();
+    GNSSLNA_OBS_COUNT("service.errors");
+  }
+
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  count_latency(static_cast<std::uint64_t>(std::max<long long>(us, 0)));
+  finish(t, std::move(outcome));
+}
+
+void Scheduler::shutdown() {
+  std::vector<TicketPtr> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && queues_.empty() && !engine_.joinable()) return;
+    stopping_ = true;
+    for (auto& [client, queue] : queues_) {
+      for (TicketPtr& t : queue) orphans.push_back(std::move(t));
+    }
+    queues_.clear();
+    round_robin_.clear();
+    total_queued_ = 0;
+  }
+  work_cv_.notify_all();
+  for (const TicketPtr& t : orphans) {
+    GNSSLNA_OBS_COUNT("service.cancelled");
+    finish(*t, JobOutcome{"cancelled", {}, {}, {}});
+  }
+  if (engine_.joinable()) engine_.join();
+}
+
+Json service_stats_json() {
+  const std::vector<obs::CounterValue> snapshot = obs::counter_snapshot();
+  const auto value_of = [&](const std::string& name) -> std::uint64_t {
+    for (const obs::CounterValue& c : snapshot) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+
+  std::uint64_t buckets[32] = {};
+  std::uint64_t total = 0;
+  for (int b = 0; b < 32; ++b) {
+    char name[32];
+    std::snprintf(name, sizeof name, "service.latency.b%02d", b);
+    buckets[b] = value_of(name);
+    total += buckets[b];
+  }
+  // Conservative percentile: the upper bound (2^(b+1) us) of the first
+  // bucket whose cumulative count reaches the quantile.
+  const auto percentile_us = [&](double q) -> double {
+    if (total == 0) return 0.0;
+    const std::uint64_t want = static_cast<std::uint64_t>(q * total) + 1;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < 32; ++b) {
+      cum += buckets[b];
+      if (cum >= want) return static_cast<double>(1ULL << (b + 1));
+    }
+    return static_cast<double>(1ULL << 32);
+  };
+
+  Json out = Json::object();
+  out.set("submitted", Json::number(value_of("service.submitted")));
+  out.set("rejected", Json::number(value_of("service.rejected")));
+  out.set("completed", Json::number(value_of("service.completed")));
+  out.set("errors", Json::number(value_of("service.errors")));
+  out.set("cancelled", Json::number(value_of("service.cancelled")));
+  out.set("timeouts", Json::number(value_of("service.timeouts")));
+  out.set("plan_cache_hits", Json::number(value_of("service.plan_cache.hits")));
+  out.set("plan_cache_misses",
+          Json::number(value_of("service.plan_cache.misses")));
+  out.set("latency_jobs", Json::number(static_cast<double>(total)));
+  out.set("latency_p50_us", Json::number(percentile_us(0.50)));
+  out.set("latency_p99_us", Json::number(percentile_us(0.99)));
+  return out;
+}
+
+}  // namespace gnsslna::service

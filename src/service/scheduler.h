@@ -1,0 +1,157 @@
+// Concurrent batch-evaluation scheduler on the numeric::ThreadPool.
+//
+// The scheduler owns a DEDICATED pool (never ThreadPool::shared(): the
+// shared pool serializes submitters for the whole duration of a job, and
+// service worker loops are jobs that run for the server's lifetime).  An
+// engine thread drives pool.parallel_for(workers, worker_loop), which with
+// n == workers hands exactly one long-running loop to each of the
+// (workers - 1) pool threads plus the engine thread — the same primitive
+// every optimizer uses, reused as a job executor.
+//
+// Scheduling policy:
+//   * bounded queue — submit() rejects (returns nullptr) when the global
+//     queue is full or the client exceeded its share; the client retries.
+//     Rejection is part of the determinism contract: a rejected-then-
+//     retried job returns the same bytes as a first-try job, because
+//     admission never touches job state.
+//   * per-client fair sharing — one FIFO per client, served round-robin,
+//     so a flood from one client cannot starve another's jobs.
+//   * cancellation / timeout — polled at the optimizer generation
+//     barriers through JobContext::check_cancel; a queued job cancels
+//     immediately, a running one at its next barrier.
+//
+// Determinism: jobs run serial inside (jobs.h contract) and workers only
+// decide WHICH job runs next, never how a job computes — so a job's
+// outcome is bit-identical for any worker count and any traffic mix.
+//
+// Obs: counters service.{submitted,rejected,completed,errors,cancelled,
+// timeouts} and the log2-microsecond latency histogram
+// service.latency.b00..b31 (service_stats_json derives p50/p99 from it).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "numeric/parallel.h"
+#include "obs/trace.h"
+#include "service/jobs.h"
+
+namespace gnsslna::service {
+
+struct SchedulerOptions {
+  std::size_t workers = 2;       ///< 0 = hardware_concurrency()
+  std::size_t queue_capacity = 64;         ///< global queued-job bound
+  std::size_t max_queued_per_client = 16;  ///< per-client share of the queue
+};
+
+/// Terminal result of a scheduled job.
+struct JobOutcome {
+  std::string status;  ///< "ok" | "error" | "cancelled" | "timeout"
+  std::string error_code;     ///< machine-readable, when status == "error"
+  std::string error_message;
+  Json result;                ///< payload, when status == "ok"
+};
+
+class Scheduler {
+ public:
+  class Ticket;
+  using TicketPtr = std::shared_ptr<Ticket>;
+  /// Invoked once on the worker thread right after the outcome is set
+  /// (the server sends the result frame from here).
+  using CompletionFn = std::function<void(Ticket&)>;
+
+  /// Shared state of one submitted job.
+  class Ticket {
+   public:
+    std::uint64_t id() const { return id_; }
+    const std::string& client() const { return client_; }
+    const std::string& type() const { return type_; }
+
+    /// Blocks until the job reaches a terminal state.
+    const JobOutcome& wait() const;
+    bool finished() const;
+
+    /// Requests cancellation: immediate for a queued job, at the next
+    /// generation barrier for a running one.  Idempotent.
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+   private:
+    friend class Scheduler;
+
+    std::uint64_t id_ = 0;
+    std::string client_;
+    std::string type_;
+    Json params_;
+    obs::TraceSink progress_;
+    CompletionFn on_complete_;
+    bool has_deadline_ = false;
+    std::chrono::steady_clock::time_point deadline_;
+
+    std::atomic<bool> cancelled_{false};
+    mutable std::mutex mutex_;
+    mutable std::condition_variable done_cv_;
+    bool done_ = false;       ///< guarded by mutex_
+    JobOutcome outcome_;      ///< guarded by mutex_ until done_
+  };
+
+  explicit Scheduler(SchedulerOptions options = {},
+                     PlanCache* plans = &PlanCache::process_wide());
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admission-controlled submission.  Returns nullptr when the global
+  /// queue or the client's share is full (queue-full backpressure; the
+  /// client retries).  `timeout_s <= 0` means no deadline.  `progress`
+  /// streams the job's TraceRecords from the worker thread.
+  TicketPtr submit(const std::string& client, std::string type, Json params,
+                   double timeout_s = 0.0, obs::TraceSink progress = {},
+                   CompletionFn on_complete = {});
+
+  std::size_t workers() const { return workers_; }
+  std::size_t queued() const;
+
+  /// Stops accepting work, cancels queued jobs (status "cancelled"),
+  /// waits for running jobs, joins the workers.  Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+ private:
+  void worker_loop();
+  TicketPtr next_job();
+  void run_one(Ticket& t);
+  void finish(Ticket& t, JobOutcome outcome);
+
+  std::size_t workers_;
+  SchedulerOptions options_;
+  PlanCache* plans_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::unordered_map<std::string, std::deque<TicketPtr>> queues_;
+  std::deque<std::string> round_robin_;  ///< clients with pending jobs
+  std::size_t total_queued_ = 0;
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+
+  std::unique_ptr<numeric::ThreadPool> pool_;
+  std::thread engine_;
+};
+
+/// Service throughput / latency report from the CURRENT obs counter
+/// snapshot: job counts plus p50/p99 latency (conservative log2-bucket
+/// upper bounds, microseconds).  All zero when obs is disabled or
+/// compiled out — enable with GNSSLNA_OBS=1.
+Json service_stats_json();
+
+}  // namespace gnsslna::service

@@ -1,0 +1,99 @@
+// Transport-agnostic protocol session: one per connected client.
+//
+// Wire protocol (every frame is protocol.h length-prefixed JSON):
+//
+//   requests
+//     {"op":"submit","id":7,"type":"evaluate","params":{...},
+//      "timeout_s":10,"progress":false}
+//     {"op":"cancel","id":7}
+//     {"op":"stats"}   {"op":"ping"}   {"op":"shutdown"}
+//
+//   replies
+//     {"event":"result","id":7,"status":"ok","result":{...}}
+//     {"event":"result","id":7,"status":"rejected",
+//      "error":{"code":"queue_full",...}}        (backpressure; retry)
+//     {"event":"result","id":7,"status":"error"|"cancelled"|"timeout",...}
+//     {"event":"progress","id":7,"phase":"de","iteration":3,...}
+//     {"event":"stats","stats":{...}}  {"event":"pong"}
+//     {"event":"shutdown_ack"}
+//     {"event":"error","error":{"code":"bad_json"|"bad_request"|
+//      "oversize_frame",...}}                    (protocol-level failure)
+//
+// `id` is chosen by the client and scopes cancel/progress/result; reusing
+// an id while it is in flight is rejected.  Malformed JSON and bad
+// requests get an error frame and the stream continues; an oversize frame
+// poisons the length framing, so the session sends a final error frame
+// and asks the transport to close (on_bytes returns false).
+//
+// Determinism: a result frame's payload contains only the client id, the
+// status, and the job's deterministic result document (json.h dump rules)
+// — no timing, no server state — so it is byte-identical for the same
+// (type, params, seed) no matter the traffic (pinned by
+// tests/test_service.cpp).
+//
+// Threading: on_bytes runs on the transport's read thread; result and
+// progress frames are sent from scheduler worker threads.  All sends are
+// serialized on an internal mutex, so the SendFn only needs to write.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "service/protocol.h"
+#include "service/scheduler.h"
+
+namespace gnsslna::service {
+
+class Session {
+ public:
+  /// Writes one already-framed reply to the transport.  Called under the
+  /// session's send mutex — never concurrently.
+  using SendFn = std::function<void(const std::string& frame)>;
+
+  Session(Scheduler& scheduler, std::string client_id, SendFn send);
+
+  /// Feeds transport bytes; parses and dispatches every complete frame.
+  /// Returns false when the stream is unrecoverably broken (oversize
+  /// frame): the final error frame has been sent and the transport
+  /// should drain() and close.
+  bool on_bytes(std::string_view bytes);
+
+  /// True after the client sent {"op":"shutdown"}.
+  bool shutdown_requested() const;
+
+  /// Blocks until every in-flight job of this session has completed and
+  /// its result frame has been sent (call before closing the transport).
+  void drain();
+
+ private:
+  void handle_frame(const std::string& payload);
+  void handle_submit(const Json& doc);
+  void handle_cancel(const Json& doc);
+  void send_doc(const Json& doc);
+  void send_error(const std::string& code, const std::string& message);
+  void send_result(std::uint64_t id, const JobOutcome& outcome);
+
+  Scheduler& scheduler_;
+  std::string client_id_;
+  SendFn send_;
+  FrameReader reader_;
+
+  std::mutex send_mutex_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable drained_cv_;
+  /// In-flight jobs by client id; the ticket is null for the short window
+  /// between queueing the submit and Scheduler::submit returning.
+  std::unordered_map<std::uint64_t, Scheduler::TicketPtr> inflight_;
+  /// Jobs whose completion raced ahead of Scheduler::submit returning.
+  std::unordered_set<std::uint64_t> finished_early_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace gnsslna::service

@@ -1,0 +1,182 @@
+#include "service/server_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace gnsslna::service {
+
+namespace {
+
+/// write() until done; false on error (EPIPE when the peer vanished —
+/// the session keeps running, its sends just go nowhere).
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+int serve_stream(Scheduler& scheduler, int in_fd, int out_fd,
+                 const std::string& client_name) {
+  Session session(scheduler, client_name, [out_fd](const std::string& frame) {
+    write_all(out_fd, frame.data(), frame.size());
+  });
+
+  char buf[64 * 1024];
+  bool stream_ok = true;
+  while (stream_ok && !session.shutdown_requested()) {
+    const ssize_t n = ::read(in_fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF
+    stream_ok = session.on_bytes({buf, static_cast<std::size_t>(n)});
+  }
+  session.drain();
+  return session.shutdown_requested() ? 1 : 0;
+}
+
+SocketServer::SocketServer(Scheduler& scheduler, std::string socket_path)
+    : scheduler_(scheduler), path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+bool SocketServer::start(std::string* error) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof addr.sun_path) {
+    if (error != nullptr) *error = "socket path too long: " + path_;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  ::unlink(path_.c_str());  // stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void SocketServer::accept_loop() {
+  std::uint64_t counter = 0;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    const std::string name = "sock:" + std::to_string(counter++);
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd, name] {
+      serve_stream(scheduler_, fd, fd, name);
+      ::close(fd);
+    });
+  }
+}
+
+void SocketServer::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller (destructor after explicit stop): nothing left.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    // Wake connection read loops blocked in read(); the serving threads
+    // close the fds themselves after draining.
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+    conn_fds_.clear();
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  ::unlink(path_.c_str());
+}
+
+bool StreamClient::send(const Json& doc) { return send_payload(doc.dump()); }
+
+bool StreamClient::send_payload(const std::string& payload) {
+  std::string frame;
+  try {
+    frame = encode_frame(payload);
+  } catch (const std::length_error&) {
+    return false;
+  }
+  return send_raw(frame);
+}
+
+bool StreamClient::send_raw(const std::string& bytes) {
+  return write_all(out_fd_, bytes.data(), bytes.size());
+}
+
+bool StreamClient::next(Json* doc, std::string* raw) {
+  std::string payload;
+  for (;;) {
+    if (reader_.next(&payload)) {
+      if (raw != nullptr) *raw = payload;
+      Json parsed;
+      if (Json::parse(payload, &parsed)) {
+        *doc = std::move(parsed);
+        return true;
+      }
+      continue;  // tolerate unparseable frames (shouldn't happen)
+    }
+    if (reader_.broken()) return false;
+    char buf[64 * 1024];
+    const ssize_t n = ::read(in_fd_, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    reader_.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+int StreamClient::connect_unix(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace gnsslna::service

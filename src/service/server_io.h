@@ -1,0 +1,92 @@
+// POSIX transports for the job server, plus a small blocking client.
+//
+//   * Worker mode — serve_stream() speaks the protocol over a pair of
+//     file descriptors (stdin/stdout of a forked worker, or a pipe pair
+//     inside a test).  One read loop, replies from worker threads.
+//   * Socket mode — SocketServer listens on an AF_UNIX socket and runs
+//     one serve_stream per accepted connection.
+//
+// Both transports share the Session logic; they add only fd plumbing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.h"
+
+namespace gnsslna::service {
+
+/// Serves one client over (in_fd, out_fd) until EOF, a poisoned stream,
+/// or a shutdown op; drains in-flight jobs before returning.  Returns 1
+/// when the client requested shutdown, 0 otherwise.  `client_name` is the
+/// scheduler's fair-share identity for this stream.
+int serve_stream(Scheduler& scheduler, int in_fd, int out_fd,
+                 const std::string& client_name);
+
+/// AF_UNIX job server: accept loop on `socket_path`, one connection
+/// thread per client.  stop() (or destruction) closes the listener and
+/// every live connection, then joins.
+class SocketServer {
+ public:
+  SocketServer(Scheduler& scheduler, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds + listens + starts the accept thread.  False (with *error set)
+  /// when the socket cannot be created.
+  bool start(std::string* error = nullptr);
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void accept_loop();
+
+  Scheduler& scheduler_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;            ///< live connection fds (for stop)
+  std::vector<std::thread> conn_threads_;
+  std::uint64_t next_client_ = 0;
+};
+
+/// Minimal blocking protocol client over a connected fd pair: frames
+/// outgoing documents, reassembles incoming ones.  Used by load_gen, the
+/// examples, and the pipe-transport tests.  Not thread-safe.
+class StreamClient {
+ public:
+  /// `in_fd` carries server->client bytes, `out_fd` client->server.
+  StreamClient(int in_fd, int out_fd) : in_fd_(in_fd), out_fd_(out_fd) {}
+
+  /// Sends one document (false on write failure).
+  bool send(const Json& doc);
+  /// Sends pre-encoded payload bytes as one frame (protocol tests).
+  bool send_payload(const std::string& payload);
+  /// Sends raw bytes verbatim — no framing (fuzz / malformed-frame tests).
+  bool send_raw(const std::string& bytes);
+
+  /// Reads frames until one parses; returns it.  False on EOF or a
+  /// poisoned stream.  `raw` (optional) receives the frame's exact
+  /// payload bytes — what the bit-identity tests compare.
+  bool next(Json* doc, std::string* raw = nullptr);
+
+  /// Connects to an AF_UNIX socket; -1 on failure.
+  static int connect_unix(const std::string& path);
+
+ private:
+  int in_fd_;
+  int out_fd_;
+  FrameReader reader_;
+};
+
+}  // namespace gnsslna::service
