@@ -2,11 +2,18 @@
 // LNA with realistic mast coax and a GNSS receiver front end, and compare
 // against the same chain without the masthead amplifier.
 //
-//   ./build/examples/receiver_budget [coax_loss_db]
+// The SNR-degradation reference temperature comes from the mission
+// scenario's sky/pattern model (open_sky by default) instead of a
+// hard-coded constant; an explicit kelvin value overrides it.
+//
+//   ./build/examples/receiver_budget [coax_loss_db] [scenario] [t_antenna_k]
+// e.g.  ./build/examples/receiver_budget 8 urban_canyon
+//       ./build/examples/receiver_budget 8 open_sky 130
 #include <cstdio>
 #include <cstdlib>
 
 #include "amplifier/lna.h"
+#include "mission/scenario.h"
 #include "nonlinear/two_tone.h"
 #include "rf/budget.h"
 
@@ -14,6 +21,24 @@ int main(int argc, char** argv) {
   using namespace gnsslna;
 
   const double coax_loss_db = argc > 1 ? std::atof(argv[1]) : 8.0;
+  const char* scenario_name = argc > 2 ? argv[2] : "open_sky";
+  const mission::Scenario* scenario = mission::find_scenario(scenario_name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'; catalog:", scenario_name);
+    for (const mission::Scenario& s : mission::scenario_catalog()) {
+      std::fprintf(stderr, " %s", s.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  const double t_antenna_k =
+      argc > 3 ? std::atof(argv[3])
+               : mission::antenna_temperature_k(scenario->sky,
+                                                scenario->antenna);
+  if (!(t_antenna_k > 0.0)) {
+    std::fprintf(stderr, "t_antenna_k must be > 0\n");
+    return 1;
+  }
 
   // Characterize the preamplifier design at band centre.
   const device::Phemt dev = device::Phemt::reference_device();
@@ -34,8 +59,8 @@ int main(int argc, char** argv) {
       rf::BudgetStage::attenuator("mast coax", coax_loss_db);
   const rf::BudgetStage receiver{"GNSS receiver front end", 25.0, 8.0, 10.0};
 
-  const auto print_budget = [](const char* title,
-                               const rf::BudgetResult& b) {
+  const auto print_budget = [t_antenna_k](const char* title,
+                                          const rf::BudgetResult& b) {
     std::printf("\n%s\n", title);
     std::printf("  %-28s %10s %9s %12s\n", "after stage", "gain [dB]",
                 "NF [dB]", "IIP3 [dBm]");
@@ -48,13 +73,15 @@ int main(int argc, char** argv) {
         std::printf("%12.1f\n", row.cumulative_iip3_dbm);
       }
     }
-    std::printf("  SNR degradation vs ideal RX (Ta = 130 K): %.2f dB\n",
-                b.snr_degradation_db());
+    std::printf("  SNR degradation vs ideal RX (Ta = %.1f K): %.2f dB\n",
+                t_antenna_k, b.snr_degradation_db(t_antenna_k));
   };
 
   std::printf("preamp characterization: G = %.2f dB, NF = %.3f dB, "
               "OIP3 = %+.1f dBm; coax loss = %.1f dB\n",
               preamp.gain_db, preamp.nf_db, preamp.oip3_dbm, coax_loss_db);
+  std::printf("antenna temperature: %.1f K (%s scenario%s)\n", t_antenna_k,
+              scenario->name.c_str(), argc > 3 ? ", overridden" : "");
 
   const rf::BudgetResult with_preamp =
       rf::cascade_budget({preamp, coax, receiver});
@@ -65,7 +92,7 @@ int main(int argc, char** argv) {
                without_preamp);
 
   std::printf("\nnet sensitivity gain from the preamp: %.2f dB\n",
-              without_preamp.snr_degradation_db() -
-                  with_preamp.snr_degradation_db());
+              without_preamp.snr_degradation_db(t_antenna_k) -
+                  with_preamp.snr_degradation_db(t_antenna_k));
   return 0;
 }

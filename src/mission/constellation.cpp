@@ -1,0 +1,234 @@
+#include "mission/constellation.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/matrix.h"
+
+namespace gnsslna::mission {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+double rad(double deg) { return deg * kPi / 180.0; }
+double deg(double r) { return r * 180.0 / kPi; }
+
+}  // namespace
+
+WalkerShell gps_shell() {
+  WalkerShell s;
+  s.name = "GPS";
+  s.total = 24;
+  s.planes = 6;
+  s.phasing = 1;
+  s.inclination_deg = 55.0;
+  s.altitude_m = 20180.0e3;
+  s.raan0_deg = 0.0;
+  s.anomaly0_deg = 0.0;
+  s.carrier_hz = 1575.42e6;
+  s.elevation_mask_deg = 5.0;
+  s.eirp_dbw = 26.8;
+  return s;
+}
+
+WalkerShell glonass_shell() {
+  WalkerShell s;
+  s.name = "GLONASS";
+  s.total = 24;
+  s.planes = 3;
+  s.phasing = 1;
+  s.inclination_deg = 64.8;
+  s.altitude_m = 19100.0e3;
+  s.raan0_deg = 15.0;
+  s.anomaly0_deg = 5.0;
+  s.carrier_hz = 1602.0e6;
+  s.elevation_mask_deg = 5.0;
+  s.eirp_dbw = 25.0;
+  return s;
+}
+
+WalkerShell galileo_shell() {
+  WalkerShell s;
+  s.name = "Galileo";
+  s.total = 24;
+  s.planes = 3;
+  s.phasing = 1;
+  s.inclination_deg = 56.0;
+  s.altitude_m = 23222.0e3;
+  s.raan0_deg = 30.0;
+  s.anomaly0_deg = 10.0;
+  s.carrier_hz = 1575.42e6;
+  s.elevation_mask_deg = 5.0;
+  s.eirp_dbw = 28.0;
+  return s;
+}
+
+WalkerShell beidou_shell() {
+  WalkerShell s;
+  s.name = "BeiDou";
+  s.total = 24;
+  s.planes = 3;
+  s.phasing = 1;
+  s.inclination_deg = 55.0;
+  s.altitude_m = 21528.0e3;
+  s.raan0_deg = 45.0;
+  s.anomaly0_deg = 15.0;
+  s.carrier_hz = 1561.098e6;
+  s.elevation_mask_deg = 5.0;
+  s.eirp_dbw = 27.5;
+  return s;
+}
+
+EcefVec satellite_position(const WalkerShell& shell, std::size_t plane,
+                           std::size_t slot, double t_s) {
+  if (shell.planes == 0 || shell.total == 0 ||
+      shell.total % shell.planes != 0) {
+    throw std::invalid_argument(
+        "satellite_position: planes must divide total satellites");
+  }
+  const std::size_t per_plane = shell.total / shell.planes;
+  if (plane >= shell.planes || slot >= per_plane) {
+    throw std::invalid_argument("satellite_position: plane/slot out of range");
+  }
+
+  const double r = kEarthRadiusM + shell.altitude_m;
+  const double n = std::sqrt(kEarthMuM3S2 / (r * r * r));  // mean motion
+  const double inc = rad(shell.inclination_deg);
+
+  // Walker-delta phasing: plane p is rotated 360/P in RAAN and its
+  // satellites lead by F * 360/T; slot s adds 360/S in-plane.
+  const double raan =
+      rad(shell.raan0_deg) +
+      2.0 * kPi * static_cast<double>(plane) / static_cast<double>(shell.planes);
+  const double u = rad(shell.anomaly0_deg) +
+                   2.0 * kPi * static_cast<double>(slot) /
+                       static_cast<double>(per_plane) +
+                   2.0 * kPi * static_cast<double>(shell.phasing) *
+                       static_cast<double>(plane) /
+                       static_cast<double>(shell.total) +
+                   n * t_s;
+
+  // Orbital-plane position -> ECI (rotate by inclination about x, then
+  // RAAN about z).
+  const double xo = r * std::cos(u);
+  const double yo = r * std::sin(u);
+  const double xi = xo;
+  const double yi = yo * std::cos(inc);
+  const double zi = yo * std::sin(inc);
+  const double eci_x = xi * std::cos(raan) - yi * std::sin(raan);
+  const double eci_y = xi * std::sin(raan) + yi * std::cos(raan);
+  const double eci_z = zi;
+
+  // ECI -> ECEF: the Earth has rotated by theta since the epoch.
+  const double theta = kEarthRotationRadS * t_s;
+  EcefVec p;
+  p.x = eci_x * std::cos(theta) + eci_y * std::sin(theta);
+  p.y = -eci_x * std::sin(theta) + eci_y * std::cos(theta);
+  p.z = eci_z;
+  return p;
+}
+
+EcefVec observer_position(const Observer& obs) {
+  const double lat = rad(obs.latitude_deg);
+  const double lon = rad(obs.longitude_deg);
+  EcefVec p;
+  p.x = kEarthRadiusM * std::cos(lat) * std::cos(lon);
+  p.y = kEarthRadiusM * std::cos(lat) * std::sin(lon);
+  p.z = kEarthRadiusM * std::sin(lat);
+  return p;
+}
+
+LookAngles look_angles(const Observer& obs, const EcefVec& sat) {
+  const EcefVec o = observer_position(obs);
+  const double dx = sat.x - o.x;
+  const double dy = sat.y - o.y;
+  const double dz = sat.z - o.z;
+
+  const double lat = rad(obs.latitude_deg);
+  const double lon = rad(obs.longitude_deg);
+  // Topocentric east/north/up components.
+  const double east = -std::sin(lon) * dx + std::cos(lon) * dy;
+  const double north = -std::sin(lat) * std::cos(lon) * dx -
+                       std::sin(lat) * std::sin(lon) * dy +
+                       std::cos(lat) * dz;
+  const double up = std::cos(lat) * std::cos(lon) * dx +
+                    std::cos(lat) * std::sin(lon) * dy + std::sin(lat) * dz;
+
+  LookAngles a;
+  a.range_m = std::sqrt(dx * dx + dy * dy + dz * dz);
+  a.elevation_deg = deg(std::asin(up / a.range_m));
+  a.azimuth_deg = deg(std::atan2(east, north));
+  if (a.azimuth_deg < 0.0) a.azimuth_deg += 360.0;
+  return a;
+}
+
+std::vector<VisibleSat> visible_satellites(const WalkerShell& shell,
+                                           const Observer& obs, double t_s,
+                                           double extra_mask_deg) {
+  const double mask =
+      std::max(shell.elevation_mask_deg, extra_mask_deg);
+  const std::size_t per_plane = shell.total / shell.planes;
+  std::vector<VisibleSat> out;
+  for (std::size_t p = 0; p < shell.planes; ++p) {
+    for (std::size_t s = 0; s < per_plane; ++s) {
+      const LookAngles a =
+          look_angles(obs, satellite_position(shell, p, s, t_s));
+      if (a.elevation_deg < mask) continue;
+      VisibleSat v;
+      v.plane = p;
+      v.slot = s;
+      v.elevation_deg = a.elevation_deg;
+      v.azimuth_deg = a.azimuth_deg;
+      v.range_m = a.range_m;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Dop dop_from(const std::vector<VisibleSat>& sats) {
+  Dop d;
+  d.visible = sats.size();
+  if (sats.size() < 4) {
+    d.gdop = d.pdop = d.hdop = d.vdop = d.tdop = kDopUnavailable;
+    return d;
+  }
+
+  // Geometry matrix: one row [-e, -n, -u, 1] per satellite with (e, n, u)
+  // the unit line-of-sight in the local horizon frame.
+  numeric::Matrix<double> ata(4, 4);
+  for (const VisibleSat& s : sats) {
+    const double el = rad(s.elevation_deg);
+    const double az = rad(s.azimuth_deg);
+    const double row[4] = {-std::cos(el) * std::sin(az),
+                           -std::cos(el) * std::cos(az), -std::sin(el), 1.0};
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) ata(i, j) += row[i] * row[j];
+    }
+  }
+
+  numeric::Matrix<double> q;
+  try {
+    q = numeric::inverse(ata);
+  } catch (const std::exception&) {
+    d.gdop = d.pdop = d.hdop = d.vdop = d.tdop = kDopUnavailable;
+    return d;
+  }
+  const double he = q(0, 0) + q(1, 1);
+  const double ve = q(2, 2);
+  const double te = q(3, 3);
+  if (!(he >= 0.0) || !(ve >= 0.0) || !(te >= 0.0)) {
+    d.gdop = d.pdop = d.hdop = d.vdop = d.tdop = kDopUnavailable;
+    return d;
+  }
+  d.hdop = std::sqrt(he);
+  d.vdop = std::sqrt(ve);
+  d.tdop = std::sqrt(te);
+  d.pdop = std::sqrt(he + ve);
+  d.gdop = std::sqrt(he + ve + te);
+  return d;
+}
+
+}  // namespace gnsslna::mission

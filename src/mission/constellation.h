@@ -1,0 +1,117 @@
+// Walker-constellation geometry for the GNSS mission layer.
+//
+// The amplifier exists to serve receivers whose link budgets depend on
+// where the satellites actually are.  This module places the four big
+// GNSS constellations (nominal Walker-delta shells) over a rotating
+// spherical Earth, computes elevation/azimuth/range from ground
+// observers, and reduces visible-satellite geometry to the standard
+// dilution-of-precision figures.  Everything here is a pure function of
+// its inputs — no randomness, no global state — so scenario weights
+// derived from it are bit-identical across runs and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gnsslna::mission {
+
+/// Mean Earth radius of the spherical model [m].  GNSS geometry at
+/// 20000 km altitude is insensitive to the ellipsoidal correction at the
+/// fidelity scenario weighting needs.
+inline constexpr double kEarthRadiusM = 6371.0e3;
+
+/// Earth gravitational parameter [m^3/s^2].
+inline constexpr double kEarthMuM3S2 = 3.986004418e14;
+
+/// Earth rotation rate [rad/s] (sidereal).
+inline constexpr double kEarthRotationRadS = 7.2921150e-5;
+
+/// One Walker-delta shell T/P/F: `total` satellites in `planes` equally
+/// spaced orbital planes, relative inter-plane phasing `phasing`
+/// (in units of 360/T degrees), circular orbits at a common altitude and
+/// inclination.  Carrier and link fields describe the navigation signal
+/// the shell transmits in the preamplifier's band.
+struct WalkerShell {
+  std::string name;                 ///< "GPS", "GLONASS", ...
+  std::size_t total = 24;           ///< T, satellites in the shell
+  std::size_t planes = 6;           ///< P, orbital planes (divides T)
+  std::size_t phasing = 1;          ///< F, inter-plane phasing units
+  double inclination_deg = 55.0;
+  double altitude_m = 20180.0e3;    ///< above the spherical Earth surface
+  double raan0_deg = 0.0;           ///< RAAN of plane 0 at the epoch
+  double anomaly0_deg = 0.0;        ///< argument of latitude of sat (0,0)
+  double carrier_hz = 1575.42e6;    ///< civil carrier in the GNSS band
+  double elevation_mask_deg = 5.0;  ///< receiver processing mask
+  double eirp_dbw = 27.0;           ///< satellite EIRP toward the Earth
+};
+
+/// Nominal shells of the four constellations the paper's preamplifier
+/// must cover (sub-bands 1561-1602 MHz all sit inside the 1.1-1.7 GHz
+/// design band).  RAAN/anomaly offsets stagger the shells so a mixed
+/// multi-constellation sky never has artificially aligned planes.
+WalkerShell gps_shell();      ///< 24/6/1, 55 deg, 20180 km, L1 1575.42 MHz
+WalkerShell glonass_shell();  ///< 24/3/1, 64.8 deg, 19100 km, G1 1602.0 MHz
+WalkerShell galileo_shell();  ///< 24/3/1, 56 deg, 23222 km, E1 1575.42 MHz
+WalkerShell beidou_shell();   ///< 24/3/1, 55 deg, 21528 km, B1 1561.098 MHz
+
+/// Earth-fixed Cartesian position [m].
+struct EcefVec {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+/// Ground observer on the spherical Earth.
+struct Observer {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+/// Position of satellite (plane, slot) of a shell at `t_s` seconds past
+/// the epoch, in the Earth-fixed frame (circular two-body orbit, uniform
+/// Earth rotation, epoch Greenwich angle zero).
+EcefVec satellite_position(const WalkerShell& shell, std::size_t plane,
+                           std::size_t slot, double t_s);
+
+/// Observer position in the Earth-fixed frame.
+EcefVec observer_position(const Observer& obs);
+
+/// Topocentric look angles from an observer to an ECEF point.
+struct LookAngles {
+  double elevation_deg = 0.0;
+  double azimuth_deg = 0.0;  ///< clockwise from north, [0, 360)
+  double range_m = 0.0;
+};
+LookAngles look_angles(const Observer& obs, const EcefVec& sat);
+
+/// One satellite above the mask.
+struct VisibleSat {
+  std::size_t plane = 0, slot = 0;
+  double elevation_deg = 0.0;
+  double azimuth_deg = 0.0;
+  double range_m = 0.0;
+};
+
+/// Satellites of `shell` above max(shell.elevation_mask_deg,
+/// extra_mask_deg) as seen by `obs` at `t_s`.  Order is (plane, slot)
+/// ascending — deterministic by construction.
+std::vector<VisibleSat> visible_satellites(const WalkerShell& shell,
+                                           const Observer& obs, double t_s,
+                                           double extra_mask_deg = 0.0);
+
+/// Dilution-of-precision figures of a visible set.  With fewer than four
+/// satellites (or a degenerate geometry matrix) every figure is the
+/// `kDopUnavailable` sentinel.
+struct Dop {
+  double gdop = 0.0;
+  double pdop = 0.0;
+  double hdop = 0.0;
+  double vdop = 0.0;
+  double tdop = 0.0;
+  std::size_t visible = 0;
+};
+
+inline constexpr double kDopUnavailable = 999.0;
+
+Dop dop_from(const std::vector<VisibleSat>& sats);
+
+}  // namespace gnsslna::mission

@@ -1,0 +1,204 @@
+#include "mission/scenario.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "rf/noise.h"
+#include "rf/units.h"
+
+namespace gnsslna::mission {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<WalkerShell> all_shells() {
+  return {gps_shell(), glonass_shell(), galileo_shell(), beidou_shell()};
+}
+
+/// Six snapshots, 1.5 h apart: the shells' ~11.3-14.1 h periods and the
+/// Earth's rotation decorrelate the samples without needing a full
+/// repeat-ground-track integration.
+std::vector<double> default_epochs() {
+  std::vector<double> t;
+  for (int k = 0; k < 6; ++k) t.push_back(5400.0 * k);
+  return t;
+}
+
+Scenario open_sky_scenario() {
+  Scenario s;
+  s.name = "open_sky";
+  s.description =
+      "Unobstructed mid-latitude sky, all four constellations, clear air";
+  s.shells = all_shells();
+  s.observers = {{0.0, 0.0}, {25.0, 60.0}, {45.0, 180.0}, {60.0, 300.0}};
+  s.epochs_s = default_epochs();
+  s.snr_degradation_budget_db = 2.5;
+  return s;
+}
+
+Scenario urban_canyon_scenario() {
+  Scenario s;
+  s.name = "urban_canyon";
+  s.description =
+      "Street-level urban canyon: 25 deg building mask, warm masonry fills "
+      "the low-elevation pattern";
+  s.shells = all_shells();
+  s.observers = {{40.7, 286.0}, {48.9, 2.3}, {35.7, 139.7}};
+  s.epochs_s = default_epochs();
+  s.extra_mask_deg = 25.0;
+  s.sky.horizon_elevation_deg = 30.0;
+  s.sky.t_ground_k = 295.0;
+  // A warm aperture already costs SNR; the chain budget is tighter so the
+  // few high-elevation satellites that remain stay usable.
+  s.snr_degradation_budget_db = 2.0;
+  return s;
+}
+
+Scenario high_latitude_scenario() {
+  Scenario s;
+  s.name = "high_latitude";
+  s.description =
+      "Arctic observers: 55-56 deg shells graze the horizon, GLONASS's "
+      "64.8 deg inclination carries the geometry";
+  s.shells = all_shells();
+  s.observers = {{66.0, 0.0}, {72.0, 120.0}, {78.0, 240.0}};
+  s.epochs_s = default_epochs();
+  s.snr_degradation_budget_db = 2.0;
+  return s;
+}
+
+Scenario jammed_scenario() {
+  Scenario s;
+  s.name = "jammed";
+  s.description =
+      "Open sky near an airport: 1030 MHz secondary-surveillance-radar "
+      "interrogator replaces the GSM-900 default blocker";
+  s.shells = all_shells();
+  s.observers = {{30.0, 45.0}, {50.0, 225.0}};
+  s.epochs_s = default_epochs();
+  s.snr_degradation_budget_db = 2.5;
+  BlockerSpec b;
+  b.f_blocker_hz = 1030.0e6;
+  b.p_blocker_dbm = -15.0;
+  s.blocker = b;
+  return s;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenario_catalog() {
+  static const std::vector<Scenario> kCatalog = {
+      open_sky_scenario(), urban_canyon_scenario(), high_latitude_scenario(),
+      jammed_scenario()};
+  return kCatalog;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const Scenario& s : scenario_catalog()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+ScenarioAnalysis analyze_scenario(const Scenario& scenario) {
+  GNSSLNA_OBS_SPAN("mission.analyze_scenario");
+  if (scenario.shells.empty() || scenario.observers.empty() ||
+      scenario.epochs_s.empty()) {
+    throw std::invalid_argument(
+        "analyze_scenario: scenario needs shells, observers, and epochs");
+  }
+
+  ScenarioAnalysis out;
+  out.scenario = scenario.name;
+  out.t_ant_k = antenna_temperature_k(scenario.sky, scenario.antenna);
+
+  // NF goal from the degradation budget: Delta_SNR = 10 log10(1 + Te/Ta)
+  // <= D fixes the chain noise temperature the sky can absorb.
+  const double te_max =
+      out.t_ant_k * (rf::ratio_from_db(scenario.snr_degradation_budget_db) - 1.0);
+  out.nf_goal_db = rf::db_from_ratio(1.0 + te_max / rf::kT0);
+
+  double score_sum = 0.0;
+  for (const WalkerShell& shell : scenario.shells) {
+    SubBand band;
+    band.constellation = shell.name;
+    band.carrier_hz = shell.carrier_hz;
+
+    const double lambda = rf::kC0 / shell.carrier_hz;
+    const double eirp_w = std::pow(10.0, shell.eirp_dbw / 10.0);
+    double visible_sum = 0.0;
+    double pdop_sum = 0.0;
+    double signal_sum_w = 0.0;
+    std::size_t signal_count = 0;
+    std::size_t cells = 0;
+    for (const Observer& obs : scenario.observers) {
+      for (const double t : scenario.epochs_s) {
+        const std::vector<VisibleSat> vis = visible_satellites(
+            shell, obs, t, scenario.extra_mask_deg);
+        const Dop dop = dop_from(vis);
+        visible_sum += static_cast<double>(vis.size());
+        pdop_sum += std::min(dop.pdop, kDopUnavailable);
+        ++cells;
+        for (const VisibleSat& v : vis) {
+          const double spreading = lambda / (4.0 * kPi * v.range_m);
+          const double g_rx = std::pow(
+              10.0,
+              pattern_gain_dbi(scenario.antenna, v.elevation_deg) / 10.0);
+          signal_sum_w += eirp_w * spreading * spreading * g_rx;
+          ++signal_count;
+        }
+      }
+    }
+    band.mean_visible = visible_sum / static_cast<double>(cells);
+    band.mean_pdop = pdop_sum / static_cast<double>(cells);
+    band.mean_signal_dbw =
+        signal_count > 0
+            ? 10.0 * std::log10(signal_sum_w /
+                                static_cast<double>(signal_count))
+            : -999.0;
+
+    // Raw importance: many usable satellites with good geometry.
+    band.weight = band.mean_visible / band.mean_pdop;
+    score_sum += band.weight;
+    out.sub_bands.push_back(std::move(band));
+  }
+
+  if (!(score_sum > 0.0)) {
+    throw std::invalid_argument(
+        "analyze_scenario: no constellation is visible anywhere on the grid");
+  }
+  for (SubBand& band : out.sub_bands) band.weight /= score_sum;
+  return out;
+}
+
+double sub_band_cn0_dbhz(const ScenarioAnalysis& analysis,
+                         const SubBand& sub_band, const LinkAssumptions& link,
+                         double preamp_gain_db, double preamp_nf_db) {
+  rf::BudgetStage preamp;
+  preamp.name = "preamp";
+  preamp.gain_db = preamp_gain_db;
+  preamp.nf_db = preamp_nf_db;
+  const rf::BudgetStage coax =
+      rf::BudgetStage::attenuator("coax", link.coax_loss_db);
+  const rf::BudgetStage rx{"receiver", link.rx_gain_db, link.rx_nf_db,
+                           link.rx_oip3_dbm};
+  const rf::BudgetResult chain = rf::cascade_budget({preamp, coax, rx});
+
+  const double te = rf::noise_temperature(rf::ratio_from_db(chain.total_nf_db));
+  const double t_sys = analysis.t_ant_k + te;
+  const double n0_dbw_hz = 10.0 * std::log10(rf::kBoltzmann * t_sys);
+  return sub_band.mean_signal_dbw - n0_dbw_hz;
+}
+
+nonlinear::BlockerOptions blocker_options(const Scenario& scenario) {
+  nonlinear::BlockerOptions options;  // catalog GSM-900 defaults
+  if (scenario.blocker.has_value()) {
+    options.f_blocker_hz = scenario.blocker->f_blocker_hz;
+  }
+  return options;
+}
+
+}  // namespace gnsslna::mission

@@ -1,0 +1,111 @@
+// Mission scenarios: named operating conditions a design or yield run
+// can be parameterized by.
+//
+// A scenario bundles (a) which Walker shells are overhead and from which
+// deterministic observer/epoch grid they are seen, (b) the brightness
+// environment that fixes the antenna temperature (rf/budget.h consumes
+// it instead of a hard-coded constant), (c) an optional out-of-band
+// blocker (the jammed scenario parameterizes nonlinear::BlockerOptions
+// instead of its fixed GSM-900 default), and (d) the receive-chain
+// assumptions behind per-sub-band C/N0.  analyze_scenario() reduces the
+// geometry to one DOP/visibility weight per constellation sub-band plus
+// a physically derived NF goal — the numbers mission::ScenarioObjective
+// feeds the optimizers.  Everything is a pure function of the scenario,
+// so weights are bit-identical across runs and thread counts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mission/constellation.h"
+#include "mission/sky.h"
+#include "nonlinear/blocker.h"
+#include "rf/budget.h"
+
+namespace gnsslna::mission {
+
+/// Out-of-band interferer of a scenario, mapped onto the existing
+/// desensitization extension by blocker_options().
+struct BlockerSpec {
+  double f_blocker_hz = 900.0e6;
+  double p_blocker_dbm = -20.0;  ///< representative burst power at the LNA
+};
+
+/// Fixed receive-chain assumptions behind the C/N0 figures (the mast
+/// coax and receiver front end of examples/receiver_budget.cpp).
+struct LinkAssumptions {
+  double coax_loss_db = 8.0;
+  double rx_gain_db = 25.0;
+  double rx_nf_db = 8.0;
+  double rx_oip3_dbm = 10.0;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::vector<WalkerShell> shells;   ///< active constellations
+  SkyModel sky;
+  AntennaPattern antenna;
+  std::vector<Observer> observers;   ///< deterministic ground grid
+  std::vector<double> epochs_s;      ///< snapshot times past the epoch
+  double extra_mask_deg = 0.0;       ///< canyon/terrain mask on top of the
+                                     ///< per-shell processing masks
+  /// Allowed receive-chain SNR degradation (10 log10(1 + Te/T_ant)) the
+  /// derived NF goal is computed from: a cold open sky tolerates less
+  /// receiver noise than a warm urban canyon for the same budget.
+  double snr_degradation_budget_db = 3.0;
+  LinkAssumptions link;
+  std::optional<BlockerSpec> blocker;  ///< set on jammed scenarios
+};
+
+/// The four catalog scenarios: open-sky, urban-canyon, high-latitude,
+/// jammed.  Stable order and names; any optimizer or yield run can be
+/// parameterized by one (service jobs accept the name).
+const std::vector<Scenario>& scenario_catalog();
+
+/// Catalog lookup by name; nullptr when unknown.
+const Scenario* find_scenario(std::string_view name);
+
+/// Per-constellation sub-band figures after the geometry reduction.
+struct SubBand {
+  std::string constellation;
+  double carrier_hz = 0.0;
+  /// Normalized objective weight (catalog-wide invariant: weights of one
+  /// scenario sum to 1).  Proportional to mean visible count over mean
+  /// PDOP: a constellation with many usable, well-spread satellites
+  /// deserves more of the amplifier's noise budget at its carrier.
+  double weight = 0.0;
+  double mean_visible = 0.0;
+  double mean_pdop = 0.0;          ///< kDopUnavailable epochs included, capped
+  double mean_signal_dbw = 0.0;    ///< mean received carrier power at the
+                                   ///< antenna terminal (pattern applied)
+};
+
+struct ScenarioAnalysis {
+  std::string scenario;
+  double t_ant_k = 0.0;            ///< effective antenna temperature
+  double nf_goal_db = 0.0;         ///< derived from t_ant_k and the budget
+  std::vector<SubBand> sub_bands;  ///< one per shell, catalog order
+};
+
+/// Reduces a scenario's geometry and brightness model to sub-band
+/// weights, T_ant, and the derived NF goal.  Pure and deterministic.
+ScenarioAnalysis analyze_scenario(const Scenario& scenario);
+
+/// C/N0 [dB-Hz] of one sub-band through the full receive chain
+/// (preamp -> coax -> receiver, cascaded with rf::cascade_budget) for a
+/// preamplifier with the given band figures.  The carrier power is the
+/// sub-band's geometry mean; the noise floor is k (T_ant + Te_chain).
+double sub_band_cn0_dbhz(const ScenarioAnalysis& analysis,
+                         const SubBand& sub_band, const LinkAssumptions& link,
+                         double preamp_gain_db, double preamp_nf_db);
+
+/// Blocker options of a scenario: the catalog GSM-900 defaults of
+/// nonlinear::BlockerOptions, re-pointed at the scenario's blocker
+/// carrier when one is declared.  A scenario without a blocker returns
+/// the defaults unchanged, so behavior without a scenario is identical.
+nonlinear::BlockerOptions blocker_options(const Scenario& scenario);
+
+}  // namespace gnsslna::mission

@@ -1,0 +1,61 @@
+#include "mission/sky.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace gnsslna::mission {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+double rad(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+double sky_temperature_k(const SkyModel& sky, double elevation_deg) {
+  // Cosecant air-mass model, floored so the horizon path stays finite.
+  const double el = std::max(elevation_deg, 2.0);
+  const double tau = sky.zenith_opacity / std::sin(rad(el));
+  const double transmission = std::exp(-tau);
+  return sky.t_cosmic_k * transmission + sky.t_atm_k * (1.0 - transmission);
+}
+
+double pattern_gain_dbi(const AntennaPattern& pattern, double elevation_deg) {
+  if (elevation_deg < -90.0 || elevation_deg > 90.0) {
+    throw std::invalid_argument(
+        "pattern_gain_dbi: elevation outside [-90, 90]");
+  }
+  if (elevation_deg < 0.0) return pattern.backlobe_gain_dbi;
+  const double taper = std::sin(rad(elevation_deg));
+  return pattern.horizon_gain_dbi +
+         (pattern.zenith_gain_dbi - pattern.horizon_gain_dbi) * taper;
+}
+
+double antenna_temperature_k(const SkyModel& sky, const AntennaPattern& pattern,
+                             std::size_t n_steps) {
+  if (n_steps < 2) {
+    throw std::invalid_argument("antenna_temperature_k: n_steps must be >= 2");
+  }
+  const double step = 180.0 / static_cast<double>(n_steps);
+  double weighted = 0.0;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n_steps; ++i) {
+    const double el = -90.0 + (static_cast<double>(i) + 0.5) * step;
+    const double g = std::pow(10.0, pattern_gain_dbi(pattern, el) / 10.0);
+    const double solid = std::cos(rad(el));  // ring solid angle ~ cos(el)
+    const double t = el < sky.horizon_elevation_deg
+                         ? sky.t_ground_k
+                         : sky_temperature_k(sky, el);
+    weighted += g * solid * t;
+    norm += g * solid;
+  }
+  const double t_beam = weighted / norm;
+  const double eta = pattern.radiation_efficiency;
+  if (!(eta > 0.0 && eta <= 1.0)) {
+    throw std::invalid_argument(
+        "antenna_temperature_k: radiation_efficiency must be in (0, 1]");
+  }
+  return eta * t_beam + (1.0 - eta) * pattern.t_physical_k;
+}
+
+}  // namespace gnsslna::mission

@@ -1,0 +1,66 @@
+// Elevation-dependent sky brightness and antenna noise temperature.
+//
+// The receiver-chain SNR budget (rf/budget.h) needs the source
+// temperature T_ant the antenna actually delivers, not a hard-coded
+// constant: a GNSS patch under clear sky sees a few kelvin of cosmic
+// background through a thin atmosphere at zenith, a few tens of kelvin
+// of air mass near the horizon, and ~290 K of warm ground (or urban
+// masonry) through its back- and low-elevation lobes.  The standard
+// radiometer treatment — pattern-weighted brightness integral over the
+// sphere — reduces to a one-dimensional elevation quadrature for the
+// azimuth-symmetric patterns modeled here.  All functions are pure and
+// the quadrature grid is fixed, so T_ant is bit-identical across runs.
+#pragma once
+
+#include <cstddef>
+
+namespace gnsslna::mission {
+
+/// Brightness environment around the antenna.
+struct SkyModel {
+  double t_cosmic_k = 2.7;      ///< cosmic microwave background
+  double t_atm_k = 275.0;       ///< mean radiating temperature of the air
+  double zenith_opacity = 0.005;///< L-band clear-sky zenith optical depth
+  double t_ground_k = 290.0;    ///< ground / building brightness
+  /// Terrain or buildings block everything below this elevation: those
+  /// directions radiate at t_ground_k instead of the sky formula.  Zero
+  /// is an unobstructed horizon; an urban canyon raises it.
+  double horizon_elevation_deg = 0.0;
+};
+
+/// Sky brightness temperature [K] toward `elevation_deg` (>= the model's
+/// horizon): cosmic background attenuated by the air mass plus the air's
+/// own emission, with a cosecant path-length model floored at 2 degrees.
+double sky_temperature_k(const SkyModel& sky, double elevation_deg);
+
+/// Azimuth-symmetric receive pattern of the antenna: gain interpolates
+/// from horizon_gain_dbi at the horizon to zenith_gain_dbi at zenith
+/// (sine-of-elevation taper, the shape of a patch over a small ground
+/// plane); everything below the horizon sees the constant back lobe.
+struct AntennaPattern {
+  double zenith_gain_dbi = 5.0;
+  double horizon_gain_dbi = -4.0;
+  double backlobe_gain_dbi = -14.0;
+  /// Radiation efficiency of the element + radome + feed: the lossy part
+  /// of the aperture emits thermally at t_physical_k, which is what pulls
+  /// a real GNSS patch from the ~15 K beam-weighted L-band sky up to the
+  /// ~100 K class source temperatures budget calculations use.
+  double radiation_efficiency = 0.75;
+  double t_physical_k = 290.0;
+};
+
+/// Pattern gain [dBi] toward an elevation in [-90, 90].
+double pattern_gain_dbi(const AntennaPattern& pattern, double elevation_deg);
+
+/// Effective antenna noise temperature [K]: the pattern-weighted average
+/// of the brightness field over the sphere,
+///   T_beam = integral G(el) T(el) cos(el) d el / integral G(el) cos(el) d el,
+/// evaluated on a fixed `n_steps`-point midpoint rule over [-90, 90],
+/// then diluted by the radiation efficiency:
+///   T_ant = eta T_beam + (1 - eta) t_physical_k.
+/// Directions below the model's blocked horizon (and below 0) contribute
+/// t_ground_k.
+double antenna_temperature_k(const SkyModel& sky, const AntennaPattern& pattern,
+                             std::size_t n_steps = 180);
+
+}  // namespace gnsslna::mission

@@ -22,6 +22,10 @@ BudgetStage BudgetStage::attenuator(std::string name, double loss_db,
 }
 
 double BudgetResult::snr_degradation_db(double t_antenna_k) const {
+  if (!(t_antenna_k > 0.0)) {
+    throw std::invalid_argument(
+        "snr_degradation_db: antenna temperature must be > 0 K");
+  }
   const double te = noise_temperature(ratio_from_db(total_nf_db));
   return db_from_ratio(1.0 + te / t_antenna_k);
 }

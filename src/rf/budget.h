@@ -42,8 +42,12 @@ struct BudgetResult {
   double total_oip3_dbm = 0.0;
 
   /// G/T-style figure: SNR degradation relative to an ideal receiver for
-  /// a source at t_antenna [K]: Delta_SNR = 10 log10(1 + Te/Ta).
-  double snr_degradation_db(double t_antenna_k = 130.0) const;
+  /// a source at t_antenna [K]: Delta_SNR = 10 log10(1 + Te/Ta).  The
+  /// caller supplies Ta — typically mission::antenna_temperature_k of the
+  /// operating scenario (there is no universal default: an open-sky GNSS
+  /// patch and an urban one differ by tens of kelvin).  Throws
+  /// std::invalid_argument unless t_antenna_k > 0.
+  double snr_degradation_db(double t_antenna_k) const;
 };
 
 /// Cascades the chain.  Throws std::invalid_argument on an empty chain or

@@ -4,12 +4,14 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "amplifier/design_flow.h"
 #include "amplifier/yield.h"
 #include "device/models.h"
 #include "extract/three_step.h"
+#include "mission/objective.h"
 #include "numeric/rng.h"
 #include "obs/obs.h"
 #include "rf/sweep.h"
@@ -179,6 +181,45 @@ std::uint64_t parse_seed(const Json& params) {
   return uint_in(params, "seed", 1, 0, (1ULL << 53) - 1);
 }
 
+/// Optional mission scenario (by catalog name).  nullptr when absent, so
+/// every job without the field behaves exactly as before the mission
+/// library existed.
+const mission::Scenario* parse_scenario(const Json& params) {
+  const Json* v = params.find("scenario");
+  if (v == nullptr) return nullptr;
+  if (!v->is_string()) bad_param("scenario must be a string");
+  const mission::Scenario* s = mission::find_scenario(v->as_string());
+  if (s == nullptr) {
+    std::string names;
+    for (const mission::Scenario& sc : mission::scenario_catalog()) {
+      if (!names.empty()) names += " | ";
+      names += sc.name;
+    }
+    bad_param("unknown scenario '" + v->as_string() + "' (" + names + ")");
+  }
+  return s;
+}
+
+Json scenario_json(const mission::ScenarioAnalysis& analysis) {
+  Json o = Json::object();
+  o.set("name", Json::string(analysis.scenario));
+  o.set("t_ant_k", Json::number(analysis.t_ant_k));
+  o.set("nf_goal_db", Json::number(analysis.nf_goal_db));
+  Json subs = Json::array();
+  for (const mission::SubBand& band : analysis.sub_bands) {
+    Json b = Json::object();
+    b.set("constellation", Json::string(band.constellation));
+    b.set("carrier_hz", Json::number(band.carrier_hz));
+    b.set("weight", Json::number(band.weight));
+    b.set("mean_visible", Json::number(band.mean_visible));
+    b.set("mean_pdop", Json::number(band.mean_pdop));
+    b.set("mean_signal_dbw", Json::number(band.mean_signal_dbw));
+    subs.push(std::move(b));
+  }
+  o.set("sub_bands", std::move(subs));
+  return o;
+}
+
 /// Trace sink shared by every optimizer-backed job: records for the
 /// result's trace_csv, forwards to the client's progress stream, and
 /// polls cancellation — all at the optimizer's generation barriers, on
@@ -322,8 +363,70 @@ Json goal_result_json(const optimize::GoalResult& r) {
   return o;
 }
 
+/// Scenario-parameterized design: the same improved goal-attainment
+/// engine on mission::ScenarioObjective's constellation-weighted
+/// objectives.  Result shape mirrors the band-average design job, plus a
+/// "scenario" object with the analysis and the weighted figures.
+Json run_scenario_design_job(const mission::Scenario& scenario,
+                             const Json& params, const JobContext& ctx) {
+  if (params.find("band_hz") != nullptr) {
+    bad_param("band_hz cannot be combined with scenario (the scenario fixes "
+              "the evaluation grids)");
+  }
+  const AmplifierConfig config = parse_config(params);
+
+  mission::ScenarioDesignOptions options;
+  options.goals = parse_goals(params);
+  options.optimizer.threads = 1;
+  options.optimizer.de_generations = static_cast<std::size_t>(
+      uint_in(params, "de_generations", 6, 1, 300));
+  options.optimizer.de_population = static_cast<std::size_t>(
+      uint_in(params, "de_population", 16, 8, 128));
+  options.optimizer.polish_evaluations = static_cast<std::size_t>(
+      uint_in(params, "polish_evaluations", 400, 0, 20000));
+
+  obs::ConvergenceTrace trace;
+  options.optimizer.trace = service_sink(ctx, &trace);
+
+  const device::Phemt device = device::Phemt::reference_device();
+  numeric::Rng rng(parse_seed(params));
+  mission::ScenarioDesignOutcome outcome;
+  try {
+    outcome =
+        mission::run_scenario_design(device, config, scenario, rng, options);
+  } catch (const JobCancelled&) {
+    throw;
+  } catch (const JobTimeout&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw JobError("infeasible", e.what());
+  }
+
+  const auto figures_json = [](const mission::ScenarioObjective::Figures& f) {
+    Json o = Json::object();
+    o.set("nf_weighted_db", Json::number(f.nf_weighted_db));
+    o.set("gt_weighted_db", Json::number(f.gt_weighted_db));
+    return o;
+  };
+
+  Json out = Json::object();
+  out.set("optimization", goal_result_json(outcome.optimization));
+  out.set("continuous", design_json(outcome.continuous));
+  out.set("continuous_report", report_json(outcome.continuous_figures.full));
+  out.set("continuous_weighted", figures_json(outcome.continuous_figures));
+  out.set("snapped", design_json(outcome.snapped));
+  out.set("snapped_report", report_json(outcome.snapped_figures.full));
+  out.set("snapped_weighted", figures_json(outcome.snapped_figures));
+  out.set("scenario", scenario_json(mission::analyze_scenario(scenario)));
+  out.set("trace_csv", Json::string(trace.to_csv()));
+  return out;
+}
+
 Json run_design(const Json& params, const JobContext& ctx) {
   GNSSLNA_OBS_COUNT("service.jobs.design");
+  if (const mission::Scenario* scenario = parse_scenario(params)) {
+    return run_scenario_design_job(*scenario, params, ctx);
+  }
   const AmplifierConfig config = parse_config(params);
   const std::vector<double> band = parse_band(params);
 
@@ -383,7 +486,21 @@ Json run_yield_job(const Json& params, const JobContext& ctx) {
   const AmplifierConfig config = parse_config(params);
   const std::vector<double> band = parse_band(params);
   const DesignVector design = parse_design(params);
-  const DesignGoals goals = parse_goals(params);
+  DesignGoals goals = parse_goals(params);
+  // A scenario re-anchors the pass/fail NF line at its physically derived
+  // goal (explicit goals.nf_db is rejected to keep the result a pure
+  // function of unambiguous params).
+  const mission::Scenario* scenario = parse_scenario(params);
+  std::optional<mission::ScenarioAnalysis> analysis;
+  if (scenario != nullptr) {
+    const Json* g = params.find("goals");
+    if (g != nullptr && g->find("nf_db") != nullptr) {
+      bad_param("goals.nf_db cannot be combined with scenario (the scenario "
+                "derives the NF goal)");
+    }
+    analysis = mission::analyze_scenario(*scenario);
+    goals.nf_goal_db = analysis->nf_goal_db;
+  }
   const std::size_t samples = static_cast<std::size_t>(
       uint_in(params, "samples", 256, 1, 1ULL << 20));
 
@@ -431,6 +548,7 @@ Json run_yield_job(const Json& params, const JobContext& ctx) {
   out.set("nf_avg_max_db", Json::number(report.nf_avg_max_db));
   out.set("gt_min_min_db", Json::number(report.gt_min_min_db));
   out.set("gt_min_max_db", Json::number(report.gt_min_max_db));
+  if (analysis.has_value()) out.set("scenario", scenario_json(*analysis));
   out.set("trace_csv", Json::string(trace.to_csv()));
   return out;
 }
@@ -513,6 +631,20 @@ Json run_extract(const Json& params, const JobContext& ctx) {
 bool is_job_type(std::string_view type) {
   return type == "evaluate" || type == "sweep" || type == "design" ||
          type == "yield" || type == "extract";
+}
+
+Json list_scenarios_json() {
+  Json out = Json::array();
+  for (const mission::Scenario& s : mission::scenario_catalog()) {
+    Json o = scenario_json(mission::analyze_scenario(s));
+    o.set("description", Json::string(s.description));
+    o.set("has_blocker", Json::boolean(s.blocker.has_value()));
+    if (s.blocker.has_value()) {
+      o.set("blocker_hz", Json::number(s.blocker->f_blocker_hz));
+    }
+    out.push(std::move(o));
+  }
+  return out;
 }
 
 Json run_job(const std::string& type, const Json& params,

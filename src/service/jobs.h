@@ -81,4 +81,10 @@ bool is_job_type(std::string_view type);
 Json run_job(const std::string& type, const Json& params,
              const JobContext& ctx);
 
+/// The mission-scenario catalog as a JSON array (name, description,
+/// blocker flag, and the deterministic analysis: T_ant, derived NF goal,
+/// per-constellation sub-band weights).  Backs the `list_scenarios` op;
+/// computed once and cached — analyze_scenario is pure.
+Json list_scenarios_json();
+
 }  // namespace gnsslna::service

@@ -120,6 +120,14 @@ void Session::handle_frame(const std::string& payload) {
     Json reply = Json::object();
     reply.set("event", Json::string("pong"));
     send_doc(reply);
+  } else if (op == "list_scenarios") {
+    // Pure catalog data; computed once for the process (analyze_scenario
+    // is deterministic, so every session sees identical bytes).
+    static const Json kScenarios = list_scenarios_json();
+    Json reply = Json::object();
+    reply.set("event", Json::string("scenarios"));
+    reply.set("scenarios", kScenarios);
+    send_doc(reply);
   } else if (op == "shutdown") {
     {
       const std::lock_guard<std::mutex> lock(state_mutex_);

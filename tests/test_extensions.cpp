@@ -6,6 +6,7 @@
 
 #include "amplifier/corners.h"
 #include "extract/uncertainty.h"
+#include "mission/scenario.h"
 #include "nonlinear/blocker.h"
 #include "rf/sweep.h"
 
@@ -211,6 +212,41 @@ TEST(Blocker, SweepFindsOneDbPoint) {
   // -15..+10 dBm region.
   EXPECT_GT(sweep.p1db_desense_dbm, -16.0);
   EXPECT_LT(sweep.p1db_desense_dbm, 10.0);
+}
+
+TEST(Blocker, GoldenGsm900SweepIsUnchanged) {
+  // Regression pin for the scenario parameterization: with the default
+  // BlockerOptions (the GSM-900 interferer) the sweep must keep producing
+  // exactly the pre-mission-library numbers — a scenario is an explicit
+  // opt-in, never a silent default shift.
+  const nonlinear::BlockerSweep sweep =
+      nonlinear::blocker_sweep(default_lna(), -20.0, 0.0, 5);
+  ASSERT_EQ(sweep.points.size(), 5u);
+  const double expected_gain[] = {13.056545532535, 12.997289590641,
+                                  12.807042709544, 12.192370207569,
+                                  10.392054092961};
+  const double expected_desense[] = {0.027226184366, 0.086482126260,
+                                     0.276729007357, 0.891401509332,
+                                     2.691717623940};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(sweep.points[i].signal_gain_db, expected_gain[i], 1e-9) << i;
+    EXPECT_NEAR(sweep.points[i].desense_db, expected_desense[i], 1e-9) << i;
+  }
+  EXPECT_NEAR(sweep.p1db_desense_dbm, -4.698390494351, 1e-9);
+}
+
+TEST(Blocker, JammedScenarioRetunesTheInterferer) {
+  // The catalog's jammed scenario swaps the GSM-900 carrier for a
+  // 1030 MHz SSR interrogator; the sweep machinery accepts the retuned
+  // grid and a representative burst causes mild but nonzero desense.
+  const mission::Scenario& jammed = *mission::find_scenario("jammed");
+  ASSERT_TRUE(jammed.blocker.has_value());
+  const nonlinear::BlockerOptions options = mission::blocker_options(jammed);
+  EXPECT_EQ(options.f_blocker_hz, 1030.0e6);
+  const nonlinear::BlockerPoint pt = nonlinear::blocker_point(
+      default_lna(), jammed.blocker->p_blocker_dbm, options);
+  EXPECT_NEAR(pt.signal_gain_db, 13.010081756337, 1e-9);
+  EXPECT_NEAR(pt.desense_db, 0.073689960564, 1e-9);
 }
 
 TEST(Blocker, ValidatesTones) {

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numbers>
 
 #include "numeric/rng.h"
 #include "rf/budget.h"
+#include "rf/noise.h"
 #include "rf/smith.h"
 #include "rf/sweep.h"
 #include "rf/twoport.h"
@@ -152,6 +154,49 @@ TEST(Budget, SnrDegradationGrowsWithNf) {
   const BudgetResult loud = cascade_budget({{"lna", 17.0, 3.0, 1e9}});
   EXPECT_LT(quiet.snr_degradation_db(130.0),
             loud.snr_degradation_db(130.0));
+}
+
+TEST(Budget, SnrDegradationRejectsNonPositiveAntennaTemperature) {
+  const BudgetResult r = cascade_budget({{"lna", 17.0, 0.8, 1e9}});
+  EXPECT_THROW(r.snr_degradation_db(0.0), std::invalid_argument);
+  EXPECT_THROW(r.snr_degradation_db(-130.0), std::invalid_argument);
+  EXPECT_THROW(r.snr_degradation_db(std::nan("")), std::invalid_argument);
+}
+
+TEST(Budget, SnrDegradationEdges) {
+  // Noiseless chain (Te -> 0): no degradation, for any source.
+  const BudgetResult ideal = cascade_budget({{"ideal", 20.0, 0.0, 1e9}});
+  EXPECT_NEAR(ideal.snr_degradation_db(130.0), 0.0, 1e-12);
+  EXPECT_NEAR(ideal.snr_degradation_db(1e-6), 0.0, 1e-9);
+
+  // Cold source (Ta -> 0): the same receiver noise costs unboundedly
+  // more; check the closed form 10 log10(1 + Te/Ta) at 1 K.
+  const BudgetResult nf3 = cascade_budget({{"lna", 20.0, 3.0, 1e9}});
+  const double te = noise_temperature(ratio_from_db(nf3.total_nf_db));
+  EXPECT_NEAR(nf3.snr_degradation_db(1.0), db_from_ratio(1.0 + te), 1e-12);
+  EXPECT_GT(nf3.snr_degradation_db(1.0), nf3.snr_degradation_db(290.0));
+}
+
+TEST(Budget, LossyFirstStageCascade) {
+  // Loss ahead of the LNA: NF grows by exactly the loss, and the SNR
+  // degradation at a given Ta follows.
+  const BudgetStage lna{"lna", 17.0, 0.8, 30.0};
+  const BudgetResult direct = cascade_budget({lna});
+  const BudgetResult padded =
+      cascade_budget({BudgetStage::attenuator("pad", 2.5), lna});
+  EXPECT_NEAR(padded.total_nf_db, direct.total_nf_db + 2.5, 1e-9);
+  EXPECT_GT(padded.snr_degradation_db(83.2), direct.snr_degradation_db(83.2));
+}
+
+TEST(Noise, NoiseTemperatureEdges) {
+  // F = 1 (0 dB): a noiseless two-port adds no temperature.
+  EXPECT_DOUBLE_EQ(noise_temperature(1.0), 0.0);
+  // F = 2 (3.01 dB) at the standard reference: Te = T0.
+  EXPECT_NEAR(noise_temperature(2.0), kT0, 1e-12);
+  // Sub-unity factor is unphysical and rejected.
+  EXPECT_THROW(noise_temperature(0.5), std::invalid_argument);
+  // Custom reference temperature scales linearly.
+  EXPECT_NEAR(noise_temperature(2.0, 100.0), 100.0, 1e-12);
 }
 
 TEST(Budget, CumulativeRowsAreMonotone) {

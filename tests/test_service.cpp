@@ -438,7 +438,48 @@ TEST(ServiceJobs, RejectsHostileParameters) {
   expect_bad("yield", R"({"sampler":"quantum"})");
   expect_bad("extract", R"({"model":"not_a_model"})");
   expect_bad("extract", R"({"seed":-1})");
+  expect_bad("design", R"({"scenario":"low_earth_orbit"})");  // not in catalog
+  expect_bad("design", R"({"scenario":42})");
+  // A scenario fixes the evaluation grids / NF goal; conflicting explicit
+  // parameters are rejected rather than silently overridden.
+  expect_bad("design", R"({"scenario":"open_sky","band_hz":[1.2e9,1.6e9]})");
+  expect_bad("yield", R"({"scenario":"open_sky","goals":{"nf_db":0.8}})");
   expect_bad("nonsense", "{}");                             // unknown type
+}
+
+TEST(ServiceJobs, ScenarioDesignJobIsDeterministicAndReportsTheScenario) {
+  const std::string params = R"({"scenario":"open_sky","seed":5,)"
+                             R"("de_generations":2,"de_population":8,)"
+                             R"("polish_evaluations":40})";
+  const Json first = service::run_job("design", parse_or_die(params), {});
+  const Json second = service::run_job("design", parse_or_die(params), {});
+  EXPECT_EQ(first.dump(), second.dump());
+
+  const Json* scenario = first.find("scenario");
+  ASSERT_NE(scenario, nullptr);
+  EXPECT_EQ(scenario->string_at("name"), "open_sky");
+  EXPECT_NEAR(scenario->number_at("nf_goal_db", 0.0), 0.874868606923, 1e-9);
+  ASSERT_NE(scenario->find("sub_bands"), nullptr);
+  EXPECT_EQ(scenario->find("sub_bands")->size(), 4u);
+  ASSERT_NE(first.find("snapped_weighted"), nullptr);
+  ASSERT_NE(first.find("snapped_report"), nullptr);
+  ASSERT_NE(first.find("continuous_weighted"), nullptr);
+}
+
+TEST(ServiceJobs, ScenarioYieldJobReanchorsTheNfGoal) {
+  const std::string params =
+      R"({"scenario":"urban_canyon","seed":9,"samples":16})";
+  const Json result = service::run_job("yield", parse_or_die(params), {});
+  const Json* scenario = result.find("scenario");
+  ASSERT_NE(scenario, nullptr);
+  EXPECT_EQ(scenario->string_at("name"), "urban_canyon");
+  EXPECT_NEAR(scenario->number_at("t_ant_k", 0.0), 137.578139977617, 1e-8);
+  const double rate = result.number_at("pass_rate", -1.0);
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  // Same params, same payload.
+  const Json again = service::run_job("yield", parse_or_die(params), {});
+  EXPECT_EQ(result.dump(), again.dump());
 }
 
 /// The tentpole guarantee.  Baseline: each target job run alone, straight
@@ -717,6 +758,30 @@ TEST_F(ServicePipeTest, SubmitOverPipesMatchesDirectRun) {
   EXPECT_EQ(reply.string_at("event"), "shutdown_ack");
   if (server_.joinable()) server_.join();
   EXPECT_EQ(exit_code_, 1);
+}
+
+TEST_F(ServicePipeTest, ListScenariosOpReturnsTheCatalog) {
+  ASSERT_TRUE(client_->send(parse_or_die(R"({"op":"list_scenarios"})")));
+  Json reply;
+  ASSERT_TRUE(client_->next(&reply));
+  EXPECT_EQ(reply.string_at("event"), "scenarios");
+  const Json* scenarios = reply.find("scenarios");
+  ASSERT_NE(scenarios, nullptr);
+  ASSERT_EQ(scenarios->size(), 4u);
+  EXPECT_EQ(scenarios->at(0).string_at("name"), "open_sky");
+  EXPECT_EQ(scenarios->at(3).string_at("name"), "jammed");
+  EXPECT_TRUE(scenarios->at(3).bool_at("has_blocker", false));
+  EXPECT_FALSE(scenarios->at(0).bool_at("has_blocker", true));
+  EXPECT_GT(scenarios->at(1).number_at("t_ant_k", 0.0),
+            scenarios->at(0).number_at("t_ant_k", 0.0));
+  ASSERT_NE(scenarios->at(0).find("sub_bands"), nullptr);
+  EXPECT_EQ(scenarios->at(0).find("sub_bands")->size(), 4u);
+
+  // The answer is identical on a second ask (cached catalog).
+  ASSERT_TRUE(client_->send(parse_or_die(R"({"op":"list_scenarios"})")));
+  Json reply2;
+  ASSERT_TRUE(client_->next(&reply2));
+  EXPECT_EQ(reply.dump(), reply2.dump());
 }
 
 TEST_F(ServicePipeTest, MalformedFramesGetErrorRepliesAndStreamSurvives) {
