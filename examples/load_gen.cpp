@@ -16,11 +16,18 @@
 //                 (default 2)
 //   --window N    max requests in flight (default 32)
 //   --seed S      workload mix seed (default 1)
+//   --slo-strict  exit nonzero when any served SLO is missed
+//   --metrics-out PATH   write the Prometheus metrics exposition
+//   --flight-out PATH    write the flight-recorder dump (JSON)
 //
 // Queue-full rejections are part of the exercise: the generator retries a
 // rejected job until it is admitted (the retried result is bit-identical
 // to a first-try run — the service determinism contract), and reports how
 // many retries the run needed.
+//
+// After the report the generator prints one verdict line per served SLO
+// (from the "slo" array of the stats op) and a final "SLO verdict" line;
+// with --slo-strict a missed objective makes the run exit 3.
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -40,6 +47,7 @@
 #include "service/json.h"
 #include "service/scheduler.h"
 #include "service/server_io.h"
+#include "service/telemetry.h"
 
 namespace {
 
@@ -139,9 +147,46 @@ void print_report(const char* mode, const RunStats& stats, double wall_s,
       static_cast<long long>(server_stats.number_at("latency_jobs", 0)));
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "load_gen: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// One verdict line per served objective (stats "slo" array) plus the
+/// final verdict.  Returns true when every objective is attained — always
+/// true with obs off, where every objective is vacuous.
+bool print_slo_verdict(const Json& server_stats) {
+  const Json* slo = server_stats.find("slo");
+  if (slo == nullptr || !slo->is_array() || slo->size() == 0) {
+    std::printf("SLO verdict: PASS (no objectives reported)\n");
+    return true;
+  }
+  std::size_t attained = 0;
+  for (std::size_t i = 0; i < slo->size(); ++i) {
+    const Json& o = slo->at(i);
+    const bool ok = o.bool_at("attained", true);
+    if (ok) ++attained;
+    std::printf("  slo        %-20s measured %14.3f  limit %14.3f  [%s]\n",
+                o.string_at("name").c_str(), o.number_at("measured", 0.0),
+                o.number_at("limit", 0.0), ok ? "ok" : "MISS");
+  }
+  const bool pass = attained == slo->size();
+  std::printf("SLO verdict: %s (%zu/%zu objectives attained)\n",
+              pass ? "PASS" : "MISS", attained, slo->size());
+  return pass;
+}
+
 /// In-process mode: drive the Scheduler directly through its ticket API.
 int run_in_process(std::size_t count, std::size_t threads, std::size_t window,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, bool slo_strict,
+                   const std::string& metrics_out,
+                   const std::string& flight_out) {
   obs::set_enabled(true);
   obs::reset();
   service::SchedulerOptions options;
@@ -181,9 +226,20 @@ int run_in_process(std::size_t count, std::size_t threads, std::size_t window,
     }
   }
   const double wall = now_s() - t0;
-  print_report("in-process", stats, wall, service::service_stats_json());
+  const Json server_stats = service::service_stats_json();
+  print_report("in-process", stats, wall, server_stats);
+  if (!metrics_out.empty()) {
+    write_text_file(metrics_out,
+                    service::metrics_prometheus(obs::deterministic()));
+  }
+  if (!flight_out.empty()) {
+    write_text_file(flight_out,
+                    service::flight_json(obs::deterministic()).dump());
+  }
+  const bool slo_pass = print_slo_verdict(server_stats);
   scheduler.shutdown();
-  return stats.failed == 0 ? 0 : 1;
+  if (stats.failed != 0) return 1;
+  return slo_strict && !slo_pass ? 3 : 0;
 }
 
 /// One pipelined submission awaiting its result frame.
@@ -197,7 +253,9 @@ struct InflightWire {
 /// flight.  A rejected submission (queue-full backpressure) re-enters the
 /// submit queue with the same request body under a fresh wire id.
 int run_remote(service::StreamClient& client, std::size_t count,
-               std::size_t window, std::uint64_t seed, const char* mode) {
+               std::size_t window, std::uint64_t seed, const char* mode,
+               bool slo_strict, const std::string& metrics_out,
+               const std::string& flight_out) {
   const numeric::Rng root(seed);
   RunStats stats;
   std::vector<InflightWire> inflight;
@@ -282,8 +340,36 @@ int run_remote(service::StreamClient& client, std::size_t count,
       }
     }
   }
+  if (!metrics_out.empty()) {
+    Json req = Json::object();
+    req.set("op", Json::string("metrics"));
+    if (client.send(req)) {
+      Json reply;
+      while (client.next(&reply)) {
+        if (reply.string_at("event") != "metrics") continue;
+        write_text_file(metrics_out, reply.string_at("prometheus"));
+        break;
+      }
+    }
+  }
+  if (!flight_out.empty()) {
+    Json req = Json::object();
+    req.set("op", Json::string("flight"));
+    if (client.send(req)) {
+      Json reply;
+      while (client.next(&reply)) {
+        if (reply.string_at("event") != "flight") continue;
+        const Json* events = reply.find("events");
+        write_text_file(flight_out,
+                        events != nullptr ? events->dump() : "[]");
+        break;
+      }
+    }
+  }
   print_report(mode, stats, wall, server_stats);
-  return stats.failed == 0 ? 0 : 1;
+  const bool slo_pass = print_slo_verdict(server_stats);
+  if (stats.failed != 0) return 1;
+  return slo_strict && !slo_pass ? 3 : 0;
 }
 
 }  // namespace
@@ -295,6 +381,9 @@ int main(int argc, char** argv) {
   std::size_t threads = 2;
   std::size_t window = 32;
   std::uint64_t seed = 1;
+  bool slo_strict = false;
+  std::string metrics_out;
+  std::string flight_out;
   std::string spawn_binary;
   std::string socket_path;
   for (int i = 1; i < argc; ++i) {
@@ -307,6 +396,12 @@ int main(int argc, char** argv) {
       window = std::max<std::size_t>(1, std::atol(argv[++i]));
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--slo-strict") {
+      slo_strict = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--flight-out" && i + 1 < argc) {
+      flight_out = argv[++i];
     } else if (arg == "--spawn" && i + 1 < argc) {
       spawn_binary = argv[++i];
     } else if (arg == "--socket" && i + 1 < argc) {
@@ -314,7 +409,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--count N] [--threads N] [--window N] "
-                   "[--seed S] [--spawn lna_service | --socket path]\n",
+                   "[--seed S] [--slo-strict] [--metrics-out path] "
+                   "[--flight-out path] "
+                   "[--spawn lna_service | --socket path]\n",
                    argv[0]);
       return 2;
     }
@@ -328,7 +425,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     service::StreamClient client(fd, fd);
-    const int rc = run_remote(client, count, window, seed, "socket");
+    const int rc = run_remote(client, count, window, seed, "socket",
+                              slo_strict, metrics_out, flight_out);
     ::close(fd);
     return rc;
   }
@@ -362,7 +460,8 @@ int main(int argc, char** argv) {
     ::close(to_child[0]);
     ::close(from_child[1]);
     service::StreamClient client(from_child[0], to_child[1]);
-    int rc = run_remote(client, count, window, seed, "spawned worker");
+    int rc = run_remote(client, count, window, seed, "spawned worker",
+                        slo_strict, metrics_out, flight_out);
     Json shutdown_doc = Json::object();
     shutdown_doc.set("op", Json::string("shutdown"));
     client.send(shutdown_doc);
@@ -374,5 +473,6 @@ int main(int argc, char** argv) {
     return rc;
   }
 
-  return run_in_process(count, threads, window, seed);
+  return run_in_process(count, threads, window, seed, slo_strict, metrics_out,
+                        flight_out);
 }

@@ -5,7 +5,8 @@
 // artifacts feed CI:
 //
 //   run_report [--threads N] [--seed S] [--de-gens N] [--polish N]
-//              [--out-dir DIR] [--json PATH] [--deterministic-trace]
+//              [--out-dir DIR] [--json PATH] [--metrics PATH]
+//              [--deterministic-trace]
 //
 //   --out-dir DIR  write DIR/run_report_trace.json (Chrome trace-event /
 //                  Perfetto flame trace of the spans) and
@@ -13,10 +14,13 @@
 //                  generation / polish stage)
 //   --json PATH    machine-readable report (counters, span stats,
 //                  convergence summary) for artifact upload
+//   --metrics PATH Prometheus text exposition of the metrics registry
+//                  (counters + gauges + histograms) for artifact upload
 //   --deterministic-trace
 //                  zero timestamps in the span trace so the file is
 //                  diffable across runs and thread counts (counts and
-//                  ordering stay; durations become 0)
+//                  ordering stay; durations become 0); also switches the
+//                  --metrics exposition to its byte-stable form
 //
 // Telemetry is force-enabled here regardless of the GNSSLNA_OBS
 // environment variable — this tool IS the observability quickstart.
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "amplifier/design_flow.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -95,6 +100,7 @@ int main(int argc, char** argv) {
   std::size_t polish = 4000;
   std::string out_dir;
   std::string json_path;
+  std::string metrics_path;
   bool deterministic_trace = false;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -116,13 +122,15 @@ int main(int argc, char** argv) {
       out_dir = next();
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = next();
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = next();
     } else if (std::strcmp(argv[i], "--deterministic-trace") == 0) {
       deterministic_trace = true;
     } else {
       std::fprintf(stderr,
                    "usage: run_report [--threads N] [--seed S] [--de-gens N] "
                    "[--polish N] [--out-dir DIR] [--json PATH] "
-                   "[--deterministic-trace]\n");
+                   "[--metrics PATH] [--deterministic-trace]\n");
       return 1;
     }
   }
@@ -210,6 +218,23 @@ int main(int argc, char** argv) {
     ok &= write_json_report(json_path, threads, seed, out, counters, spans,
                             trace);
     if (ok) std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    // Prometheus exposition of the metrics registry; --deterministic-trace
+    // extends to it (observational metrics zeroed, byte-stable for a given
+    // seed regardless of --threads).
+    const std::string text =
+        obs::prometheus_text(obs::metrics_snapshot(), deterministic_trace);
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "run_report: cannot write %s\n",
+                   metrics_path.c_str());
+      ok = false;
+    }
   }
   return ok ? 0 : 1;
 }

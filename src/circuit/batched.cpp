@@ -172,6 +172,7 @@ void BatchedPlan::check_structure(const Netlist& netlist) const {
 }
 
 void BatchedPlan::sync(const Netlist& netlist) {
+  GNSSLNA_OBS_SPAN("circuit.batch.sync");
   check_structure(netlist);
   std::size_t matrix_changes = 0, noise_changes = 0;
   for (std::size_t si = 0; si < stamps_.size(); ++si) {
@@ -848,6 +849,7 @@ void BatchedPlan::solve_ports(EvalWorkspace& ws) const {
   const double* const are = ws.a_re_;
   const double* const aim = ws.a_im_;
 
+  GNSSLNA_OBS_SPAN("circuit.batch.solve");
   GNSSLNA_OBS_COUNT_N("circuit.batch.solves", 2 * L);
   substitute_ports_kernel(
       n, L, ws.perm_, static_cast<std::uint32_t>(ports_[0].node - 1),

@@ -1,0 +1,157 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "obs/obs.h"
+
+namespace gnsslna::obs {
+
+namespace {
+
+/// Retired events kept after thread exit (newest win).
+constexpr std::size_t kMaxRetired = 4 * kFlightRingCapacity;
+
+struct FlightRing;
+
+/// Leaked singleton, same lifetime rationale as the obs.h Registry.
+struct FlightRegistry {
+  std::mutex mutex;
+  std::vector<FlightRing*> rings;
+  std::vector<FlightEvent> retired;
+  std::atomic<std::uint64_t> next_order{1};
+
+  static FlightRegistry& get() {
+    static FlightRegistry* g = new FlightRegistry;  // intentionally leaked
+    return *g;
+  }
+};
+
+struct FlightRing {
+  std::mutex mutex;  ///< owner writes, exporters read
+  FlightEvent events[kFlightRingCapacity];
+  std::uint64_t written = 0;  ///< total appended; ring index = i % capacity
+
+  FlightRing() {
+    FlightRegistry& r = FlightRegistry::get();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.rings.push_back(this);
+  }
+
+  ~FlightRing() {
+    FlightRegistry& r = FlightRegistry::get();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    {
+      const std::lock_guard<std::mutex> ring_lock(mutex);
+      const std::uint64_t n =
+          written < kFlightRingCapacity ? written : kFlightRingCapacity;
+      for (std::uint64_t i = written - n; i < written; ++i) {
+        r.retired.push_back(events[i % kFlightRingCapacity]);
+      }
+    }
+    if (r.retired.size() > kMaxRetired) {
+      r.retired.erase(r.retired.begin(),
+                      r.retired.end() - static_cast<std::ptrdiff_t>(kMaxRetired));
+    }
+    r.rings.erase(std::find(r.rings.begin(), r.rings.end(), this));
+  }
+
+  void append(const FlightEvent& e) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    events[written % kFlightRingCapacity] = e;
+    ++written;
+  }
+};
+
+FlightRing& local_ring() {
+  thread_local FlightRing ring;
+  return ring;
+}
+
+std::vector<FlightEvent> collect() {
+  FlightRegistry& r = FlightRegistry::get();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<FlightEvent> out = r.retired;
+  for (FlightRing* ring : r.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    const std::uint64_t n = ring->written < kFlightRingCapacity
+                                ? ring->written
+                                : kFlightRingCapacity;
+    for (std::uint64_t i = ring->written - n; i < ring->written; ++i) {
+      out.push_back(ring->events[i % kFlightRingCapacity]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* flight_type_name(FlightType t) {
+  switch (t) {
+    case FlightType::kAdmit:
+      return "admit";
+    case FlightType::kStart:
+      return "start";
+    case FlightType::kComplete:
+      return "complete";
+    case FlightType::kError:
+      return "error";
+    case FlightType::kCancel:
+      return "cancel";
+    case FlightType::kDeadlineMiss:
+      return "deadline_miss";
+    case FlightType::kReject:
+      return "reject";
+  }
+  return "?";
+}
+
+void flight_copy_name(char (&dst)[kFlightNameCapacity], const char* s) {
+  std::size_t i = 0;
+  for (; s[i] != '\0' && i + 1 < kFlightNameCapacity; ++i) dst[i] = s[i];
+  dst[i] = '\0';
+}
+
+void flight_record(const FlightEvent& event) {
+  if (!enabled()) return;
+  FlightEvent e = event;
+  e.order = FlightRegistry::get().next_order.fetch_add(
+      1, std::memory_order_relaxed);
+  local_ring().append(e);
+}
+
+std::vector<FlightEvent> flight_snapshot() {
+  std::vector<FlightEvent> out = collect();
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.order < b.order;
+            });
+  return out;
+}
+
+std::vector<FlightEvent> flight_for_job(std::uint64_t job_id) {
+  std::vector<FlightEvent> all = collect();
+  std::vector<FlightEvent> out;
+  for (const FlightEvent& e : all) {
+    if (e.job_id == job_id) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.job_seq < b.job_seq;
+            });
+  return out;
+}
+
+void flight_clear() {
+  FlightRegistry& r = FlightRegistry::get();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.retired.clear();
+  for (FlightRing* ring : r.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->written = 0;
+  }
+}
+
+}  // namespace gnsslna::obs

@@ -1,0 +1,79 @@
+// Flight recorder: a fixed-size per-worker ring buffer of structured
+// scheduler events, cheap enough to leave on in production and complete
+// enough to diagnose a bad request after the fact without re-running it.
+//
+// Design rules (extend DESIGN.md "Observability"):
+//   * Fixed-size POD events — no heap behind an event: names are truncated
+//     into inline char arrays and counter deltas are (id, value) pairs
+//     resolved to names only at export.  Recording is one short critical
+//     section on the recording thread's own ring mutex (uncontended unless
+//     an export is running).
+//   * Per-thread rings — each recording thread owns a kFlightRingCapacity
+//     ring; when it fills, the oldest events fall off.  Rings retire into
+//     the registry on thread exit (newest-kept, bounded), so events
+//     survive short-lived transport threads.
+//   * Deterministic export — every event carries (job id, per-job seq)
+//     assigned by the scheduler from deterministic state.  Exporters sort
+//     by (job, seq) and drop the wall-clock fields, which makes the dump
+//     a pure function of what was admitted and how it ended — byte-
+//     identical across worker counts.  The global `order` stamp exists for
+//     live ("what just happened") ordering only.
+//   * Gating — flight_record() drops events while !obs::enabled(); with
+//     obs compiled out the scheduler never records, so dumps are empty.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gnsslna::obs {
+
+enum class FlightType : std::uint8_t {
+  kAdmit = 0,        ///< job accepted into the queue (id assigned)
+  kStart,            ///< worker began running the job
+  kComplete,         ///< terminal: status ok
+  kError,            ///< terminal: job raised an error
+  kCancel,           ///< terminal: cancelled (queued or at a barrier)
+  kDeadlineMiss,     ///< terminal: deadline exceeded at a barrier
+  kReject,           ///< admission refused (queue full; no id assigned)
+};
+
+const char* flight_type_name(FlightType t);
+
+constexpr std::size_t kFlightRingCapacity = 256;  ///< events per thread
+constexpr std::size_t kFlightMaxDeltas = 24;      ///< counter deltas/event
+constexpr std::size_t kFlightNameCapacity = 24;   ///< inline string bytes
+
+struct FlightEvent {
+  std::uint64_t order = 0;     ///< global stamp (observational; set by record)
+  std::uint64_t job_id = 0;    ///< scheduler job id; 0 for kReject
+  std::uint32_t job_seq = 0;   ///< deterministic per-job event index
+  FlightType type = FlightType::kAdmit;
+  char job_type[kFlightNameCapacity] = {};  ///< truncated, NUL-terminated
+  char client[kFlightNameCapacity] = {};
+  std::uint64_t duration_us = 0;  ///< terminal events; observational
+  std::uint32_t delta_count = 0;
+  struct Delta {
+    std::uint32_t counter_id = 0;  ///< obs counter id (resolve by name)
+    std::uint64_t value = 0;
+  };
+  Delta deltas[kFlightMaxDeltas] = {};
+};
+
+/// Copies truncated `s` into a FlightEvent inline string field.
+void flight_copy_name(char (&dst)[kFlightNameCapacity], const char* s);
+
+/// Appends one event to the calling thread's ring (stamping `order`).
+/// Dropped while obs is disabled.
+void flight_record(const FlightEvent& event);
+
+/// Every retained event (live rings + retired), sorted by `order`.
+std::vector<FlightEvent> flight_snapshot();
+
+/// The retained events of one job, sorted by per-job seq.
+std::vector<FlightEvent> flight_for_job(std::uint64_t job_id);
+
+/// Drops every retained event (tests and tools).
+void flight_clear();
+
+}  // namespace gnsslna::obs

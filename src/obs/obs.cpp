@@ -31,6 +31,7 @@ struct SpanEvent {
   std::uint32_t tid = 0;       ///< shard registration index (stable per run)
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
+  std::uint64_t job = 0;       ///< owning service job id; 0 = none
 };
 
 struct Shard;
@@ -130,15 +131,18 @@ EventBuffer& local_events() {
   return buffer;
 }
 
-bool env_enabled() {
-  const char* v = std::getenv("GNSSLNA_OBS");
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
   if (v == nullptr) return false;
   return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
          std::strcmp(v, "on") == 0;
 }
 
-std::atomic<bool> g_enabled{env_enabled()};
+std::atomic<bool> g_enabled{env_flag("GNSSLNA_OBS")};
+std::atomic<bool> g_deterministic{env_flag("GNSSLNA_OBS_DETERMINISTIC")};
 std::atomic<bool> g_capture{false};
+
+thread_local JobTrace* t_job_trace = nullptr;
 
 std::uint32_t register_name(std::vector<std::string>& names,
                             std::unordered_map<std::string, std::uint32_t>& ids,
@@ -166,6 +170,12 @@ void set_enabled(bool on) {
   g_enabled.store(on, std::memory_order_relaxed);
 }
 
+bool deterministic() { return g_deterministic.load(std::memory_order_relaxed); }
+
+void set_deterministic(bool on) {
+  g_deterministic.store(on, std::memory_order_relaxed);
+}
+
 Counter::Counter(const char* name)
     : id_(register_name(Registry::get().counter_names,
                         Registry::get().counter_ids, name, kMaxCounters,
@@ -186,6 +196,12 @@ Span::Span(const SpanCategory& category) {
   id_ = category.id();
   start_ns_ = now_ns();
   active_ = true;
+  if (JobTrace* t = t_job_trace) {
+    // Record at OPEN so parents precede children in seq order; the
+    // duration is filled at close.
+    trace_index_ = static_cast<std::int32_t>(t->records.size());
+    t->records.push_back({id_, t->next_seq++, t->depth++, 0});
+  }
 }
 
 Span::~Span() {
@@ -194,9 +210,33 @@ Span::~Span() {
   Shard& s = local_shard();
   s.bump(s.span_count[id_], 1);
   s.bump(s.span_ns[id_], end - start_ns_);
-  if (g_capture.load(std::memory_order_relaxed)) {
-    local_events().events.push_back({id_, s.tid, start_ns_, end});
+  std::uint64_t job = 0;
+  if (trace_index_ >= 0) {
+    if (JobTrace* t = t_job_trace) {
+      t->records[static_cast<std::size_t>(trace_index_)].dur_ns =
+          end - start_ns_;
+      if (t->depth > 0) --t->depth;
+      job = t->job_id;
+    }
   }
+  if (g_capture.load(std::memory_order_relaxed)) {
+    local_events().events.push_back({id_, s.tid, start_ns_, end, job});
+  }
+}
+
+ScopedJobTrace::ScopedJobTrace(JobTrace* trace) : prev_(t_job_trace) {
+  t_job_trace = trace;
+}
+
+ScopedJobTrace::~ScopedJobTrace() { t_job_trace = prev_; }
+
+JobTrace* current_job_trace() { return t_job_trace; }
+
+void job_trace_event(const SpanCategory& category, std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  JobTrace* t = t_job_trace;
+  if (t == nullptr) return;
+  t->records.push_back({category.id(), t->next_seq++, t->depth, dur_ns});
 }
 
 std::vector<CounterValue> counter_snapshot() {
@@ -231,6 +271,29 @@ std::vector<SpanStat> span_snapshot() {
     }
   }
   return out;
+}
+
+std::vector<std::string> counter_names() {
+  Registry& r = Registry::get();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.counter_names;
+}
+
+std::vector<std::string> span_names() {
+  Registry& r = Registry::get();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.span_names;
+}
+
+std::size_t counter_capacity() { return kMaxCounters; }
+
+void read_local_counters(std::uint64_t* out, std::size_t n) {
+  Shard& s = local_shard();
+  const std::size_t m = n < kMaxCounters ? n : kMaxCounters;
+  for (std::size_t i = 0; i < m; ++i) {
+    out[i] = s.counters[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = m; i < n; ++i) out[i] = 0;
 }
 
 std::vector<CounterValue> counter_delta(const std::vector<CounterValue>& a,
@@ -302,12 +365,14 @@ bool write_span_trace(const std::string& path, bool deterministic) {
     names = r.span_names;
   }
   if (deterministic) {
-    // Strip wall-clock and thread placement; order by (name id, then the
-    // original per-thread sequence collapsed by a stable sort on id only),
-    // so the file depends only on WHAT ran, not when or where.
+    // Strip wall-clock and thread placement; order by (name id, owning job)
+    // with the original per-thread sequence collapsed by a stable sort, so
+    // the file depends only on WHAT ran, not when or where.  Events that
+    // agree on (id, job) serialize to identical rows, so the residual
+    // interleaving order cannot leak into the bytes.
     std::stable_sort(events.begin(), events.end(),
                      [](const SpanEvent& a, const SpanEvent& b) {
-                       return a.id < b.id;
+                       return a.id != b.id ? a.id < b.id : a.job < b.job;
                      });
     for (SpanEvent& e : events) {
       e.tid = 0;
@@ -333,11 +398,21 @@ bool write_span_trace(const std::string& path, bool deterministic) {
     const SpanEvent& e = events[i];
     const double ts = static_cast<double>(e.start_ns - origin) / 1e3;
     const double dur = static_cast<double>(e.end_ns - e.start_ns) / 1e3;
-    std::fprintf(f,
-                 "  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
-                 "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}%s\n",
-                 e.id < names.size() ? names[e.id].c_str() : "?", e.tid, ts,
-                 dur, i + 1 < events.size() ? "," : "");
+    if (e.job != 0) {
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                   "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+                   "\"args\": {\"job\": %llu}}%s\n",
+                   e.id < names.size() ? names[e.id].c_str() : "?", e.tid, ts,
+                   dur, static_cast<unsigned long long>(e.job),
+                   i + 1 < events.size() ? "," : "");
+    } else {
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                   "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}%s\n",
+                   e.id < names.size() ? names[e.id].c_str() : "?", e.tid, ts,
+                   dur, i + 1 < events.size() ? "," : "");
+    }
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);

@@ -45,6 +45,16 @@ constexpr bool compiled_in() {
 bool enabled();
 void set_enabled(bool on);
 
+/// Deterministic-output mode.  When on, instrumentation that would record
+/// wall-clock durations records zeros at the source (job latencies, queue
+/// waits, flight-event durations) and exports zero observational values,
+/// so every telemetry artifact is a pure function of WHAT ran — byte-
+/// identical across worker counts.  Span shard totals keep real durations
+/// (they are observational-only by contract); exporters zero them.
+/// Initialized from GNSSLNA_OBS_DETERMINISTIC ("1"/"true"/"on").
+bool deterministic();
+void set_deterministic(bool on);
+
 /// A named monotonic counter.  Construction registers the name (idempotent:
 /// the same name always maps to the same id); add() bumps this thread's
 /// shard.  Intended use is through GNSSLNA_OBS_COUNT below, which hides the
@@ -83,6 +93,7 @@ class Span {
  private:
   std::uint32_t id_ = 0;
   std::uint64_t start_ns_ = 0;
+  std::int32_t trace_index_ = -1;  ///< slot in the installed JobTrace
   bool active_ = false;
 };
 
@@ -102,6 +113,21 @@ struct SpanStat {
 std::vector<CounterValue> counter_snapshot();
 std::vector<SpanStat> span_snapshot();
 
+/// Registered names in id order (index == id).  Ids are assigned in
+/// first-registration order and therefore process-dependent; anything
+/// exported for comparison must be keyed by NAME.
+std::vector<std::string> counter_names();
+std::vector<std::string> span_names();
+
+/// Fixed shard slot count (kMaxCounters): the valid id range for the
+/// local-shard reads below and for FlightEvent counter-delta ids.
+std::size_t counter_capacity();
+
+/// Copies the CALLING thread's shard values for ids [0, n) into out.
+/// Jobs run serial inside (service contract), so a before/after pair of
+/// these reads yields the exact counter work of one job.
+void read_local_counters(std::uint64_t* out, std::size_t n);
+
 /// Difference a - b by name (names missing from b count from zero).  Order
 /// follows a.
 std::vector<CounterValue> counter_delta(const std::vector<CounterValue>& a,
@@ -110,6 +136,57 @@ std::vector<CounterValue> counter_delta(const std::vector<CounterValue>& a,
 /// Zeroes every live shard and the retired totals.  Must not run
 /// concurrently with instrumented work (tests and tools only).
 void reset();
+
+// --- Per-job trace context -------------------------------------------------
+// The service scheduler installs a JobTrace on the worker thread for the
+// duration of one job (jobs run serial inside, so every span the job's body
+// opens lands on this thread).  While installed, each Span additionally
+// appends one record at construction — (span id, per-job sequence, nesting
+// depth) — and fills the duration at destruction, and span-capture events
+// are tagged with the owning job id.  Records are in open order with
+// explicit depth, so the caller can rebuild the span tree; sequence and
+// depth depend only on WHAT the job ran, never on scheduling, which is what
+// makes exported trees byte-identical across worker counts.
+
+struct JobTrace {
+  struct Record {
+    std::uint32_t span_id = 0;   ///< SpanCategory id (resolve via span_names)
+    std::uint32_t seq = 0;       ///< per-job open order
+    std::uint16_t depth = 0;     ///< nesting depth at open (0 = top level)
+    std::uint64_t dur_ns = 0;    ///< observational; zeroed by deterministic
+                                 ///  exporters (0 while the span is open)
+  };
+
+  explicit JobTrace(std::uint64_t id) : job_id(id) {}
+
+  std::uint64_t job_id = 0;
+  std::vector<Record> records;   ///< open (= seq) order
+  std::uint32_t next_seq = 0;
+  std::uint16_t depth = 0;
+};
+
+/// Installs `trace` as the calling thread's active job trace (restores the
+/// previous one on destruction).  The trace must outlive the scope.
+class ScopedJobTrace {
+ public:
+  explicit ScopedJobTrace(JobTrace* trace);
+  ~ScopedJobTrace();
+
+  ScopedJobTrace(const ScopedJobTrace&) = delete;
+  ScopedJobTrace& operator=(const ScopedJobTrace&) = delete;
+
+ private:
+  JobTrace* prev_;
+};
+
+/// The calling thread's active job trace; nullptr outside any job.
+JobTrace* current_job_trace();
+
+/// Appends one leaf record (no nesting change) to the active job trace —
+/// for point events like optimizer generation barriers and for synthetic
+/// phases whose duration was measured elsewhere (queue wait).  No-op when
+/// obs is disabled or no trace is installed.
+void job_trace_event(const SpanCategory& category, std::uint64_t dur_ns);
 
 // --- Flame-style span capture ---------------------------------------------
 // While capture is running every Span records a begin/end event into a

@@ -227,6 +227,12 @@ Json scenario_json(const mission::ScenarioAnalysis& analysis) {
 obs::TraceSink service_sink(const JobContext& ctx,
                             obs::ConvergenceTrace* trace) {
   return [&ctx, trace](const obs::TraceRecord& r) {
+#if defined(GNSSLNA_OBS_ENABLED)
+    // Generation barrier marker in the owning job's span tree (leaf
+    // record; the count of these per job is deterministic).
+    static const obs::SpanCategory kGeneration("service.job.generation");
+    obs::job_trace_event(kGeneration, 0);
+#endif
     trace->record(r);
     if (ctx.progress) ctx.progress(r);
     if (ctx.check_cancel) ctx.check_cancel();
@@ -237,6 +243,7 @@ PlanCache::Lease lease_evaluator(const JobContext& ctx,
                                  const device::Phemt& device,
                                  const AmplifierConfig& config,
                                  const std::vector<double>& band_hz) {
+  GNSSLNA_OBS_SPAN("service.job.plan_acquire");
   try {
     if (ctx.plans != nullptr) {
       return ctx.plans->acquire(topology_revision(config, band_hz), device,

@@ -2,11 +2,18 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace gnsslna::service {
 
 namespace {
+
+void set_residency_gauge(std::size_t idle) {
+  if (!obs::compiled_in() || !obs::enabled()) return;
+  static const obs::Gauge g("service.plan_cache.idle");
+  g.set(static_cast<std::int64_t>(idle));
+}
 
 /// FNV-1a over raw byte images: doubles hash by bit pattern, so any value
 /// change — however small — changes the revision, and equal values always
@@ -72,6 +79,7 @@ PlanCache::Lease PlanCache::acquire(std::uint64_t revision,
                                     const device::Phemt& device,
                                     const amplifier::AmplifierConfig& config,
                                     const std::vector<double>& band_hz) {
+  GNSSLNA_OBS_SPAN("service.plan_cache.acquire");
   amplifier::BandEvaluator* evaluator = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -79,7 +87,9 @@ PlanCache::Lease PlanCache::acquire(std::uint64_t revision,
     if (it != idle_.end() && !it->second.empty()) {
       evaluator = it->second.back().release();
       it->second.pop_back();
+      --idle_total_;
     }
+    set_residency_gauge(idle_total_);
   }
   if (evaluator != nullptr) {
     GNSSLNA_OBS_COUNT("service.plan_cache.hits");
@@ -103,6 +113,8 @@ void PlanCache::release(std::uint64_t revision,
         idle_[revision];
     if (pool.size() < max_idle_per_revision_) {
       pool.push_back(std::move(owned));
+      ++idle_total_;
+      set_residency_gauge(idle_total_);
       GNSSLNA_OBS_COUNT("service.plan_cache.returns");
       return;
     }
@@ -126,6 +138,8 @@ void PlanCache::clear() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     dropped.swap(idle_);
+    idle_total_ = 0;
+    set_residency_gauge(0);
   }
 }
 

@@ -18,7 +18,12 @@
 // built or arbitrarily pre-used, which is what makes the cache safe to
 // share between unrelated concurrent jobs.
 //
-// Obs counters: service.plan_cache.{hits,misses,returns,evictions}.
+// Obs: counters service.plan_cache.{hits,misses,returns,evictions}, the
+// residency gauge service.plan_cache.idle (checked-in evaluators), and the
+// span service.plan_cache.acquire — which, under a job's trace context,
+// attributes lease wait/build time to the owning job.  All of these are
+// OBSERVATIONAL (lease warmth depends on interleaving): deterministic
+// exposition zeroes them (obs::metric_is_observational).
 #pragma once
 
 #include <cstdint>
@@ -77,6 +82,7 @@ class PlanCache {
 
   mutable std::mutex mutex_;
   std::size_t max_idle_per_revision_;
+  std::size_t idle_total_ = 0;  ///< guarded by mutex_; feeds the gauge
   std::unordered_map<std::uint64_t,
                      std::vector<std::unique_ptr<amplifier::BandEvaluator>>>
       idle_;

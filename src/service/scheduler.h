@@ -26,7 +26,15 @@
 //
 // Obs: counters service.{submitted,rejected,completed,errors,cancelled,
 // timeouts} and the log2-microsecond latency histogram
-// service.latency.b00..b31 (service_stats_json derives p50/p99 from it).
+// service.latency.b00..b31 (service_stats_json derives p50/p99 from it by
+// midpoint interpolation); gauges service.{queue_depth,jobs_in_flight};
+// fixed-bucket histograms service.{job_latency_us,queue_wait_us} (SLO
+// source); flight-recorder events at admission/start/terminal transitions
+// (obs/flight.h); and a per-job trace context (obs::JobTrace) installed
+// around the job body so every span the job opens — plan-cache leases,
+// optimizer generations, BatchedPlan solves — is attributed to its job id.
+// In obs::deterministic() mode all wall-clock observations record as zero,
+// making every exported artifact byte-identical across worker counts.
 #pragma once
 
 #include <atomic>
@@ -59,6 +67,13 @@ struct JobOutcome {
   std::string error_code;     ///< machine-readable, when status == "error"
   std::string error_message;
   Json result;                ///< payload, when status == "ok"
+  /// Aggregated per-job span tree (telemetry.h span_tree_json); null
+  /// unless obs was live while the job ran.  NEVER part of `result`: the
+  /// result payload stays a pure function of (type, params).
+  Json spans;
+  /// This job's flight-recorder events; populated only for failed /
+  /// deadline-missed jobs so their replies carry the post-hoc diagnosis.
+  Json flight;
 };
 
 class Scheduler {
@@ -93,8 +108,10 @@ class Scheduler {
     Json params_;
     obs::TraceSink progress_;
     CompletionFn on_complete_;
+    bool want_spans_ = false;
     bool has_deadline_ = false;
     std::chrono::steady_clock::time_point deadline_;
+    std::chrono::steady_clock::time_point submitted_;  ///< queue-wait origin
 
     std::atomic<bool> cancelled_{false};
     mutable std::mutex mutex_;
@@ -113,10 +130,13 @@ class Scheduler {
   /// Admission-controlled submission.  Returns nullptr when the global
   /// queue or the client's share is full (queue-full backpressure; the
   /// client retries).  `timeout_s <= 0` means no deadline.  `progress`
-  /// streams the job's TraceRecords from the worker thread.
+  /// streams the job's TraceRecords from the worker thread.  `want_spans`
+  /// asks for the aggregated per-job span tree in JobOutcome::spans — the
+  /// trace is always recorded while obs is live, but the JSON tree is only
+  /// built on request so uninterested submitters never pay for it.
   TicketPtr submit(const std::string& client, std::string type, Json params,
                    double timeout_s = 0.0, obs::TraceSink progress = {},
-                   CompletionFn on_complete = {});
+                   CompletionFn on_complete = {}, bool want_spans = false);
 
   std::size_t workers() const { return workers_; }
   std::size_t queued() const;
@@ -149,9 +169,11 @@ class Scheduler {
 };
 
 /// Service throughput / latency report from the CURRENT obs counter
-/// snapshot: job counts plus p50/p99 latency (conservative log2-bucket
-/// upper bounds, microseconds).  All zero when obs is disabled or
-/// compiled out — enable with GNSSLNA_OBS=1.
+/// snapshot: job counts, p50/p99 latency (interpolated midpoints of the
+/// log2-µs histogram — telemetry.h latency_percentile_us), and the "slo"
+/// array (telemetry.h evaluate_slos_json over default_slos()).  All zero /
+/// vacuously attained when obs is disabled or compiled out — enable with
+/// GNSSLNA_OBS=1.
 Json service_stats_json();
 
 }  // namespace gnsslna::service

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/obs.h"
+#include "service/telemetry.h"
+
 namespace gnsslna::service {
 
 namespace {
@@ -81,7 +84,12 @@ void Session::send_error(const std::string& code, const std::string& message) {
   send_doc(doc);
 }
 
-void Session::send_result(std::uint64_t id, const JobOutcome& outcome) {
+void Session::send_result(std::uint64_t id, const JobOutcome& outcome,
+                          bool include_spans) {
+  // Runs on the worker thread while the job's trace context is still
+  // installed, so serialization cost lands in the owning job's span tree
+  // (global capture only — the reply's own tree is already built).
+  GNSSLNA_OBS_SPAN("service.session.serialize");
   Json doc = Json::object();
   doc.set("event", Json::string("result"));
   doc.set("id", Json::number(static_cast<double>(id)));
@@ -91,6 +99,12 @@ void Session::send_result(std::uint64_t id, const JobOutcome& outcome) {
   } else if (!outcome.error_code.empty()) {
     // "error" and "rejected" both carry a machine-readable error object.
     doc.set("error", error_object(outcome.error_code, outcome.error_message));
+  }
+  if (include_spans && !outcome.spans.is_null()) {
+    doc.set("spans", outcome.spans);
+  }
+  if (!outcome.flight.is_null()) {
+    doc.set("flight", outcome.flight);
   }
   send_doc(doc);
 }
@@ -119,6 +133,21 @@ void Session::handle_frame(const std::string& payload) {
   } else if (op == "ping") {
     Json reply = Json::object();
     reply.set("event", Json::string("pong"));
+    send_doc(reply);
+  } else if (op == "metrics") {
+    const bool det = doc.bool_at("deterministic", obs::deterministic());
+    Json reply = Json::object();
+    reply.set("event", Json::string("metrics"));
+    reply.set("enabled", Json::boolean(telemetry_live()));
+    reply.set("prometheus", Json::string(metrics_prometheus(det)));
+    reply.set("metrics", metrics_json(det));
+    send_doc(reply);
+  } else if (op == "flight") {
+    const bool det = doc.bool_at("deterministic", obs::deterministic());
+    Json reply = Json::object();
+    reply.set("event", Json::string("flight"));
+    reply.set("enabled", Json::boolean(telemetry_live()));
+    reply.set("events", flight_json(det));
     send_doc(reply);
   } else if (op == "list_scenarios") {
     // Pure catalog data; computed once for the process (analyze_scenario
@@ -163,6 +192,7 @@ void Session::handle_submit(const Json& doc) {
     return v != nullptr && v->is_number() ? v->as_number() : 0.0;
   }();
   const bool want_progress = doc.bool_at("progress", false);
+  const bool want_spans = doc.bool_at("spans", false);
 
   bool duplicate = false;
   {
@@ -195,8 +225,8 @@ void Session::handle_submit(const Json& doc) {
     };
   }
 
-  auto on_complete = [this, id](Scheduler::Ticket& t) {
-    send_result(id, t.wait());
+  auto on_complete = [this, id, want_spans](Scheduler::Ticket& t) {
+    send_result(id, t.wait(), want_spans);
     {
       const std::lock_guard<std::mutex> lock(state_mutex_);
       auto it = inflight_.find(id);
@@ -213,7 +243,8 @@ void Session::handle_submit(const Json& doc) {
 
   const Scheduler::TicketPtr ticket =
       scheduler_.submit(client_id_, type, std::move(params), timeout_s,
-                        std::move(progress), std::move(on_complete));
+                        std::move(progress), std::move(on_complete),
+                        want_spans);
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     if (ticket == nullptr || finished_early_.erase(id) != 0) {

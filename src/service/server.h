@@ -4,17 +4,23 @@
 //
 //   requests
 //     {"op":"submit","id":7,"type":"evaluate","params":{...},
-//      "timeout_s":10,"progress":false}
+//      "timeout_s":10,"progress":false,"spans":false}
 //     {"op":"cancel","id":7}
 //     {"op":"stats"}   {"op":"ping"}   {"op":"shutdown"}
+//     {"op":"metrics","deterministic":false}   (observability exposition)
+//     {"op":"flight","deterministic":false}    (flight-recorder dump)
 //
 //   replies
 //     {"event":"result","id":7,"status":"ok","result":{...}}
 //     {"event":"result","id":7,"status":"rejected",
 //      "error":{"code":"queue_full",...}}        (backpressure; retry)
-//     {"event":"result","id":7,"status":"error"|"cancelled"|"timeout",...}
+//     {"event":"result","id":7,"status":"error"|"cancelled"|"timeout",...,
+//      "flight":[...]}     (failed / deadline-missed jobs carry their
+//                           flight-recorder events for post-hoc diagnosis)
 //     {"event":"progress","id":7,"phase":"de","iteration":3,...}
 //     {"event":"stats","stats":{...}}  {"event":"pong"}
+//     {"event":"metrics","enabled":true,"prometheus":"...","metrics":{...}}
+//     {"event":"flight","enabled":true,"events":[...]}
 //     {"event":"shutdown_ack"}
 //     {"event":"error","error":{"code":"bad_json"|"bad_request"|
 //      "oversize_frame",...}}                    (protocol-level failure)
@@ -25,11 +31,22 @@
 // poisons the length framing, so the session sends a final error frame
 // and asks the transport to close (on_bytes returns false).
 //
-// Determinism: a result frame's payload contains only the client id, the
-// status, and the job's deterministic result document (json.h dump rules)
-// — no timing, no server state — so it is byte-identical for the same
-// (type, params, seed) no matter the traffic (pinned by
-// tests/test_service.cpp).
+// Observability ops: "metrics" answers with the registry snapshot in both
+// exposition formats (Prometheus text + canonical Json), "flight" with the
+// flight-recorder event dump.  Both always answer — in GNSSLNA_OBS=OFF
+// builds (or with obs disabled at runtime) `enabled` is false and the
+// payloads are empty, never an error.  `"deterministic":true` requests the
+// byte-stable form (observational metrics zeroed, wall-clock fields
+// zeroed, name-keyed ordering); it defaults to obs::deterministic().
+// Submitting with `"spans":true` adds the job's aggregated span tree as a
+// `spans` member of its result frame.
+//
+// Determinism: a result frame's `result` member contains only the job's
+// deterministic result document (json.h dump rules) — no timing, no server
+// state — so it is byte-identical for the same (type, params, seed) no
+// matter the traffic (pinned by tests/test_service.cpp).  The optional
+// `spans`/`flight` siblings are observability data, never part of
+// `result`.
 //
 // Threading: on_bytes runs on the transport's read thread; result and
 // progress frames are sent from scheduler worker threads.  All sends are
@@ -77,7 +94,8 @@ class Session {
   void handle_cancel(const Json& doc);
   void send_doc(const Json& doc);
   void send_error(const std::string& code, const std::string& message);
-  void send_result(std::uint64_t id, const JobOutcome& outcome);
+  void send_result(std::uint64_t id, const JobOutcome& outcome,
+                   bool include_spans = false);
 
   Scheduler& scheduler_;
   std::string client_id_;

@@ -15,6 +15,8 @@
 #include "device/phemt.h"
 #include "numeric/parallel.h"
 #include "numeric/rng.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -145,7 +147,213 @@ TEST_F(ObsTest, InstrumentationMacrosCompileAndCount) {
   EXPECT_EQ(counter_named(delta, "obs_test.macro"), 5u);
 }
 
+TEST_F(ObsTest, GaugesTrackLevelsAndRespectTheEnableGate) {
+  const obs::Gauge gauge("obs_test.gauge");
+  gauge.set(5);
+  gauge.add(2);
+  obs::set_enabled(false);
+  gauge.set(99);  // dropped while disabled
+  obs::set_enabled(true);
+
+  const obs::MetricsSnapshot snapshot = obs::metrics_snapshot();
+  bool found = false;
+  for (const obs::GaugeValue& g : snapshot.gauges) {
+    if (g.name == "obs_test.gauge") {
+      EXPECT_EQ(g.value, 7);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  obs::metrics_reset();
+}
+
+TEST_F(ObsTest, HistogramObservesWithPrometheusLeSemantics) {
+  obs::metrics_reset();
+  const obs::Histogram hist("obs_test.hist", {1.0, 10.0});
+  hist.observe(0.5);   // bucket le=1
+  hist.observe(1.0);   // boundary: le=1 (cumulative "less or equal")
+  hist.observe(5.0);   // bucket le=10
+  hist.observe(11.0);  // overflow (+Inf)
+
+  const obs::MetricsSnapshot snapshot = obs::metrics_snapshot();
+  const obs::HistogramValue* h = nullptr;
+  for (const obs::HistogramValue& v : snapshot.histograms) {
+    if (v.name == "obs_test.hist") h = &v;
+  }
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->counts.size(), 3u);
+  EXPECT_EQ(h->counts[0], 2u);
+  EXPECT_EQ(h->counts[1], 1u);
+  EXPECT_EQ(h->counts[2], 1u);
+  EXPECT_EQ(h->total, 4u);
+  EXPECT_EQ(h->sum, 1 + 1 + 5 + 11);  // llround per observation
+
+  obs::metrics_reset();  // zeroes values, keeps the registration
+  for (const obs::HistogramValue& v : obs::metrics_snapshot().histograms) {
+    if (v.name == "obs_test.hist") EXPECT_EQ(v.total, 0u);
+  }
+}
+
+TEST_F(ObsTest, JobTraceRecordsOpenOrderSeqAndDepth) {
+  obs::JobTrace trace(42);
+  {
+    const obs::ScopedJobTrace scope(&trace);
+    EXPECT_EQ(obs::current_job_trace(), &trace);
+    const obs::SpanCategory outer("obs_test.jt_outer");
+    const obs::SpanCategory inner("obs_test.jt_inner");
+    {
+      obs::Span a(outer);
+      { obs::Span b(inner); }
+      { obs::Span c(inner); }
+    }
+    const obs::SpanCategory leaf("obs_test.jt_leaf");
+    obs::job_trace_event(leaf, 7);
+  }
+  EXPECT_EQ(obs::current_job_trace(), nullptr);
+
+  ASSERT_EQ(trace.records.size(), 4u);
+  // Records are pushed at span OPEN: parents precede children in seq
+  // order, depth counts open ancestors.
+  EXPECT_EQ(trace.records[0].seq, 0u);
+  EXPECT_EQ(trace.records[0].depth, 0u);
+  EXPECT_EQ(trace.records[1].seq, 1u);
+  EXPECT_EQ(trace.records[1].depth, 1u);
+  EXPECT_EQ(trace.records[2].seq, 2u);
+  EXPECT_EQ(trace.records[2].depth, 1u);
+  EXPECT_EQ(trace.records[1].span_id, trace.records[2].span_id);
+  // The leaf event lands after the spans closed, back at depth 0.
+  EXPECT_EQ(trace.records[3].seq, 3u);
+  EXPECT_EQ(trace.records[3].depth, 0u);
+  EXPECT_EQ(trace.records[3].dur_ns, 7u);
+}
+
+TEST_F(ObsTest, FlightRingKeepsTheNewestEventsAtCapacity) {
+  obs::flight_clear();
+  constexpr std::size_t kOver = obs::kFlightRingCapacity + 44;
+  for (std::size_t i = 0; i < kOver; ++i) {
+    obs::FlightEvent e;
+    e.job_id = i + 1;
+    e.job_seq = 0;
+    e.type = obs::FlightType::kAdmit;
+    obs::flight_copy_name(e.job_type, "evaluate");
+    obs::flight_copy_name(e.client, "ring-test");
+    obs::flight_record(e);
+  }
+  const std::vector<obs::FlightEvent> snapshot = obs::flight_snapshot();
+  ASSERT_EQ(snapshot.size(), obs::kFlightRingCapacity);
+  // Oldest events fell off; the snapshot is order-sorted, newest last.
+  EXPECT_EQ(snapshot.front().job_id, kOver - obs::kFlightRingCapacity + 1);
+  EXPECT_EQ(snapshot.back().job_id, kOver);
+  EXPECT_LT(snapshot.front().order, snapshot.back().order);
+
+  EXPECT_EQ(obs::flight_for_job(kOver).size(), 1u);
+  EXPECT_TRUE(obs::flight_for_job(1).empty());  // overwritten
+  obs::flight_clear();
+  EXPECT_TRUE(obs::flight_snapshot().empty());
+}
+
+TEST_F(ObsTest, FlightRecordingIsGatedOnEnabled) {
+  obs::flight_clear();
+  obs::set_enabled(false);
+  obs::FlightEvent e;
+  e.job_id = 1;
+  obs::flight_record(e);
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::flight_snapshot().empty());
+}
+
 #endif  // GNSSLNA_OBS_ENABLED
+
+TEST(ObsMetrics, DeterministicFlagRoundTrips) {
+  const bool was = obs::deterministic();
+  obs::set_deterministic(true);
+  EXPECT_TRUE(obs::deterministic());
+  obs::set_deterministic(false);
+  EXPECT_FALSE(obs::deterministic());
+  obs::set_deterministic(was);
+}
+
+TEST(ObsMetrics, ObservationalClassificationFollowsThePrefixTable) {
+  EXPECT_TRUE(obs::metric_is_observational("service.plan_cache.hits"));
+  EXPECT_TRUE(obs::metric_is_observational("service.plan_cache.idle"));
+  EXPECT_TRUE(obs::metric_is_observational("circuit.plan.retabulations"));
+  EXPECT_TRUE(obs::metric_is_observational("circuit.batch.workspace_reuses"));
+  EXPECT_TRUE(obs::metric_is_observational("circuit.batch.arena_bytes_hwm"));
+  EXPECT_TRUE(obs::metric_is_observational("amplifier.report_cache.hits"));
+  EXPECT_TRUE(obs::metric_is_observational("yield.plan_builds"));
+
+  EXPECT_FALSE(obs::metric_is_observational("service.submitted"));
+  EXPECT_FALSE(obs::metric_is_observational("service.job_latency_us"));
+  EXPECT_FALSE(obs::metric_is_observational("circuit.batch.solves"));
+  EXPECT_FALSE(obs::metric_is_observational("amplifier.band_evaluations"));
+}
+
+/// Byte-level pin of the Prometheus exposition on a hand-built snapshot:
+/// the format is part of the service wire contract.
+TEST(ObsMetrics, PrometheusTextExactBytes) {
+  obs::MetricsSnapshot s;
+  obs::CounterValue completed;
+  completed.name = "service.completed";
+  completed.value = 3;
+  obs::CounterValue hits;
+  hits.name = "service.plan_cache.hits";  // observational
+  hits.value = 9;
+  s.counters = {completed, hits};
+  obs::GaugeValue depth;
+  depth.name = "service.queue_depth";
+  depth.value = 2;
+  s.gauges = {depth};
+  obs::HistogramValue h;
+  h.name = "service.job_latency_us";
+  h.upper_bounds = {50.0, 100.0};
+  h.counts = {1, 2, 1};
+  h.total = 4;
+  h.sum = 260;
+  s.histograms = {h};
+
+  EXPECT_EQ(obs::prometheus_text(s, /*deterministic=*/false),
+            "# TYPE gnsslna_service_completed counter\n"
+            "gnsslna_service_completed 3\n"
+            "# TYPE gnsslna_service_plan_cache_hits counter\n"
+            "gnsslna_service_plan_cache_hits 9\n"
+            "# TYPE gnsslna_service_queue_depth gauge\n"
+            "gnsslna_service_queue_depth 2\n"
+            "# TYPE gnsslna_service_job_latency_us histogram\n"
+            "gnsslna_service_job_latency_us_bucket{le=\"50\"} 1\n"
+            "gnsslna_service_job_latency_us_bucket{le=\"100\"} 3\n"
+            "gnsslna_service_job_latency_us_bucket{le=\"+Inf\"} 4\n"
+            "gnsslna_service_job_latency_us_sum 260\n"
+            "gnsslna_service_job_latency_us_count 4\n");
+
+  // Deterministic mode zeroes observational VALUES but keeps the layout.
+  const std::string det = obs::prometheus_text(s, /*deterministic=*/true);
+  EXPECT_NE(det.find("gnsslna_service_plan_cache_hits 0\n"),
+            std::string::npos);
+  EXPECT_NE(det.find("gnsslna_service_completed 3\n"), std::string::npos);
+}
+
+TEST(ObsMetrics, HistogramQuantileUsesTheMidpointRule) {
+  obs::HistogramValue h;
+  h.upper_bounds = {10.0, 20.0};
+  h.counts = {2, 2, 0};
+  h.total = 4;
+  // Median rank k = floor(0.5*4)+1 = 3: 1st of 2 samples in (10, 20] ->
+  // 10 + 10 * 0.5/2 = 12.5.  Rank 1 sits at 0 + 10 * 0.5/2 = 2.5.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 12.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.0), 2.5);
+
+  obs::HistogramValue overflow;
+  overflow.upper_bounds = {10.0, 20.0};
+  overflow.counts = {0, 0, 3};
+  overflow.total = 3;
+  // Overflow bucket has no width: report the last finite bound.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(overflow, 0.5), 20.0);
+
+  obs::HistogramValue empty;
+  empty.upper_bounds = {10.0};
+  empty.counts = {0, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+}
 
 TEST(ObsTrace, CsvFormatRoundTripsBitExactly) {
   obs::ConvergenceTrace trace;

@@ -29,6 +29,8 @@
 #include "amplifier/design_flow.h"
 #include "extract/three_step.h"
 #include "numeric/rng.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "service/jobs.h"
 #include "service/json.h"
@@ -37,6 +39,7 @@
 #include "service/scheduler.h"
 #include "service/server.h"
 #include "service/server_io.h"
+#include "service/telemetry.h"
 
 namespace gnsslna {
 namespace {
@@ -962,6 +965,246 @@ TEST(ServiceStats, CountersFeedTheStatsReport) {
             stats.number_at("latency_p50_us", 0));
   obs::reset();
   obs::set_enabled(was_enabled);
+}
+
+// --- telemetry: percentiles, SLOs, deterministic artifacts ------------------
+
+TEST(ServiceTelemetry, LatencyPercentileMidpointPins) {
+  // Empty histogram reports 0, not a bucket bound.
+  std::uint64_t empty[32] = {};
+  EXPECT_EQ(service::latency_percentile_us(empty, 0.5), 0.0);
+
+  // All 10 samples in bucket 5 = [32, 64).  Midpoint rule: rank k sits at
+  // (j - 0.5)/n of the bucket width, so p50 (k = 6) = 32 + 32*5.5/10 and
+  // p99 (k = 10) = 32 + 32*9.5/10 — never the old upper-bound 64.
+  std::uint64_t single[32] = {};
+  single[5] = 10;
+  EXPECT_DOUBLE_EQ(service::latency_percentile_us(single, 0.5), 49.6);
+  EXPECT_DOUBLE_EQ(service::latency_percentile_us(single, 0.99), 62.4);
+
+  // Split across buckets 0 = [0, 2) and 3 = [8, 16): p50 (k = 3) is the
+  // first of bucket 3's two samples, p99 (k = 4) the second.
+  std::uint64_t split[32] = {};
+  split[0] = 2;
+  split[3] = 2;
+  EXPECT_DOUBLE_EQ(service::latency_percentile_us(split, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(service::latency_percentile_us(split, 0.99), 14.0);
+}
+
+/// RAII save/restore of the obs runtime flags plus a full telemetry wipe on
+/// both ends, so observability tests cannot leak state into each other.
+struct ObsStateGuard {
+  bool enabled = obs::enabled();
+  bool deterministic = obs::deterministic();
+  ObsStateGuard() { wipe(); }
+  ~ObsStateGuard() {
+    wipe();
+    obs::set_deterministic(deterministic);
+    obs::set_enabled(enabled);
+  }
+  static void wipe() {
+    obs::reset();
+    obs::metrics_reset();
+    obs::flight_clear();
+  }
+};
+
+TEST(ServiceObservability, DeterministicArtifactsBitIdenticalAcrossWorkers) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  ObsStateGuard guard;
+  obs::set_enabled(true);
+  obs::set_deterministic(true);
+
+  struct Artifacts {
+    std::vector<std::string> spans;
+    std::string prometheus;
+    std::string metrics;
+    std::string flight;
+  };
+
+  // Saturating mixed traffic: more jobs than any worker count drains
+  // instantly (all submitted before the first wait), across several designs,
+  // configs, sweeps, a small design run, and a yield run.
+  const auto run = [&](std::size_t workers) {
+    ObsStateGuard::wipe();
+    Artifacts art;
+    std::vector<TargetJob> jobs = background_jobs(10);
+    jobs.push_back({"design", "design",
+                    R"({"seed":21,"de_generations":2,"de_population":8,)"
+                    R"("polish_evaluations":30})"});
+    jobs.push_back({"yield", "yield",
+                    R"({"seed":22,"samples":16,"sampler":"sobol"})"});
+    service::SchedulerOptions options;
+    options.workers = workers;
+    options.queue_capacity = 256;
+    options.max_queued_per_client = 256;
+    service::Scheduler scheduler(options);
+    std::vector<service::Scheduler::TicketPtr> tickets;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      auto t = scheduler.submit("det-" + std::to_string(i % 3), jobs[i].type,
+                                parse_or_die(jobs[i].params_text),
+                                /*timeout_s=*/0.0, {}, {},
+                                /*want_spans=*/true);
+      EXPECT_NE(t, nullptr) << jobs[i].label;
+      if (t != nullptr) tickets.push_back(std::move(t));
+    }
+    for (auto& t : tickets) {
+      const service::JobOutcome& outcome = t->wait();
+      EXPECT_EQ(outcome.status, "ok");
+      art.spans.push_back(outcome.spans.dump());
+    }
+    scheduler.shutdown();
+    art.prometheus = service::metrics_prometheus(true);
+    art.metrics = service::metrics_json(true).dump();
+    art.flight = service::flight_json(true).dump();
+    return art;
+  };
+
+  const Artifacts one = run(1);
+  ASSERT_EQ(one.spans.size(), 12u);
+  EXPECT_NE(one.spans.front().find("service.job.run"), std::string::npos);
+  EXPECT_NE(one.prometheus.find("gnsslna_service_completed 12"),
+            std::string::npos)
+      << one.prometheus;
+  EXPECT_NE(one.flight.find("\"complete\""), std::string::npos);
+
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    const Artifacts other = run(workers);
+    EXPECT_EQ(one.spans, other.spans) << workers << " workers";
+    EXPECT_EQ(one.prometheus, other.prometheus) << workers << " workers";
+    EXPECT_EQ(one.metrics, other.metrics) << workers << " workers";
+    EXPECT_EQ(one.flight, other.flight) << workers << " workers";
+  }
+}
+
+TEST(ServiceObservability, DeadlineMissedOutcomeCarriesFlightEvents) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  ObsStateGuard guard;
+  obs::set_enabled(true);
+
+  service::SchedulerOptions options;
+  options.workers = 1;
+  service::Scheduler scheduler(options);
+  auto ticket = scheduler.submit("impatient", "design",
+                                 parse_or_die(slow_design_params()), 1e-6);
+  ASSERT_NE(ticket, nullptr);
+  const service::JobOutcome outcome = ticket->wait();
+  scheduler.shutdown();
+
+  EXPECT_EQ(outcome.status, "timeout");
+  ASSERT_TRUE(outcome.flight.is_array()) << outcome.flight.dump();
+  bool saw_admit = false;
+  bool saw_start = false;
+  bool saw_miss = false;
+  for (std::size_t i = 0; i < outcome.flight.size(); ++i) {
+    const std::string type = outcome.flight.at(i).string_at("type");
+    saw_admit |= type == "admit";
+    saw_start |= type == "start";
+    saw_miss |= type == "deadline_miss";
+  }
+  EXPECT_TRUE(saw_admit) << outcome.flight.dump();
+  EXPECT_TRUE(saw_start) << outcome.flight.dump();
+  EXPECT_TRUE(saw_miss) << outcome.flight.dump();
+}
+
+TEST_F(ServicePipeTest, MetricsAndFlightOpsAnswerInEveryBuild) {
+  // Both ops must answer well-formed frames whether or not instrumentation
+  // is compiled in; GNSSLNA_OBS=OFF builds report enabled=false with empty
+  // payloads rather than an error.
+  ASSERT_TRUE(client_->send(
+      parse_or_die(R"({"op":"metrics","deterministic":true})")));
+  Json reply;
+  ASSERT_TRUE(client_->next(&reply));
+  EXPECT_EQ(reply.string_at("event"), "metrics") << reply.dump();
+  const Json* metrics = reply.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(metrics->is_object());
+  if (!obs::compiled_in()) {
+    EXPECT_FALSE(reply.bool_at("enabled", true));
+    EXPECT_TRUE(reply.string_at("prometheus").empty());
+  }
+
+  ASSERT_TRUE(client_->send(
+      parse_or_die(R"({"op":"flight","deterministic":true})")));
+  ASSERT_TRUE(client_->next(&reply));
+  EXPECT_EQ(reply.string_at("event"), "flight") << reply.dump();
+  const Json* events = reply.find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  if (!obs::compiled_in()) {
+    EXPECT_FALSE(reply.bool_at("enabled", true));
+    EXPECT_EQ(events->size(), 0u);
+  }
+}
+
+TEST_F(ServicePipeTest, SpansFlagReturnsTheJobSpanTree) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  ObsStateGuard guard;
+  obs::set_enabled(true);
+
+  // Plain submit: no spans member in the result frame.
+  ASSERT_TRUE(client_->send(parse_or_die(
+      R"({"op":"submit","id":1,"type":"evaluate","params":{}})")));
+  Json reply;
+  ASSERT_TRUE(client_->next(&reply));
+  ASSERT_EQ(reply.string_at("event"), "result") << reply.dump();
+  EXPECT_EQ(reply.string_at("status"), "ok");
+  EXPECT_EQ(reply.find("spans"), nullptr);
+
+  // spans:true: the result frame gains the aggregated per-job span tree.
+  ASSERT_TRUE(client_->send(parse_or_die(
+      R"({"op":"submit","id":2,"type":"evaluate","spans":true,"params":{}})")));
+  ASSERT_TRUE(client_->next(&reply));
+  ASSERT_EQ(reply.string_at("event"), "result") << reply.dump();
+  EXPECT_EQ(reply.string_at("status"), "ok");
+  const Json* spans = reply.find("spans");
+  ASSERT_NE(spans, nullptr) << reply.dump();
+  EXPECT_EQ(spans->string_at("name"), "job");
+  EXPECT_NE(spans->dump().find("service.job.run"), std::string::npos)
+      << spans->dump();
+}
+
+TEST_F(ServicePipeTest, DeadlineMissedResultFrameCarriesFlight) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  ObsStateGuard guard;
+  obs::set_enabled(true);
+
+  ASSERT_TRUE(client_->send(parse_or_die(
+      R"({"op":"submit","id":7,"type":"design","timeout_s":1e-6,"params":)" +
+      slow_design_params() + "}")));
+  Json reply;
+  ASSERT_TRUE(client_->next(&reply));
+  ASSERT_EQ(reply.string_at("event"), "result") << reply.dump();
+  EXPECT_EQ(reply.string_at("status"), "timeout");
+  const Json* flight = reply.find("flight");
+  ASSERT_NE(flight, nullptr) << reply.dump();
+  ASSERT_TRUE(flight->is_array());
+  EXPECT_NE(flight->dump().find("\"deadline_miss\""), std::string::npos)
+      << flight->dump();
+}
+
+TEST_F(ServicePipeTest, StatsOpReportsTheSloArray) {
+  ASSERT_TRUE(client_->send(parse_or_die(R"({"op":"stats"})")));
+  Json reply;
+  ASSERT_TRUE(client_->next(&reply));
+  ASSERT_EQ(reply.string_at("event"), "stats") << reply.dump();
+  const Json* stats = reply.find("stats");
+  ASSERT_NE(stats, nullptr) << reply.dump();
+  const Json* slo = stats->find("slo");
+  ASSERT_NE(slo, nullptr) << reply.dump();
+  ASSERT_TRUE(slo->is_array());
+  ASSERT_EQ(slo->size(), 4u);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < slo->size(); ++i) {
+    names.push_back(slo->at(i).string_at("name"));
+    // Every entry is fully populated; with no traffic (or obs off) each
+    // objective is vacuously attained.
+    EXPECT_FALSE(slo->at(i).string_at("kind").empty());
+    EXPECT_GT(slo->at(i).number_at("limit", 0.0), 0.0);
+  }
+  const std::vector<std::string> expected = {"latency_p50", "latency_p99",
+                                             "rejection_rate", "error_rate"};
+  EXPECT_EQ(names, expected);
 }
 
 }  // namespace
